@@ -1,0 +1,80 @@
+//! Ablation: the compression operator (paper §3.3.2, Figures 3/4).
+//!
+//! One producer fans out to three consumers with 10/40/160 ms periods.
+//! `Min` sustains the fastest; `Max` the slowest; `kth_smallest(1)` and
+//! `mean` land in between. The bench prints produced-item counts and waste
+//! per operator, then measures the simulation cost of each.
+
+use aru_core::{AruConfig, CompressOp};
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::{CostModel, InputPolicy, ServiceModel, Sim, SimBuilder, SimConfig, TaskSpec};
+use vtime::Micros;
+
+fn run_with(op: CompressOp, duration: Micros) -> (usize, f64) {
+    let mut b = SimBuilder::new();
+    let n = b.node(8);
+    let c = b.channel("c", n);
+    let src = b.source("src", n, ServiceModel::fixed(Micros::from_millis(2)));
+    b.output(src, c, 10_000).unwrap();
+    for (i, ms) in [10u64, 40, 160].into_iter().enumerate() {
+        let t = b.task(
+            format!("sink{i}"),
+            n,
+            TaskSpec::sink(ServiceModel::fixed(Micros::from_millis(ms))),
+        );
+        b.input(t, c, InputPolicy::DriverLatest).unwrap();
+    }
+    let mut aru = AruConfig::aru_min();
+    aru.compress = op;
+    let mut cfg = SimConfig::new(aru);
+    cfg.cost = CostModel::ideal();
+    cfg.duration = duration;
+    let r = Sim::run(b, cfg).unwrap();
+    let produced = r
+        .trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e, aru_metrics::TraceEvent::Alloc { .. }))
+        .count();
+    (produced, r.analyze().waste.pct_memory_wasted())
+}
+
+fn bench(c: &mut Criterion) {
+    println!("== Ablation: compress operator (3 consumers: 10/40/160 ms) ==");
+    let dur = Micros::from_secs(30);
+    let mut results = Vec::new();
+    for (name, op) in [
+        ("min", CompressOp::Min),
+        ("kth(1)", CompressOp::kth_smallest(1)),
+        ("mean", CompressOp::mean()),
+        ("max", CompressOp::Max),
+    ] {
+        let (produced, waste) = run_with(op, dur);
+        println!("  {name:<8} produced {produced:>6} items   waste {waste:>5.1}%");
+        results.push((name, produced));
+    }
+    // Ordering: each step toward max throttles harder.
+    for pair in results.windows(2) {
+        assert!(
+            pair[1].1 <= pair[0].1,
+            "{} ({}) should produce <= {} ({})",
+            pair[1].0,
+            pair[1].1,
+            pair[0].0,
+            pair[0].1
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation_compress");
+    g.sample_size(10);
+    for (name, op) in [("min", CompressOp::Min), ("max", CompressOp::Max)] {
+        let op2 = op.clone();
+        g.bench_function(format!("fanout_sim_10s_{name}"), move |b| {
+            b.iter(|| run_with(op2.clone(), Micros::from_secs(10)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

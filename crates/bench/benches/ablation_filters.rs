@@ -1,0 +1,93 @@
+//! Ablation: summary-STP smoothing filters — the paper's named future work
+//! (§3.3.2: "Such noise can be smoothed out by applying filters…; left for
+//! future work").
+//!
+//! A very noisy consumer (σ = 0.5) feeds jittery summary-STPs back to the
+//! producer. We compare the producer's production-period jitter under the
+//! identity filter (the paper's shipped behaviour), an EWMA, and a windowed
+//! median.
+
+use aru_core::{AruConfig, FilterSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::{CostModel, InputPolicy, ServiceModel, Sim, SimBuilder, SimConfig, TaskSpec};
+use vtime::{Micros, OnlineStats};
+
+/// Returns (production-period jitter in µs, % memory waste).
+fn run_with(filter: FilterSpec, seed: u64) -> (f64, f64) {
+    let mut b = SimBuilder::new();
+    let n = b.node(8);
+    let c = b.channel("c", n);
+    let src = b.source("src", n, ServiceModel::fixed(Micros::from_millis(2)));
+    let snk = b.task(
+        "snk",
+        n,
+        TaskSpec::sink(ServiceModel::new(Micros::from_millis(40), 0.5)),
+    );
+    b.output(src, c, 10_000).unwrap();
+    b.input(snk, c, InputPolicy::DriverLatest).unwrap();
+    let aru = AruConfig::aru_min().with_filter(filter);
+    let mut cfg = SimConfig::new(aru);
+    cfg.cost = CostModel::ideal();
+    cfg.duration = Micros::from_secs(60);
+    cfg.seed = seed;
+    let r = Sim::run(b, cfg).unwrap();
+    // Production-period jitter: σ of inter-allocation gaps at the source.
+    let mut gaps = OnlineStats::new();
+    let mut last: Option<u64> = None;
+    for e in r.trace.events() {
+        if let aru_metrics::TraceEvent::Alloc { t, .. } = e {
+            if let Some(prev) = last {
+                gaps.push((t.as_micros() - prev) as f64);
+            }
+            last = Some(t.as_micros());
+        }
+    }
+    (gaps.std_dev(), r.analyze().waste.pct_memory_wasted())
+}
+
+fn bench(c: &mut Criterion) {
+    println!("== Ablation: STP filters under a noisy consumer (σ=0.5) ==");
+    let mut jitters = Vec::new();
+    for (name, f) in [
+        ("identity", FilterSpec::Identity),
+        ("ewma(0.2)", FilterSpec::Ewma(0.2)),
+        ("median(5)", FilterSpec::Median(5)),
+    ] {
+        let mut j = OnlineStats::new();
+        let mut w = OnlineStats::new();
+        for seed in [1u64, 2, 3] {
+            let (jit, waste) = run_with(f, seed);
+            j.push(jit);
+            w.push(waste);
+        }
+        println!(
+            "  {name:<10} production jitter {:>8.0} us   waste {:>5.1}%",
+            j.mean(),
+            w.mean()
+        );
+        jitters.push((name, j.mean()));
+    }
+    // Both filters must beat the identity baseline on production smoothness.
+    let identity = jitters[0].1;
+    for &(name, j) in &jitters[1..] {
+        assert!(
+            j < identity,
+            "{name} jitter {j:.0} should beat identity {identity:.0}"
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation_filters");
+    g.sample_size(10);
+    for (name, f) in [
+        ("identity", FilterSpec::Identity),
+        ("median5", FilterSpec::Median(5)),
+    ] {
+        g.bench_function(format!("noisy_sim_60s_{name}"), move |b| {
+            b.iter(|| run_with(f, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

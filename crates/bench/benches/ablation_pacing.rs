@@ -1,0 +1,73 @@
+//! Ablation: pacing policy — the paper paces *source threads only* and lets
+//! the adjustment cascade (§3.3.2); the `AllThreads` extension paces every
+//! thread to its own summary-STP. Run on the full simulated tracker.
+
+use aru_core::{AruConfig, PacingPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use tracker::{SimTrackerParams, TrackerConfigId};
+use vtime::Micros;
+
+fn run_with(policy: PacingPolicy) -> (f64, f64, f64) {
+    let aru = AruConfig::aru_min().with_pacing(policy);
+    let params = SimTrackerParams::new(aru, TrackerConfigId::OneNode)
+        .with_duration(Micros::from_secs(60));
+    let r = tracker::app_sim::run_sim(&params);
+    let a = r.analyze();
+    (
+        a.perf.throughput_fps,
+        a.waste.pct_memory_wasted(),
+        a.footprint.observed_summary().mean / 1e6,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    println!("== Ablation: pacing policy on the tracker (config 1, 60 s) ==");
+    let (fps_src, waste_src, fp_src) = run_with(PacingPolicy::SourcesOnly);
+    let (fps_all, waste_all, fp_all) = run_with(PacingPolicy::AllThreads);
+    println!(
+        "  sources-only (paper): {fps_src:.2} fps   waste {waste_src:.1}%   footprint {fp_src:.2} MB"
+    );
+    println!(
+        "  all-threads (ext.):   {fps_all:.2} fps   waste {waste_all:.1}%   footprint {fp_all:.2} MB"
+    );
+    // Both must beat the unthrottled baseline on waste.
+    let baseline = {
+        let params = SimTrackerParams::new(AruConfig::disabled(), TrackerConfigId::OneNode)
+            .with_duration(Micros::from_secs(60));
+        tracker::app_sim::run_sim(&params)
+            .analyze()
+            .waste
+            .pct_memory_wasted()
+    };
+    println!("  no pacing (baseline): waste {baseline:.1}%");
+    assert!(waste_src < baseline && waste_all < baseline);
+    // The cascade argument: pacing only sources should already capture most
+    // of the saving (within 3x of all-threads waste).
+    assert!(
+        waste_src < waste_all * 3.0 + 5.0,
+        "sources-only {waste_src:.1}% should be near all-threads {waste_all:.1}%"
+    );
+
+    let mut g = c.benchmark_group("ablation_pacing");
+    g.sample_size(10);
+    g.bench_function("tracker_sources_only_20s", |b| {
+        b.iter(|| {
+            let aru = AruConfig::aru_min().with_pacing(PacingPolicy::SourcesOnly);
+            let params = SimTrackerParams::new(aru, TrackerConfigId::OneNode)
+                .with_duration(Micros::from_secs(20));
+            tracker::app_sim::run_sim(&params).outputs()
+        })
+    });
+    g.bench_function("tracker_all_threads_20s", |b| {
+        b.iter(|| {
+            let aru = AruConfig::aru_min().with_pacing(PacingPolicy::AllThreads);
+            let params = SimTrackerParams::new(aru, TrackerConfigId::OneNode)
+                .with_duration(Micros::from_secs(20));
+            tracker::app_sim::run_sim(&params).outputs()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

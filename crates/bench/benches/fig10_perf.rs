@@ -1,0 +1,38 @@
+//! Figure 10 bench: regenerates the latency/throughput/jitter table, then
+//! benchmarks the perf postmortem.
+
+use aru_metrics::{Lineage, PerfReport};
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::config::{run_cell, ExpParams, Mode};
+use experiments::fig10;
+use tracker::TrackerConfigId;
+use vtime::Micros;
+
+fn bench(c: &mut Criterion) {
+    let params = ExpParams {
+        duration: Micros::from_secs(60),
+        seeds: vec![2005, 2006],
+    };
+    let fig = fig10::run(&params);
+    println!("{}", fig.render());
+    for check in fig.shape_checks() {
+        assert!(check.passed, "{} — {}", check.name, check.detail);
+    }
+
+    let report = run_cell(
+        Mode::AruMin,
+        TrackerConfigId::OneNode,
+        2005,
+        Micros::from_secs(60),
+    );
+    let lineage = Lineage::analyze(&report.trace);
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(20);
+    g.bench_function("perf_report_60s_trace", |b| {
+        b.iter(|| PerfReport::compute(&report.trace, &lineage, report.t_end))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

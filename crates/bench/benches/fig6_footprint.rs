@@ -1,0 +1,40 @@
+//! Figure 6 bench: regenerates the memory-footprint table (printed once,
+//! shape-asserted), then benchmarks the experiment cells that feed it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::config::{run_cell, ExpParams, Mode};
+use experiments::fig6;
+use tracker::TrackerConfigId;
+use vtime::Micros;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the table at a moderate scale and assert the paper shape.
+    let params = ExpParams {
+        duration: Micros::from_secs(60),
+        seeds: vec![2005],
+    };
+    let fig = fig6::run(&params);
+    println!("{}", fig.render());
+    for check in fig.shape_checks() {
+        assert!(check.passed, "{} — {}", check.name, check.detail);
+    }
+
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("no_aru", Mode::NoAru),
+        ("aru_min", Mode::AruMin),
+        ("aru_max", Mode::AruMax),
+    ] {
+        g.bench_function(format!("cell_{name}_cfg1_20s"), |b| {
+            b.iter(|| {
+                let r = run_cell(mode, TrackerConfigId::OneNode, 2005, Micros::from_secs(20));
+                r.analyze().footprint.observed_summary().mean
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

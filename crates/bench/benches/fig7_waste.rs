@@ -1,0 +1,48 @@
+//! Figure 7 bench: regenerates the wasted-resources table, then benchmarks
+//! the lineage-based waste analysis itself (the postmortem the paper's
+//! measurement infrastructure runs).
+
+use aru_metrics::{Lineage, WasteReport};
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::config::{run_cell, ExpParams, Mode};
+use experiments::fig7;
+use tracker::TrackerConfigId;
+use vtime::Micros;
+
+fn bench(c: &mut Criterion) {
+    let params = ExpParams {
+        duration: Micros::from_secs(60),
+        seeds: vec![2005],
+    };
+    let fig = fig7::run(&params);
+    println!("{}", fig.render());
+    for check in fig.shape_checks() {
+        assert!(check.passed, "{} — {}", check.name, check.detail);
+    }
+
+    // Benchmark the postmortem on a fixed baseline trace.
+    let report = run_cell(
+        Mode::NoAru,
+        TrackerConfigId::OneNode,
+        2005,
+        Micros::from_secs(60),
+    );
+    println!(
+        "trace: {} events, {} outputs",
+        report.trace.len(),
+        report.outputs()
+    );
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(20);
+    g.bench_function("lineage_analysis_60s_trace", |b| {
+        b.iter(|| Lineage::analyze(&report.trace))
+    });
+    let lineage = Lineage::analyze(&report.trace);
+    g.bench_function("waste_report_60s_trace", |b| {
+        b.iter(|| WasteReport::compute(&lineage, report.t_end))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

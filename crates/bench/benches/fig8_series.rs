@@ -1,0 +1,43 @@
+//! Figure 8 bench (config 1 footprint-vs-time series): regenerates the four
+//! panels, then benchmarks series construction and downsampling.
+
+use aru_metrics::footprint::observed_series;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::config::{run_cell, ExpParams, Mode};
+use experiments::fig8_9;
+use tracker::TrackerConfigId;
+use vtime::Micros;
+
+fn bench(c: &mut Criterion) {
+    let params = ExpParams {
+        duration: Micros::from_secs(60),
+        seeds: vec![2005],
+    };
+    let fig = fig8_9::run(TrackerConfigId::OneNode, &params);
+    println!("{}", fig.render_ascii(12, 40));
+    for check in fig.shape_checks() {
+        assert!(check.passed, "{} — {}", check.name, check.detail);
+    }
+    let csv = fig.to_csv(400);
+    println!("fig8 CSV: {} rows", csv.lines().count());
+
+    let report = run_cell(
+        Mode::NoAru,
+        TrackerConfigId::OneNode,
+        2005,
+        Micros::from_secs(60),
+    );
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(20);
+    g.bench_function("observed_series_from_trace", |b| {
+        b.iter(|| observed_series(&report.trace))
+    });
+    let series = observed_series(&report.trace);
+    g.bench_function("downsample_400_buckets", |b| {
+        b.iter(|| series.downsample(report.t_end, 400))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 9 bench (config 2, five nodes over GbE): regenerates the panels
+//! and benchmarks the 5-node simulation itself (network events included).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::config::{run_cell, ExpParams, Mode};
+use experiments::fig8_9;
+use tracker::TrackerConfigId;
+use vtime::Micros;
+
+fn bench(c: &mut Criterion) {
+    let params = ExpParams {
+        duration: Micros::from_secs(60),
+        seeds: vec![2005],
+    };
+    let fig = fig8_9::run(TrackerConfigId::FiveNodes, &params);
+    println!("{}", fig.render_ascii(12, 40));
+    for check in fig.shape_checks() {
+        assert!(check.passed, "{} — {}", check.name, check.detail);
+    }
+
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("five_node_tracker_sim_20s", |b| {
+        b.iter(|| {
+            run_cell(
+                Mode::AruMin,
+                TrackerConfigId::FiveNodes,
+                2005,
+                Micros::from_secs(20),
+            )
+            .outputs()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

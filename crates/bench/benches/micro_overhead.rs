@@ -1,0 +1,105 @@
+//! Micro-benchmarks backing the paper's §4 overhead claim: *"the cost of
+//! computing the summary-STP value is minuscule. The computation involves a
+//! simple min/max operation on very small vectors …, done only once at the
+//! end of each data production iteration by a thread, and at every put/get
+//! call on buffers."*
+//!
+//! Measures the exact per-operation ARU work (backward-vector update +
+//! compress + summary), the per-iteration work (meter + pacer), and one
+//! full cross-graph DGC pass on the tracker topology.
+
+use aru_core::{
+    summary_for_thread, AruConfig, AruController, BackwardStpVec, CompressOp, NodeKind, Pacer,
+    Stp, StpMeter,
+};
+use aru_gc::{ConsumerMarks, DgcEngine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use tracker::TrackerGraph;
+use vtime::{Micros, SimTime, Timestamp};
+
+fn bench(c: &mut Criterion) {
+    // Per-get/put work: update one slot + compress a 5-wide vector.
+    c.bench_function("aru_feedback_update_and_compress_5wide", |b| {
+        let mut bv = BackwardStpVec::new(5);
+        for i in 0..5 {
+            bv.update(i, Stp::from_micros(100 + i as u64));
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            bv.update(i % 5, Stp::from_micros(100 + i as u64));
+            i += 1;
+            black_box(bv.compressed(&CompressOp::Min))
+        })
+    });
+
+    c.bench_function("aru_summary_for_thread", |b| {
+        let compressed = Some(Stp::from_micros(250));
+        let current = Some(Stp::from_micros(120));
+        b.iter(|| black_box(summary_for_thread(black_box(compressed), black_box(current))))
+    });
+
+    // Per-iteration work: the whole periodicity_sync path.
+    c.bench_function("aru_controller_full_iteration", |b| {
+        let mut ctrl = AruController::new(NodeKind::Thread, 3, true, &AruConfig::aru_min());
+        ctrl.receive_feedback(0, Stp::from_micros(300));
+        let mut t = 0u64;
+        b.iter(|| {
+            ctrl.iteration_begin(SimTime(t));
+            t += 100;
+            black_box(ctrl.iteration_end(SimTime(t)))
+        })
+    });
+
+    c.bench_function("stp_meter_iteration_with_blocking", |b| {
+        let mut m = StpMeter::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            m.iteration_begin(SimTime(t));
+            m.block_begin(SimTime(t + 10));
+            m.block_end(SimTime(t + 40));
+            t += 100;
+            black_box(m.iteration_end(SimTime(t)))
+        })
+    });
+
+    c.bench_function("pacer_sleep_until_release", |b| {
+        let mut p = Pacer::new();
+        p.set_target(Some(Stp::from_micros(1000)));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            black_box(p.sleep_until_release(SimTime(t)))
+        })
+    });
+
+    // One full cross-graph DGC pass over the tracker's 15-node topology.
+    c.bench_function("dgc_pass_tracker_topology", |b| {
+        let topo = TrackerGraph::topology();
+        let engine = DgcEngine::new(&topo);
+        let mut marks: HashMap<aru_core::NodeId, ConsumerMarks> = HashMap::new();
+        for n in topo.node_ids() {
+            if topo.kind(n).is_buffer() {
+                let mut m = ConsumerMarks::new(topo.out_degree(n));
+                for i in 0..topo.out_degree(n) {
+                    m.advance(i, Timestamp(1000 + i as u64));
+                }
+                marks.insert(n, m);
+            }
+        }
+        b.iter(|| black_box(engine.compute(&topo, &marks)))
+    });
+
+    // Reference scale: the items the feedback rides on are hundreds of kB;
+    // copying one 738 kB frame dwarfs every number above.
+    c.bench_function("memcpy_738kB_frame_for_scale", |b| {
+        let src = vec![0u8; 737_280];
+        b.iter(|| black_box(src.clone()))
+    });
+
+    let _ = Micros::ZERO;
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

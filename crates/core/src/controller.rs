@@ -1,0 +1,408 @@
+//! The per-node ARU state machine.
+//!
+//! [`AruController`] packages the backward-STP vector, compression operator,
+//! smoothing filter, STP meter and pacer into the exact hook set the two
+//! runtimes need:
+//!
+//! * a **buffer** (channel/queue) node calls [`AruController::receive_feedback`]
+//!   when a consumer piggybacks its summary-STP on a `get`, and reads
+//!   [`AruController::summary`] to hand back to producers on `put`;
+//! * a **thread** node calls `receive_feedback` when a `put` returns the
+//!   downstream buffer's summary-STP, drives the iteration hooks
+//!   ([`AruController::iteration_begin`] … [`AruController::iteration_end`])
+//!   from its task loop, and sleeps the returned pacing residual.
+//!
+//! With `enabled = false` every hook degenerates to the baseline (No-ARU)
+//! behaviour: no feedback is stored, no summary is emitted, no sleep is
+//! requested — but current-STP is still measured so the measurement
+//! infrastructure can report total/wasted computation identically across
+//! modes.
+
+use crate::backward::BackwardStpVec;
+use crate::compress::CompressOp;
+use crate::filter::{EwmaFilter, IdentityFilter, MedianFilter, StpFilter};
+use crate::graph::NodeKind;
+use crate::pacing::Pacer;
+use crate::stp::{Stp, StpMeter};
+use crate::summary::{summary_for_buffer, summary_for_thread};
+use vtime::{Micros, SimTime};
+
+/// Which threads pace their production period to the summary-STP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PacingPolicy {
+    /// ARU disabled end-to-end (the paper's "No ARU" rows).
+    Disabled,
+    /// The paper's mechanism: only source threads sleep; everything else
+    /// adapts through the cascading blocking effect (§3.3.2).
+    #[default]
+    SourcesOnly,
+    /// Ablation extension: every thread paces to its own summary-STP.
+    AllThreads,
+}
+
+/// Buildable description of a smoothing filter (see [`crate::filter`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FilterSpec {
+    /// No smoothing — the paper's shipped behaviour.
+    #[default]
+    Identity,
+    /// EWMA with the given `alpha` in `(0, 1]`.
+    Ewma(f64),
+    /// Sliding-window median with the given window length (> 0).
+    Median(usize),
+}
+
+impl FilterSpec {
+    #[must_use]
+    pub fn build(self) -> Box<dyn StpFilter> {
+        match self {
+            FilterSpec::Identity => Box::new(IdentityFilter),
+            FilterSpec::Ewma(a) => Box::new(EwmaFilter::new(a)),
+            FilterSpec::Median(w) => Box::new(MedianFilter::new(w)),
+        }
+    }
+}
+
+/// Per-application ARU configuration.
+#[derive(Debug, Clone)]
+pub struct AruConfig {
+    /// Master switch. `false` reproduces the baseline system.
+    pub enabled: bool,
+    /// Backward-vector compression operator (paper default: min).
+    pub compress: CompressOp,
+    /// Outgoing summary-STP smoothing.
+    pub filter: FilterSpec,
+    /// Which threads sleep.
+    pub pacing: PacingPolicy,
+}
+
+impl AruConfig {
+    /// The paper's "No ARU" baseline.
+    #[must_use]
+    pub fn disabled() -> Self {
+        AruConfig {
+            enabled: false,
+            compress: CompressOp::Min,
+            filter: FilterSpec::Identity,
+            pacing: PacingPolicy::Disabled,
+        }
+    }
+
+    /// "ARU-min": conservative default operator.
+    #[must_use]
+    pub fn aru_min() -> Self {
+        AruConfig {
+            enabled: true,
+            compress: CompressOp::Min,
+            filter: FilterSpec::Identity,
+            pacing: PacingPolicy::SourcesOnly,
+        }
+    }
+
+    /// "ARU-max": aggressive dependency-encoded operator.
+    #[must_use]
+    pub fn aru_max() -> Self {
+        AruConfig {
+            enabled: true,
+            compress: CompressOp::Max,
+            filter: FilterSpec::Identity,
+            pacing: PacingPolicy::SourcesOnly,
+        }
+    }
+
+    #[must_use]
+    pub fn with_filter(mut self, filter: FilterSpec) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    #[must_use]
+    pub fn with_pacing(mut self, pacing: PacingPolicy) -> Self {
+        self.pacing = pacing;
+        self
+    }
+}
+
+impl Default for AruConfig {
+    fn default() -> Self {
+        AruConfig::aru_min()
+    }
+}
+
+/// Result of finishing a thread iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterationOutcome {
+    /// The iteration's current-STP (busy time, blocking excluded).
+    pub current_stp: Stp,
+    /// The node's new summary-STP (what gets piggybacked upstream).
+    pub summary: Option<Stp>,
+    /// How long the thread should sleep before its next iteration.
+    pub sleep: Micros,
+}
+
+/// Per-node ARU state machine. See the module docs for the driving contract.
+#[derive(Debug)]
+pub struct AruController {
+    kind: NodeKind,
+    enabled: bool,
+    is_source: bool,
+    pacing: PacingPolicy,
+    compress: CompressOp,
+    filter: Box<dyn StpFilter>,
+    backward: BackwardStpVec,
+    meter: StpMeter,
+    pacer: Pacer,
+    cached_summary: Option<Stp>,
+}
+
+impl AruController {
+    /// Create the controller for a node with `n_outputs` output connections.
+    /// `is_source` marks threads with no upstream inputs (candidates for
+    /// `SourcesOnly` pacing); it is ignored for buffers.
+    #[must_use]
+    pub fn new(kind: NodeKind, n_outputs: usize, is_source: bool, config: &AruConfig) -> Self {
+        AruController {
+            kind,
+            enabled: config.enabled,
+            is_source,
+            pacing: config.pacing,
+            compress: config.compress.clone(),
+            filter: config.filter.build(),
+            backward: BackwardStpVec::new(n_outputs),
+            meter: StpMeter::new(),
+            pacer: Pacer::new(),
+            cached_summary: None,
+        }
+    }
+
+    #[must_use]
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Latest summary-STP to piggyback upstream; `None` until the node knows
+    /// anything (or forever, when ARU is disabled).
+    #[must_use]
+    pub fn summary(&self) -> Option<Stp> {
+        self.cached_summary
+    }
+
+    /// Pre-size the backward vector to `n` output slots (used when the
+    /// final out-degree becomes known after controller construction).
+    pub fn ensure_outputs(&mut self, n: usize) {
+        if n > 0 {
+            self.backward.ensure_slot(n - 1);
+        }
+    }
+
+    /// Feedback arrived from downstream on output connection `out_index`
+    /// (from a consumer `get` for buffers, from a `put` return for threads).
+    /// Returns the refreshed summary.
+    pub fn receive_feedback(&mut self, out_index: usize, stp: Stp) -> Option<Stp> {
+        if !self.enabled {
+            return None;
+        }
+        self.backward.update(out_index, stp);
+        self.recompute();
+        self.cached_summary
+    }
+
+    fn recompute(&mut self) {
+        let compressed = self.backward.compressed(&self.compress);
+        let raw = match self.kind {
+            NodeKind::Thread => summary_for_thread(compressed, self.meter.current()),
+            NodeKind::Channel | NodeKind::Queue => summary_for_buffer(compressed),
+        };
+        self.cached_summary = raw.map(|s| self.filter.apply(s));
+        if self.kind.is_thread() {
+            self.pacer.set_target(self.cached_summary);
+        }
+    }
+
+    // ---- thread-loop hooks -------------------------------------------------
+
+    /// Start of a task-loop iteration.
+    pub fn iteration_begin(&mut self, now: SimTime) {
+        debug_assert!(self.kind.is_thread(), "iteration hooks are thread-only");
+        self.meter.iteration_begin(now);
+    }
+
+    /// The thread starts blocking on upstream data.
+    pub fn block_begin(&mut self, now: SimTime) {
+        self.meter.block_begin(now);
+    }
+
+    /// Upstream data arrived.
+    pub fn block_end(&mut self, now: SimTime) {
+        self.meter.block_end(now);
+    }
+
+    #[must_use]
+    pub fn is_blocked(&self) -> bool {
+        self.meter.is_blocked()
+    }
+
+    /// End of a task-loop iteration — the paper's `periodicity_sync()` call.
+    /// Computes current-STP, refreshes the summary, and returns the pacing
+    /// sleep according to the configured policy.
+    pub fn iteration_end(&mut self, now: SimTime) -> IterationOutcome {
+        debug_assert!(self.kind.is_thread(), "iteration hooks are thread-only");
+        let current = self.meter.iteration_end(now);
+        if self.enabled {
+            self.recompute();
+        }
+        let sleep = if self.should_pace() {
+            self.pacer.sleep_until_release(now)
+        } else {
+            Micros::ZERO
+        };
+        IterationOutcome {
+            current_stp: current,
+            summary: self.cached_summary,
+            sleep,
+        }
+    }
+
+    fn should_pace(&self) -> bool {
+        self.enabled
+            && match self.pacing {
+                PacingPolicy::Disabled => false,
+                PacingPolicy::SourcesOnly => self.is_source,
+                PacingPolicy::AllThreads => true,
+            }
+    }
+
+    /// Access the meter's cumulative counters (total busy/blocked time).
+    #[must_use]
+    pub fn meter(&self) -> &StpMeter {
+        &self.meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> Stp {
+        Stp::from_micros(v)
+    }
+
+    #[test]
+    fn disabled_controller_is_inert() {
+        let mut c = AruController::new(NodeKind::Thread, 1, true, &AruConfig::disabled());
+        assert_eq!(c.receive_feedback(0, us(500)), None);
+        c.iteration_begin(SimTime(0));
+        let out = c.iteration_end(SimTime(100));
+        assert_eq!(out.current_stp, us(100));
+        assert_eq!(out.summary, None);
+        assert_eq!(out.sleep, Micros::ZERO);
+    }
+
+    #[test]
+    fn buffer_forwards_compressed_min() {
+        let mut c = AruController::new(NodeKind::Channel, 2, false, &AruConfig::aru_min());
+        assert_eq!(c.receive_feedback(0, us(300)), Some(us(300)));
+        assert_eq!(c.receive_feedback(1, us(150)), Some(us(150)));
+        // min keeps the fastest consumer even when the slow one updates
+        assert_eq!(c.receive_feedback(0, us(900)), Some(us(150)));
+    }
+
+    #[test]
+    fn buffer_forwards_compressed_max() {
+        let mut c = AruController::new(NodeKind::Channel, 2, false, &AruConfig::aru_max());
+        c.receive_feedback(0, us(300));
+        assert_eq!(c.receive_feedback(1, us(150)), Some(us(300)));
+    }
+
+    #[test]
+    fn thread_summary_includes_own_period() {
+        let mut c = AruController::new(NodeKind::Thread, 1, false, &AruConfig::aru_min());
+        c.iteration_begin(SimTime(0));
+        let out = c.iteration_end(SimTime(400));
+        // No downstream feedback yet: summary = own current-STP.
+        assert_eq!(out.summary, Some(us(400)));
+        // Downstream reports faster consumer: max(own, feedback).
+        assert_eq!(c.receive_feedback(0, us(100)), Some(us(400)));
+        // Downstream reports slower consumer.
+        assert_eq!(c.receive_feedback(0, us(900)), Some(us(900)));
+    }
+
+    #[test]
+    fn source_thread_paces_to_feedback() {
+        let mut c = AruController::new(NodeKind::Thread, 1, true, &AruConfig::aru_min());
+        c.iteration_begin(SimTime(0));
+        let o1 = c.iteration_end(SimTime(100)); // own period 100
+        assert_eq!(o1.sleep, Micros::ZERO, "first iteration anchors only");
+        c.receive_feedback(0, us(1000)); // downstream is 10x slower
+        c.iteration_begin(SimTime(100));
+        let o2 = c.iteration_end(SimTime(200));
+        assert_eq!(o2.summary, Some(us(1000)));
+        assert!(
+            o2.sleep > Micros(700),
+            "source must sleep most of the period, got {}",
+            o2.sleep
+        );
+    }
+
+    #[test]
+    fn non_source_thread_does_not_pace_under_sources_only() {
+        let mut c = AruController::new(NodeKind::Thread, 1, false, &AruConfig::aru_min());
+        c.receive_feedback(0, us(1000));
+        c.iteration_begin(SimTime(0));
+        let out = c.iteration_end(SimTime(10));
+        assert_eq!(out.sleep, Micros::ZERO);
+    }
+
+    #[test]
+    fn all_threads_policy_paces_interior_threads() {
+        let cfg = AruConfig::aru_min().with_pacing(PacingPolicy::AllThreads);
+        let mut c = AruController::new(NodeKind::Thread, 1, false, &cfg);
+        c.receive_feedback(0, us(1000));
+        c.iteration_begin(SimTime(0));
+        c.iteration_end(SimTime(10)); // anchor
+        c.iteration_begin(SimTime(10));
+        let out = c.iteration_end(SimTime(20));
+        assert!(out.sleep > Micros::ZERO);
+    }
+
+    #[test]
+    fn filter_is_applied_to_outgoing_summary() {
+        let cfg = AruConfig::aru_min().with_filter(FilterSpec::Median(3));
+        let mut c = AruController::new(NodeKind::Channel, 1, false, &cfg);
+        c.receive_feedback(0, us(100));
+        c.receive_feedback(0, us(100));
+        // One outlier is filtered away by the median.
+        assert_eq!(c.receive_feedback(0, us(99_999)), Some(us(100)));
+    }
+
+    #[test]
+    fn blocking_excluded_from_current_stp() {
+        let mut c = AruController::new(NodeKind::Thread, 1, false, &AruConfig::aru_min());
+        c.iteration_begin(SimTime(0));
+        c.block_begin(SimTime(10));
+        assert!(c.is_blocked());
+        c.block_end(SimTime(60));
+        assert!(!c.is_blocked());
+        let out = c.iteration_end(SimTime(100));
+        assert_eq!(out.current_stp, us(50));
+    }
+
+    #[test]
+    fn meter_counters_accumulate() {
+        let mut c = AruController::new(NodeKind::Thread, 0, true, &AruConfig::aru_min());
+        c.iteration_begin(SimTime(0));
+        c.iteration_end(SimTime(70));
+        c.iteration_begin(SimTime(70));
+        c.block_begin(SimTime(80));
+        c.block_end(SimTime(100));
+        c.iteration_end(SimTime(150));
+        assert_eq!(c.meter().iterations(), 2);
+        assert_eq!(c.meter().total_busy(), Micros(70 + 60));
+        assert_eq!(c.meter().total_blocked(), Micros(20));
+    }
+}

@@ -1,0 +1,53 @@
+//! # Adaptive Resource Utilization (ARU) — the paper's core contribution
+//!
+//! This crate implements, as pure and runtime-agnostic algorithms, the
+//! feedback-control mechanism of *"Adaptive Resource Utilization via Feedback
+//! Control for Streaming Applications"* (Mandviwala, Harel, Ramachandran,
+//! Knobe; IPDPS/IPPS 2005):
+//!
+//! * **STP measurement** ([`stp::StpMeter`]): the *Sustainable Thread Period*
+//!   is the wall time of one task-loop iteration *excluding* time spent
+//!   blocked on upstream data (paper §3.3.1, Figure 2).
+//! * **Backward propagation** ([`backward::BackwardStpVec`]): every node
+//!   (thread, channel or queue) keeps a vector of the most recent
+//!   summary-STP received from each downstream (output) connection
+//!   (§3.3.2, Figure 3).
+//! * **Compression** ([`compress::CompressOp`]): the backward vector is
+//!   compressed with `min` (default, safe — sustain the *fastest* consumer)
+//!   or `max` (aggressive — requires knowledge that all consumers feed one
+//!   downstream stage, Figure 4), or a user-defined operator.
+//! * **Summary-STP** ([`summary`]): threads combine the compressed value with
+//!   their own current-STP via `max`; channels/queues forward the compressed
+//!   value unchanged.
+//! * **Pacing** ([`pacing::Pacer`]): source threads stretch their production
+//!   period to the propagated summary-STP by sleeping the residual.
+//! * **Filters** ([`filter`]): smoothing of noisy summary-STP streams (EWMA,
+//!   windowed median) — named as the natural extension / future work in
+//!   §3.3.2 and §6, implemented here and evaluated in an ablation bench.
+//! * **Controller** ([`controller::AruController`]): the per-node state
+//!   machine both runtimes (threaded `stampede` and discrete-event `desim`)
+//!   drive from their `put`/`get` hooks.
+//!
+//! Everything here is deterministic and side-effect free, which is what makes
+//! the same mechanism testable with `proptest` and reusable across the two
+//! runtimes.
+
+pub mod analysis;
+pub mod backward;
+pub mod compress;
+pub mod controller;
+pub mod filter;
+pub mod graph;
+pub mod pacing;
+pub mod stp;
+pub mod summary;
+
+pub use analysis::{simulate_loop, LoopParams, LoopTrace};
+pub use backward::BackwardStpVec;
+pub use compress::CompressOp;
+pub use controller::{AruConfig, AruController, FilterSpec, IterationOutcome, PacingPolicy};
+pub use filter::{EwmaFilter, IdentityFilter, MedianFilter, StpFilter};
+pub use graph::{ConnId, NodeId, NodeKind, Topology};
+pub use pacing::Pacer;
+pub use stp::{Stp, StpMeter};
+pub use summary::{summary_for_buffer, summary_for_thread};

@@ -1,0 +1,210 @@
+//! Property-based tests for the ARU core algorithms.
+
+use aru_core::{
+    summary_for_thread, AruConfig, AruController, BackwardStpVec, CompressOp, EwmaFilter,
+    MedianFilter, NodeKind, Pacer, Stp, StpFilter, StpMeter,
+};
+use proptest::prelude::*;
+use vtime::{Micros, SimTime};
+
+fn stp_vec() -> impl Strategy<Value = Vec<Stp>> {
+    prop::collection::vec((1u64..10_000_000).prop_map(Stp::from_micros), 1..16)
+}
+
+proptest! {
+    /// min-compress is a lower bound, max-compress an upper bound, and both
+    /// select an element of the input.
+    #[test]
+    fn compress_min_max_bounds(v in stp_vec()) {
+        let lo = CompressOp::Min.compress(&v).unwrap();
+        let hi = CompressOp::Max.compress(&v).unwrap();
+        prop_assert!(lo <= hi);
+        prop_assert!(v.contains(&lo));
+        prop_assert!(v.contains(&hi));
+        for &x in &v {
+            prop_assert!(lo <= x && x <= hi);
+        }
+    }
+
+    /// mean-compress lies between min and max.
+    #[test]
+    fn compress_mean_between(v in stp_vec()) {
+        let lo = CompressOp::Min.compress(&v).unwrap();
+        let hi = CompressOp::Max.compress(&v).unwrap();
+        let mean = CompressOp::mean().compress(&v).unwrap();
+        prop_assert!(lo <= mean && mean <= hi);
+    }
+
+    /// kth_smallest is monotone in k and spans [min, max].
+    #[test]
+    fn compress_kth_monotone(v in stp_vec()) {
+        let n = v.len();
+        let mut prev = CompressOp::kth_smallest(0).compress(&v).unwrap();
+        prop_assert_eq!(prev, CompressOp::Min.compress(&v).unwrap());
+        for k in 1..n + 2 {
+            let cur = CompressOp::kth_smallest(k).compress(&v).unwrap();
+            prop_assert!(cur >= prev);
+            prev = cur;
+        }
+        prop_assert_eq!(prev, CompressOp::Max.compress(&v).unwrap());
+    }
+
+    /// Thread summary dominates both of its inputs and equals one of them.
+    #[test]
+    fn thread_summary_is_max(c in 0u64..10_000_000, s in 0u64..10_000_000) {
+        let c = Stp::from_micros(c);
+        let s = Stp::from_micros(s);
+        let out = summary_for_thread(Some(c), Some(s)).unwrap();
+        prop_assert!(out >= c && out >= s);
+        prop_assert!(out == c || out == s);
+    }
+
+    /// The backward vector compressed with Min equals the running minimum of
+    /// the *latest* value per slot, regardless of update order.
+    #[test]
+    fn backward_vec_latest_semantics(
+        updates in prop::collection::vec((0usize..6, 1u64..1_000_000), 1..64)
+    ) {
+        let mut bv = BackwardStpVec::new(6);
+        let mut latest: [Option<u64>; 6] = [None; 6];
+        for &(slot, val) in &updates {
+            bv.update(slot, Stp::from_micros(val));
+            latest[slot] = Some(val);
+        }
+        let want_min = latest.iter().flatten().min().copied().map(Stp::from_micros);
+        let want_max = latest.iter().flatten().max().copied().map(Stp::from_micros);
+        prop_assert_eq!(bv.compressed(&CompressOp::Min), want_min);
+        prop_assert_eq!(bv.compressed(&CompressOp::Max), want_max);
+    }
+
+    /// STP meter invariant: busy + blocked == wall for every iteration
+    /// pattern, and total counters accumulate consistently.
+    #[test]
+    fn stp_meter_partitions_time(
+        segments in prop::collection::vec((1u64..1000, 0u64..1000), 1..20)
+    ) {
+        let mut m = StpMeter::new();
+        let mut now = 0u64;
+        let mut want_busy = 0u64;
+        let mut want_blocked = 0u64;
+        for &(busy, blocked) in &segments {
+            m.iteration_begin(SimTime(now));
+            now += busy / 2;
+            if blocked > 0 {
+                m.block_begin(SimTime(now));
+                now += blocked;
+                m.block_end(SimTime(now));
+            }
+            now += busy - busy / 2;
+            let stp = m.iteration_end(SimTime(now));
+            prop_assert_eq!(stp.as_micros(), busy);
+            want_busy += busy;
+            want_blocked += blocked;
+        }
+        prop_assert_eq!(m.total_busy(), Micros(want_busy));
+        prop_assert_eq!(m.total_blocked(), Micros(want_blocked));
+        prop_assert_eq!(m.iterations(), segments.len() as u64);
+    }
+
+    /// Pacing safety: a paced loop never produces faster than the target
+    /// (inter-completion gaps >= target when work <= target), and never
+    /// sleeps more than one period.
+    #[test]
+    fn pacer_respects_target(
+        target in 100u64..10_000,
+        works in prop::collection::vec(1u64..100_000, 2..50)
+    ) {
+        let mut p = Pacer::new();
+        p.set_target(Some(Stp::from_micros(target)));
+        let mut now = SimTime(0);
+        let mut completions = Vec::new();
+        for &w in &works {
+            let sleep = p.sleep_until_release(now);
+            prop_assert!(sleep.as_micros() <= target, "sleep {sleep} > period");
+            now = now + sleep + Micros(w);
+            completions.push(now.as_micros());
+        }
+        for pair in completions.windows(2) {
+            let gap = pair[1] - pair[0];
+            let work = gap; // completion gap includes work; only check the floor
+            let _ = work;
+            prop_assert!(gap >= target.min(gap), "vacuous floor");
+        }
+        // Strong form: when every work item is faster than the target, gaps
+        // must be at least the target.
+        if works.iter().all(|&w| w <= target) {
+            for pair in completions.windows(2) {
+                prop_assert!(pair[1] - pair[0] >= target);
+            }
+        }
+    }
+
+    /// EWMA output is always within [min, max] of the inputs seen so far.
+    #[test]
+    fn ewma_bounded_by_input_range(
+        alpha in 0.01f64..1.0,
+        xs in prop::collection::vec(1u64..1_000_000, 1..50)
+    ) {
+        let mut f = EwmaFilter::new(alpha);
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for &x in &xs {
+            lo = lo.min(x);
+            hi = hi.max(x);
+            let y = f.apply(Stp::from_micros(x)).as_micros();
+            prop_assert!(y >= lo.saturating_sub(1) && y <= hi + 1,
+                "ewma {y} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Median filter output is an element of its current window.
+    #[test]
+    fn median_returns_window_element(
+        w in 1usize..8,
+        xs in prop::collection::vec(1u64..1_000_000, 1..50)
+    ) {
+        let mut f = MedianFilter::new(w);
+        for (i, &x) in xs.iter().enumerate() {
+            let y = f.apply(Stp::from_micros(x)).as_micros();
+            let start = i.saturating_sub(w - 1);
+            prop_assert!(xs[start..=i].contains(&y));
+        }
+    }
+
+    /// A disabled controller never sleeps nor emits summaries under any
+    /// feedback sequence.
+    #[test]
+    fn disabled_controller_never_acts(
+        feedback in prop::collection::vec((0usize..3, 1u64..1_000_000), 0..32)
+    ) {
+        let mut c = AruController::new(NodeKind::Thread, 3, true, &AruConfig::disabled());
+        let mut now = 0u64;
+        for &(slot, val) in &feedback {
+            prop_assert_eq!(c.receive_feedback(slot, Stp::from_micros(val)), None);
+            c.iteration_begin(SimTime(now));
+            now += 50;
+            let out = c.iteration_end(SimTime(now));
+            prop_assert_eq!(out.summary, None);
+            prop_assert_eq!(out.sleep, Micros::ZERO);
+        }
+    }
+
+    /// An enabled thread controller's summary always dominates its own
+    /// current-STP (ARU never asks a producer to run faster than anyone).
+    #[test]
+    fn summary_dominates_current(
+        feedback in prop::collection::vec((0usize..3, 1u64..1_000_000), 1..32),
+        busy in 1u64..100_000
+    ) {
+        let mut c = AruController::new(NodeKind::Thread, 3, false, &AruConfig::aru_min());
+        let mut now = 0u64;
+        for &(slot, val) in &feedback {
+            c.receive_feedback(slot, Stp::from_micros(val));
+            c.iteration_begin(SimTime(now));
+            now += busy;
+            let out = c.iteration_end(SimTime(now));
+            let summary = out.summary.expect("enabled thread with feedback");
+            prop_assert!(summary >= out.current_stp);
+        }
+    }
+}

@@ -1,0 +1,638 @@
+//! The discrete-event engine.
+//!
+//! Single-threaded, deterministic: events are processed in `(time, seq)`
+//! order from a binary heap; all randomness comes from per-task seeded
+//! generators. Tasks move through `Idle → Gathering → Computing → Idle`,
+//! with the exact ARU hooks the threaded runtime uses (iteration and block
+//! windows, feedback on every get/put, pacing sleep for sources).
+
+use crate::builder::{ChanId, SimBuilder, SimBuildError, TaskDecl, TaskId};
+use crate::cost::CostModel;
+use crate::net::NetModel;
+use crate::noise::Noise;
+use crate::report::SimReport;
+use crate::schannel::{SimChannel, SimItem};
+use crate::spec::InputPolicy;
+use aru_core::{AruConfig, AruController, NodeId, NodeKind, Topology};
+use aru_gc::{ref_dead_before, ConsumerMarks, DgcEngine, DgcResult, GcMode};
+use aru_metrics::{IterKey, Trace};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use vtime::{Micros, SimTime, Timestamp};
+
+/// Configuration of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// ARU mode (disabled / min / max / custom).
+    pub aru: AruConfig,
+    /// GC policy for all buffers.
+    pub gc: GcMode,
+    /// Node execution-cost model.
+    pub cost: CostModel,
+    /// Interconnect model: puts into a channel on another node delay the
+    /// item's visibility by the transfer time, and gets from a remote
+    /// channel charge the fetch to the consuming iteration.
+    pub net: NetModel,
+    /// Virtual run length.
+    pub duration: Micros,
+    /// DGC cross-graph pass period.
+    pub dgc_interval: Micros,
+    /// Root RNG seed (per-task noise seeds derive from it).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A sensible default: ARU-min, DGC, default cost/net, 10 s runs.
+    #[must_use]
+    pub fn new(aru: AruConfig) -> Self {
+        SimConfig {
+            aru,
+            gc: GcMode::Dgc,
+            cost: CostModel::default(),
+            net: NetModel::local(),
+            duration: Micros::from_secs(10),
+            dgc_interval: Micros::from_millis(10),
+            seed: 0xA2_05,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    Idle,
+    Gathering {
+        step: usize,
+        driver_ts: Option<Timestamp>,
+    },
+    Computing {
+        skipped: bool,
+        driver_ts: Option<Timestamp>,
+    },
+}
+
+struct TaskState {
+    decl: TaskDecl,
+    controller: AruController,
+    noise: Noise,
+    phase: Phase,
+    seq: u64,
+    blocked: bool,
+    next_src_ts: Timestamp,
+    skips: u64,
+    /// Per-input freshness floor: the next timestamp this task would accept
+    /// from that input (local to the task — channel marks only advance when
+    /// the consuming iteration *completes*, because the task still holds
+    /// the item while processing it, exactly like Stampede's
+    /// consume-on-iteration-end semantics).
+    input_floors: Vec<Timestamp>,
+    /// Consumed items to release (advance channel marks) at iteration end.
+    pending_releases: Vec<(usize, usize, Timestamp)>,
+    /// Network fetch time accumulated by this iteration's remote gets —
+    /// consuming an item from a channel on another node pulls the payload
+    /// across the link (Stampede's remote get), charged to the iteration.
+    pending_fetch: Micros,
+}
+
+impl TaskState {
+    fn iter_key(&self) -> IterKey {
+        IterKey::new(self.decl.graph_node, self.seq)
+    }
+
+    fn is_source(&self) -> bool {
+        self.decl.inputs.is_empty()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum EvKind {
+    Wake(TaskId),
+    ComputeDone(TaskId),
+    ItemArrive {
+        chan: ChanId,
+        ts: Timestamp,
+        item: SimItem,
+    },
+    DgcPass,
+}
+
+#[derive(Debug, Clone)]
+struct Ev {
+    time: SimTime,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The simulator.
+///
+/// ```
+/// use aru_core::AruConfig;
+/// use desim::{CostModel, InputPolicy, ServiceModel, Sim, SimBuilder, SimConfig, TaskSpec};
+/// use vtime::Micros;
+///
+/// let mut b = SimBuilder::new();
+/// let node = b.node(8);
+/// let ch = b.channel("frames", node);
+/// let cam = b.source("camera", node, ServiceModel::fixed(Micros::from_millis(5)));
+/// let gui = b.task("gui", node, TaskSpec::sink(ServiceModel::fixed(Micros::from_millis(40))));
+/// b.output(cam, ch, 100_000).unwrap();
+/// b.input(gui, ch, InputPolicy::DriverLatest).unwrap();
+///
+/// let mut cfg = SimConfig::new(AruConfig::aru_min());
+/// cfg.cost = CostModel::ideal();
+/// cfg.duration = Micros::from_secs(4);
+/// let report = Sim::run(b, cfg).unwrap();
+/// assert!(report.outputs() > 80); // ~4s / 40ms
+/// assert!(report.analyze().waste.pct_memory_wasted() < 10.0);
+/// ```
+pub struct Sim {
+    topo: Topology,
+    config: SimConfig,
+    tasks: Vec<TaskState>,
+    chans: Vec<SimChannel>,
+    node_cores: Vec<u32>,
+    node_busy: Vec<usize>,
+    node_live: Vec<u64>,
+    events: BinaryHeap<Reverse<Ev>>,
+    ev_seq: u64,
+    dgc_engine: DgcEngine,
+    dgc_result: DgcResult,
+    trace: Trace,
+    now: SimTime,
+}
+
+impl Sim {
+    /// Build and run a simulation to completion; returns the trace report.
+    pub fn run(builder: SimBuilder, config: SimConfig) -> Result<SimReport, SimBuildError> {
+        builder.validate()?;
+        let SimBuilder {
+            topo,
+            nodes,
+            chans,
+            tasks,
+        } = builder;
+
+        let sim_chans: Vec<SimChannel> = chans
+            .into_iter()
+            .map(|c| {
+                let n_out = topo.out_degree(c.graph_node);
+                let mut aru =
+                    AruController::new(NodeKind::Channel, n_out, false, &config.aru);
+                aru.ensure_outputs(n_out);
+                SimChannel {
+                    name: c.name,
+                    graph_node: c.graph_node,
+                    cluster_node: c.cluster_node,
+                    items: std::collections::BTreeMap::new(),
+                    marks: ConsumerMarks::new(n_out),
+                    aru,
+                    dgc_dead_before: Timestamp::ZERO,
+                    live_bytes: 0,
+                    waiters: Vec::new(),
+                }
+            })
+            .collect();
+
+        let sim_tasks: Vec<TaskState> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, decl)| {
+                let is_source = decl.inputs.is_empty();
+                let controller = AruController::new(
+                    NodeKind::Thread,
+                    decl.outputs.len(),
+                    is_source,
+                    &config.aru,
+                );
+                let n_inputs = decl.inputs.len();
+                TaskState {
+                    controller,
+                    noise: Noise::seeded(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64),
+                    decl,
+                    phase: Phase::Idle,
+                    seq: 0,
+                    blocked: false,
+                    next_src_ts: Timestamp::ZERO,
+                    skips: 0,
+                    input_floors: vec![Timestamp::ZERO; n_inputs],
+                    pending_releases: Vec::new(),
+                    pending_fetch: Micros::ZERO,
+                }
+            })
+            .collect();
+
+        let dgc_engine = DgcEngine::new(&topo);
+        let mut sim = Sim {
+            node_cores: nodes.iter().map(|n| n.cores).collect(),
+            node_busy: vec![0; nodes.len()],
+            node_live: vec![0; nodes.len()],
+            tasks: sim_tasks,
+            chans: sim_chans,
+            events: BinaryHeap::new(),
+            ev_seq: 0,
+            dgc_engine,
+            dgc_result: DgcResult::default(),
+            trace: Trace::new(),
+            now: SimTime::ZERO,
+            topo,
+            config,
+        };
+
+        for i in 0..sim.tasks.len() {
+            sim.schedule(SimTime::ZERO, EvKind::Wake(TaskId(i)));
+        }
+        if sim.config.gc == GcMode::Dgc {
+            let first = SimTime::ZERO + sim.config.dgc_interval;
+            sim.schedule(first, EvKind::DgcPass);
+        }
+
+        let horizon = SimTime::ZERO + sim.config.duration;
+        while let Some(Reverse(ev)) = sim.events.pop() {
+            if ev.time > horizon {
+                break;
+            }
+            sim.now = ev.time;
+            sim.dispatch(ev.kind);
+        }
+
+        Ok(SimReport {
+            trace: sim.trace,
+            topo: sim.topo,
+            t_end: horizon,
+            skipped_iterations: sim.tasks.iter().map(|t| t.skips).sum(),
+        })
+    }
+
+    fn schedule(&mut self, time: SimTime, kind: EvKind) {
+        self.ev_seq += 1;
+        self.events.push(Reverse(Ev {
+            time,
+            seq: self.ev_seq,
+            kind,
+        }));
+    }
+
+    fn dispatch(&mut self, kind: EvKind) {
+        match kind {
+            EvKind::Wake(t) => self.handle_wake(t),
+            EvKind::ComputeDone(t) => self.handle_compute_done(t),
+            EvKind::ItemArrive { chan, ts, item } => self.deliver(chan, ts, item),
+            EvKind::DgcPass => self.handle_dgc_pass(),
+        }
+    }
+
+    // ---- task lifecycle -----------------------------------------------------
+
+    fn handle_wake(&mut self, t: TaskId) {
+        match self.tasks[t.0].phase {
+            Phase::Idle => {
+                let now = self.now;
+                self.tasks[t.0].controller.iteration_begin(now);
+                self.tasks[t.0].phase = Phase::Gathering {
+                    step: 0,
+                    driver_ts: None,
+                };
+                self.gather(t);
+            }
+            Phase::Gathering { .. } => self.gather(t),
+            Phase::Computing { .. } => { /* spurious wake; ignore */ }
+        }
+    }
+
+    fn gather(&mut self, t: TaskId) {
+        let now = self.now;
+        if self.tasks[t.0].blocked {
+            self.tasks[t.0].blocked = false;
+            self.tasks[t.0].controller.block_end(now);
+        }
+        loop {
+            let (step, driver_ts) = match self.tasks[t.0].phase {
+                Phase::Gathering { step, driver_ts } => (step, driver_ts),
+                _ => return,
+            };
+            if step >= self.tasks[t.0].decl.inputs.len() {
+                self.start_compute(t, driver_ts);
+                return;
+            }
+            let input = self.tasks[t.0].decl.inputs[step].clone();
+            let cid = input.chan.0;
+            let acquired: Acquire = match input.policy {
+                InputPolicy::DriverLatest => {
+                    let floor = self.tasks[t.0].input_floors[step];
+                    match self.chans[cid].latest_at_or_above(floor) {
+                        Some((ts, item)) => Acquire::Got(ts, item, Some(ts)),
+                        None => Acquire::Block,
+                    }
+                }
+                InputPolicy::FifoNext => {
+                    // queue semantics: the exact next timestamp, in order
+                    let next = self.tasks[t.0].input_floors[step];
+                    match self.chans[cid].exact(next) {
+                        Some(item) => Acquire::Got(next, item, Some(next)),
+                        None => Acquire::Block,
+                    }
+                }
+                InputPolicy::JoinExact => {
+                    let ts = driver_ts.expect("driver gathers before joins");
+                    match self.chans[cid].exact(ts) {
+                        Some(item) => Acquire::Got(ts, item, driver_ts),
+                        None => {
+                            let newer_exists = self.chans[cid]
+                                .latest()
+                                .is_some_and(|(latest, _)| latest > ts);
+                            if newer_exists {
+                                Acquire::Abandon
+                            } else {
+                                Acquire::Block
+                            }
+                        }
+                    }
+                }
+                InputPolicy::JoinLatestAtOrBefore => {
+                    let ts = driver_ts.expect("driver gathers before joins");
+                    let found = self.chans[cid]
+                        .latest_at_or_before(ts)
+                        .or_else(|| self.chans[cid].latest());
+                    match found {
+                        Some((jts, item)) => Acquire::Got(jts, item, driver_ts),
+                        None => Acquire::Block,
+                    }
+                }
+                InputPolicy::LatestOpt => {
+                    let floor = self.tasks[t.0].input_floors[step];
+                    match self.chans[cid].latest_at_or_above(floor) {
+                        Some((ts, item)) => Acquire::Got(ts, item, driver_ts),
+                        None => Acquire::Skip,
+                    }
+                }
+            };
+            match acquired {
+                Acquire::Got(ts, item, new_driver) => {
+                    self.consume(t, step, cid, input.chan_out_index, ts, item);
+                    self.tasks[t.0].phase = Phase::Gathering {
+                        step: step + 1,
+                        driver_ts: new_driver,
+                    };
+                }
+                Acquire::Skip => {
+                    self.tasks[t.0].phase = Phase::Gathering {
+                        step: step + 1,
+                        driver_ts,
+                    };
+                }
+                Acquire::Block => {
+                    self.chans[cid].waiters.push(t);
+                    self.tasks[t.0].blocked = true;
+                    self.tasks[t.0].controller.block_begin(now);
+                    return;
+                }
+                Acquire::Abandon => {
+                    // Join target can no longer arrive: abandon this
+                    // iteration (cheap skip — the driver item was consumed
+                    // but nothing will be produced from it).
+                    self.begin_skip(t, driver_ts);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Retrieve an item: record the get, piggyback the consumer's
+    /// summary-STP (paper §3.3.2), advance the task's local freshness
+    /// floor — but only *release* the item for GC when the consuming
+    /// iteration completes (the task still holds it while processing).
+    fn consume(
+        &mut self,
+        t: TaskId,
+        step: usize,
+        cid: usize,
+        idx: usize,
+        ts: Timestamp,
+        item: SimItem,
+    ) {
+        let now = self.now;
+        let summary = self.tasks[t.0].controller.summary();
+        let key = self.tasks[t.0].iter_key();
+        if let Some(s) = summary {
+            self.chans[cid].aru.receive_feedback(idx, s);
+        }
+        self.trace.get(now, item.id, key);
+        let remote = self.chans[cid].cluster_node != self.tasks[t.0].decl.cluster_node;
+        let fetch = if remote {
+            self.config.net.transfer(item.bytes)
+        } else {
+            Micros::ZERO
+        };
+        let task = &mut self.tasks[t.0];
+        task.pending_fetch += fetch;
+        if ts.next() > task.input_floors[step] {
+            task.input_floors[step] = ts.next();
+        }
+        task.pending_releases.push((cid, idx, ts));
+    }
+
+    fn begin_skip(&mut self, t: TaskId, driver_ts: Option<Timestamp>) {
+        let now = self.now;
+        let overhead = self.tasks[t.0].decl.spec.skip_overhead;
+        self.tasks[t.0].pending_fetch = Micros::ZERO;
+        self.tasks[t.0].skips += 1;
+        self.tasks[t.0].phase = Phase::Computing {
+            skipped: true,
+            driver_ts,
+        };
+        let node = self.tasks[t.0].decl.cluster_node.0;
+        self.node_busy[node] += 1;
+        self.schedule(now + overhead, EvKind::ComputeDone(t));
+    }
+
+    fn start_compute(&mut self, t: TaskId, driver_ts: Option<Timestamp>) {
+        let now = self.now;
+        // DGC computation elimination: everything this task would produce
+        // for `driver_ts` is provably dead downstream.
+        if self.config.gc.eliminates_computation() {
+            if let Some(ts) = driver_ts {
+                let skip_before = self
+                    .dgc_result
+                    .thread_skip_before(self.tasks[t.0].decl.graph_node);
+                if ts < skip_before {
+                    self.begin_skip(t, driver_ts);
+                    return;
+                }
+            }
+        }
+        let node = self.tasks[t.0].decl.cluster_node.0;
+        let busy_others = self.node_busy[node];
+        let cores = self.node_cores[node];
+        let live = self.node_live[node];
+        let task = &mut self.tasks[t.0];
+        let model = task.decl.spec.service_at(now);
+        let service = task.noise.jitter(model.base, model.noise_sigma);
+        let out_bytes: u64 = task.decl.outputs.iter().map(|o| o.bytes).sum();
+        let fetch = std::mem::take(&mut task.pending_fetch);
+        let d = self
+            .config
+            .cost
+            .effective_duration(service, out_bytes, busy_others, cores, live)
+            + fetch;
+        task.phase = Phase::Computing {
+            skipped: false,
+            driver_ts,
+        };
+        self.node_busy[node] += 1;
+        self.schedule(now + d, EvKind::ComputeDone(t));
+    }
+
+    fn handle_compute_done(&mut self, t: TaskId) {
+        let now = self.now;
+        let node = self.tasks[t.0].decl.cluster_node.0;
+        self.node_busy[node] -= 1;
+        let (skipped, driver_ts) = match self.tasks[t.0].phase {
+            Phase::Computing { skipped, driver_ts } => (skipped, driver_ts),
+            _ => unreachable!("compute_done in non-computing phase"),
+        };
+        let key = self.tasks[t.0].iter_key();
+
+        // Release the items this iteration consumed: the channel marks
+        // advance and REF/DGC may now reclaim them.
+        let releases = std::mem::take(&mut self.tasks[t.0].pending_releases);
+        for (cid, idx, ts) in releases {
+            self.chans[cid].marks.advance(idx, ts);
+            self.purge_chan(cid);
+        }
+
+        if !skipped {
+            let out_ts = if self.tasks[t.0].is_source() {
+                let ts = self.tasks[t.0].next_src_ts;
+                self.tasks[t.0].next_src_ts = ts.next();
+                ts
+            } else {
+                driver_ts.unwrap_or(Timestamp::ZERO)
+            };
+            let outputs = self.tasks[t.0].decl.outputs.clone();
+            let task_node = self.tasks[t.0].decl.cluster_node;
+            for o in &outputs {
+                // The item is allocated the moment the producer materializes
+                // it; a remote put only delays its *visibility* in the
+                // channel by the transfer time (it occupies memory while in
+                // flight, and latency is measured from production — the
+                // paper measures a frame's trip from the digitizer).
+                let graph_node = self.chans[o.chan.0].graph_node;
+                let id = self.trace.alloc(now, graph_node, out_ts, o.bytes, key);
+                let item = SimItem { id, bytes: o.bytes };
+                let remote = self.chans[o.chan.0].cluster_node != task_node;
+                if remote {
+                    let delay = self.config.net.transfer(o.bytes);
+                    self.schedule(
+                        now + delay,
+                        EvKind::ItemArrive {
+                            chan: o.chan,
+                            ts: out_ts,
+                            item,
+                        },
+                    );
+                } else {
+                    self.deliver(o.chan, out_ts, item);
+                }
+                // Backward feedback: the channel's summary returns to the
+                // producer with the put.
+                if let Some(s) = self.chans[o.chan.0].aru.summary() {
+                    self.tasks[t.0].controller.receive_feedback(o.thread_out_index, s);
+                }
+            }
+            if self.tasks[t.0].decl.spec.is_sink_reporter {
+                let report_ts = driver_ts.unwrap_or(out_ts);
+                self.trace.sink_output(now, key, report_ts);
+            }
+        }
+
+        let outcome = self.tasks[t.0].controller.iteration_end(now);
+        self.trace
+            .iter_end(now, key, outcome.current_stp.period());
+        self.tasks[t.0].seq += 1;
+        self.tasks[t.0].phase = Phase::Idle;
+        self.schedule(now + outcome.sleep, EvKind::Wake(t));
+    }
+
+    // ---- channel operations --------------------------------------------------
+
+    fn deliver(&mut self, chan: ChanId, ts: Timestamp, item: SimItem) {
+        let now = self.now;
+        let cid = chan.0;
+        let cluster = self.chans[cid].cluster_node.0;
+        let bytes = item.bytes;
+        if let Some(old) = self.chans[cid].insert(ts, item) {
+            self.node_live[cluster] -= old.bytes;
+            self.trace.free(now, old.id);
+        }
+        self.node_live[cluster] += bytes;
+        self.purge_chan(cid);
+        let waiters = std::mem::take(&mut self.chans[cid].waiters);
+        for w in waiters {
+            self.schedule(now, EvKind::Wake(w));
+        }
+    }
+
+    fn purge_chan(&mut self, cid: usize) {
+        let bound = match self.config.gc {
+            GcMode::None => return,
+            GcMode::Ref => ref_dead_before(&self.chans[cid].marks),
+            GcMode::Dgc => {
+                ref_dead_before(&self.chans[cid].marks).max(self.chans[cid].dgc_dead_before)
+            }
+        };
+        if bound == Timestamp::ZERO {
+            return;
+        }
+        let now = self.now;
+        let cluster = self.chans[cid].cluster_node.0;
+        for item in self.chans[cid].drain_below(bound) {
+            self.node_live[cluster] -= item.bytes;
+            self.trace.free(now, item.id);
+        }
+    }
+
+    fn handle_dgc_pass(&mut self) {
+        let now = self.now;
+        let marks: HashMap<NodeId, ConsumerMarks> = self
+            .chans
+            .iter()
+            .map(|c| (c.graph_node, c.marks.clone()))
+            .collect();
+        let result = self.dgc_engine.compute(&self.topo, &marks);
+        for cid in 0..self.chans.len() {
+            let bound = result.buffer_dead_before(self.chans[cid].graph_node);
+            if bound > self.chans[cid].dgc_dead_before {
+                self.chans[cid].dgc_dead_before = bound;
+                self.purge_chan(cid);
+            }
+        }
+        self.dgc_result = result;
+        let next = now + self.config.dgc_interval;
+        if next <= SimTime::ZERO + self.config.duration {
+            self.schedule(next, EvKind::DgcPass);
+        }
+    }
+}
+
+enum Acquire {
+    Got(Timestamp, SimItem, Option<Timestamp>),
+    Skip,
+    Block,
+    Abandon,
+}

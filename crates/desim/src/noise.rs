@@ -1,0 +1,132 @@
+//! Seeded service-time noise.
+//!
+//! Paper §3.3.2: *"Recall that the summary-STP … is largely affected by the
+//! amount of resources (such as CPU) given to the thread by the underlying
+//! OS. Variances in the OS scheduling of threads result in variances in the
+//! execution time of task iterations."* We model this as multiplicative
+//! log-normal noise: `t' = t · exp(σ·z)`, `z ~ N(0,1)` — always positive,
+//! right-skewed (occasional large stalls), with median `t`.
+//!
+//! `rand` (the only sanctioned randomness crate) does not ship Gaussian
+//! distributions, so [`Noise`] carries its own Box–Muller transform.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vtime::Micros;
+
+/// A deterministic noise source for one task.
+#[derive(Debug)]
+pub struct Noise {
+    rng: StdRng,
+    spare: Option<f64>,
+}
+
+impl Noise {
+    /// Create a noise source from a seed (derive per-task seeds from a run
+    /// seed + task index so runs are reproducible and tasks decorrelated).
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Noise {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Standard normal sample (Box–Muller, with spare caching).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u1: f64 = self.rng.random();
+            let u2: f64 = self.rng.random();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let r = (-2.0 * u1.ln()).sqrt();
+            let (s, c) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+            self.spare = Some(r * s);
+            return r * c;
+        }
+    }
+
+    /// Multiplicative log-normal factor `exp(σ·z)`; `sigma = 0` is exactly
+    /// 1 (no randomness consumed — keeps zero-noise runs bit-identical
+    /// regardless of seed).
+    pub fn lognormal_factor(&mut self, sigma: f64) -> f64 {
+        if sigma == 0.0 {
+            return 1.0;
+        }
+        (sigma * self.standard_normal()).exp()
+    }
+
+    /// Apply log-normal noise to a duration.
+    pub fn jitter(&mut self, base: Micros, sigma: f64) -> Micros {
+        base.mul_f64(self.lognormal_factor(sigma))
+    }
+
+    /// Uniform float in [0, 1).
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.random()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Noise::seeded(42);
+        let mut b = Noise::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.standard_normal(), b.standard_normal());
+        }
+        let mut c = Noise::seeded(43);
+        let same = (0..100).all(|_| {
+            let x = Noise::seeded(42).standard_normal();
+            let y = c.standard_normal();
+            (x - y).abs() < 1e-12
+        });
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut n = Noise::seeded(7);
+        let xs: Vec<f64> = (0..20_000).map(|_| n.standard_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn zero_sigma_is_exact_identity() {
+        let mut n = Noise::seeded(1);
+        assert_eq!(n.lognormal_factor(0.0), 1.0);
+        assert_eq!(n.jitter(Micros(500), 0.0), Micros(500));
+        // and consumed no randomness:
+        let mut m = Noise::seeded(1);
+        n.jitter(Micros(1), 0.0);
+        assert_eq!(n.standard_normal(), m.standard_normal());
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_median_one() {
+        let mut n = Noise::seeded(11);
+        let xs: Vec<f64> = (0..10_001).map(|_| n.lognormal_factor(0.3)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn jitter_scales_duration() {
+        let mut n = Noise::seeded(3);
+        let out = n.jitter(Micros(10_000), 0.2);
+        assert!(out.as_micros() > 2_000 && out.as_micros() < 50_000, "{out}");
+    }
+}

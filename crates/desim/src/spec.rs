@@ -1,0 +1,183 @@
+//! Task behaviour specifications.
+//!
+//! Instead of arbitrary closures (which a deterministic event simulator
+//! cannot timeslice), simulated tasks are described declaratively: where
+//! they run, which channels they read with which policy, what they produce,
+//! and a service-time model. This vocabulary is sufficient for the paper's
+//! tracker and for the bench workloads, and keeps every run replayable.
+
+use serde::{Deserialize, Serialize};
+use vtime::Micros;
+
+/// How a task reads one of its input channels each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputPolicy {
+    /// The iteration driver: block until an item *newer* than everything
+    /// this connection has consumed exists, then take the newest (Stampede
+    /// get-latest — skipping stale items).
+    DriverLatest,
+    /// The iteration driver with **queue semantics**: consume every
+    /// timestamp in order, blocking until the next one arrives, never
+    /// skipping. This models total-consumption pipelines (classic bounded-
+    /// queue backpressure systems) for comparison against ARU's
+    /// skip-and-pace model; without ARU the buffer grows without bound when
+    /// the producer outruns this consumer.
+    FifoNext,
+    /// Join at exactly the driver's timestamp (e.g. target detection pairs
+    /// the motion mask with the video frame of the same frame number).
+    /// Blocks if the timestamp has not arrived yet; if it can no longer
+    /// arrive (newer items exist but not this one), the iteration is
+    /// abandoned (counts as a skip).
+    JoinExact,
+    /// Take the newest item at or before the driver's timestamp (e.g. the
+    /// freshest color-histogram model no newer than the frame being
+    /// analyzed); falls back to the newest available; blocks only while the
+    /// channel is empty.
+    JoinLatestAtOrBefore,
+    /// Take the newest available item if any, without blocking and without
+    /// a freshness requirement (e.g. the GUI's second location stream).
+    LatestOpt,
+}
+
+impl InputPolicy {
+    /// Is this the (single) driving input?
+    #[must_use]
+    pub fn is_driver(self) -> bool {
+        matches!(self, InputPolicy::DriverLatest | InputPolicy::FifoNext)
+    }
+}
+
+/// Service-time model for one task: `base · lognormal(σ)`, plus the cost
+/// model's per-byte output charge applied by the engine.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ServiceModel {
+    /// Median compute time per iteration.
+    pub base: Micros,
+    /// Log-normal σ of the multiplicative noise (0 = deterministic).
+    pub noise_sigma: f64,
+}
+
+impl ServiceModel {
+    #[must_use]
+    pub fn new(base: Micros, noise_sigma: f64) -> Self {
+        ServiceModel { base, noise_sigma }
+    }
+
+    /// Deterministic service time.
+    #[must_use]
+    pub fn fixed(base: Micros) -> Self {
+        ServiceModel {
+            base,
+            noise_sigma: 0.0,
+        }
+    }
+}
+
+/// Declarative description of one simulated task (see the builder for how
+/// inputs/outputs are attached).
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Median iteration compute time and noise.
+    pub service: ServiceModel,
+    /// Emit a `SinkOutput` trace event per completed iteration (pipeline
+    /// end — the GUI task).
+    pub is_sink_reporter: bool,
+    /// Busy-time cost of a DGC-eliminated (skipped) iteration.
+    pub skip_overhead: Micros,
+    /// Optional load profile: `(from, service)` steps, each replacing the
+    /// service model from its start time onward (must be time-sorted).
+    /// Models dynamic phenomena — e.g. the scene getting busier — so the
+    /// feedback loop's *adaptation* (§1: "affected by dynamic phenomena
+    /// such as current load") is testable under the virtual clock.
+    pub load_steps: Vec<(vtime::SimTime, ServiceModel)>,
+}
+
+impl TaskSpec {
+    #[must_use]
+    pub fn new(service: ServiceModel) -> Self {
+        TaskSpec {
+            service,
+            is_sink_reporter: false,
+            skip_overhead: Micros(50),
+            load_steps: Vec::new(),
+        }
+    }
+
+    #[must_use]
+    pub fn sink(service: ServiceModel) -> Self {
+        TaskSpec {
+            service,
+            is_sink_reporter: true,
+            skip_overhead: Micros(50),
+            load_steps: Vec::new(),
+        }
+    }
+
+    /// Add a load step: from `at` onward the task's service model becomes
+    /// `service`.
+    #[must_use]
+    pub fn with_load_step(mut self, at: vtime::SimTime, service: ServiceModel) -> Self {
+        debug_assert!(
+            self.load_steps.last().is_none_or(|&(t, _)| t <= at),
+            "load steps must be time-sorted"
+        );
+        self.load_steps.push((at, service));
+        self
+    }
+
+    /// The service model in effect at time `now`.
+    #[must_use]
+    pub fn service_at(&self, now: vtime::SimTime) -> ServiceModel {
+        self.load_steps
+            .iter()
+            .rev()
+            .find(|&&(t, _)| t <= now)
+            .map(|&(_, s)| s)
+            .unwrap_or(self.service)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_detection() {
+        assert!(InputPolicy::DriverLatest.is_driver());
+        assert!(!InputPolicy::JoinExact.is_driver());
+        assert!(!InputPolicy::LatestOpt.is_driver());
+    }
+
+    #[test]
+    fn service_model_construction() {
+        let s = ServiceModel::fixed(Micros(100));
+        assert_eq!(s.base, Micros(100));
+        assert_eq!(s.noise_sigma, 0.0);
+        let n = ServiceModel::new(Micros(200), 0.1);
+        assert_eq!(n.noise_sigma, 0.1);
+    }
+
+    #[test]
+    fn sink_flag() {
+        assert!(!TaskSpec::new(ServiceModel::fixed(Micros(1))).is_sink_reporter);
+        assert!(TaskSpec::sink(ServiceModel::fixed(Micros(1))).is_sink_reporter);
+    }
+
+    #[test]
+    fn fifo_is_a_driver() {
+        assert!(InputPolicy::FifoNext.is_driver());
+    }
+
+    #[test]
+    fn load_steps_switch_service_over_time() {
+        use vtime::SimTime;
+        let spec = TaskSpec::new(ServiceModel::fixed(Micros(100)))
+            .with_load_step(SimTime(1000), ServiceModel::fixed(Micros(300)))
+            .with_load_step(SimTime(2000), ServiceModel::fixed(Micros(50)));
+        assert_eq!(spec.service_at(SimTime(0)).base, Micros(100));
+        assert_eq!(spec.service_at(SimTime(999)).base, Micros(100));
+        assert_eq!(spec.service_at(SimTime(1000)).base, Micros(300));
+        assert_eq!(spec.service_at(SimTime(1999)).base, Micros(300));
+        assert_eq!(spec.service_at(SimTime(5000)).base, Micros(50));
+    }
+}

@@ -1,0 +1,219 @@
+//! Property-based tests: random pipelines through the simulator must
+//! uphold the runtime's conservation and ordering invariants.
+
+use aru_core::AruConfig;
+use aru_metrics::TraceEvent;
+use desim::{
+    CostModel, InputPolicy, ServiceModel, Sim, SimBuilder, SimConfig, SimReport, TaskSpec,
+};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use vtime::Micros;
+
+/// A randomly-shaped linear pipeline: N stages with random service times,
+/// random ARU mode, random GC mode, random noise.
+#[derive(Debug, Clone)]
+struct RandomPipeline {
+    stage_ms: Vec<u64>,
+    src_ms: u64,
+    aru: u8,
+    gc: u8,
+    noise: f64,
+    seed: u64,
+}
+
+fn pipeline_strategy() -> impl Strategy<Value = RandomPipeline> {
+    (
+        prop::collection::vec(1u64..60, 1..4),
+        1u64..30,
+        0u8..3,
+        0u8..3,
+        0.0f64..0.4,
+        0u64..1000,
+    )
+        .prop_map(|(stage_ms, src_ms, aru, gc, noise, seed)| RandomPipeline {
+            stage_ms,
+            src_ms,
+            aru,
+            gc,
+            noise,
+            seed,
+        })
+}
+
+fn run(p: &RandomPipeline) -> SimReport {
+    let mut b = SimBuilder::new();
+    let n = b.node(4);
+    let src = b.source(
+        "src",
+        n,
+        ServiceModel::new(Micros::from_millis(p.src_ms), p.noise),
+    );
+    let mut prev = src;
+    let mut prev_chan = None;
+    for (i, &ms) in p.stage_ms.iter().enumerate() {
+        let c = b.channel(format!("c{i}"), n);
+        b.output(prev, c, 1000 + i as u64 * 100).unwrap();
+        let is_last = i == p.stage_ms.len() - 1;
+        let spec = if is_last {
+            TaskSpec::sink(ServiceModel::new(Micros::from_millis(ms), p.noise))
+        } else {
+            TaskSpec::new(ServiceModel::new(Micros::from_millis(ms), p.noise))
+        };
+        let t = b.task(format!("t{i}"), n, spec);
+        b.input(t, c, InputPolicy::DriverLatest).unwrap();
+        prev = t;
+        prev_chan = Some(c);
+    }
+    let _ = prev_chan;
+    let mut cfg = SimConfig::new(match p.aru {
+        0 => AruConfig::disabled(),
+        1 => AruConfig::aru_min(),
+        _ => AruConfig::aru_max(),
+    });
+    cfg.gc = match p.gc {
+        0 => aru_gc::GcMode::None,
+        1 => aru_gc::GcMode::Ref,
+        _ => aru_gc::GcMode::Dgc,
+    };
+    cfg.cost = CostModel::ideal();
+    cfg.duration = Micros::from_secs(3);
+    cfg.seed = p.seed;
+    Sim::run(b, cfg).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: every Get and Free references a previously allocated
+    /// item; nothing is freed twice; events are time-ordered.
+    #[test]
+    fn trace_conservation(p in pipeline_strategy()) {
+        let r = run(&p);
+        let mut allocated = HashSet::new();
+        let mut freed = HashSet::new();
+        let mut last_t = 0u64;
+        for ev in r.trace.events() {
+            let t = ev.time().as_micros();
+            prop_assert!(t >= last_t, "events out of order");
+            last_t = t;
+            match ev {
+                TraceEvent::Alloc { item, .. } => {
+                    prop_assert!(allocated.insert(*item), "double alloc");
+                }
+                TraceEvent::Get { item, .. } => {
+                    prop_assert!(allocated.contains(item), "get of unallocated item");
+                    prop_assert!(!freed.contains(item), "get after free");
+                }
+                TraceEvent::Free { item, .. } => {
+                    prop_assert!(allocated.contains(item), "free of unallocated item");
+                    prop_assert!(freed.insert(*item), "double free");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Footprint invariants: the live-bytes series is never negative, the
+    /// observed mean dominates the ideal mean, and waste is a percentage.
+    #[test]
+    fn analysis_invariants(p in pipeline_strategy()) {
+        let r = run(&p);
+        let a = r.analyze();
+        let obs = a.footprint.observed_summary();
+        let ideal = a.footprint.ideal_summary();
+        prop_assert!(obs.min >= 0.0);
+        prop_assert!(obs.mean >= ideal.mean * 0.999,
+            "observed {} < ideal {}", obs.mean, ideal.mean);
+        let wm = a.waste.pct_memory_wasted();
+        let wc = a.waste.pct_computation_wasted();
+        prop_assert!((0.0..=100.0).contains(&wm), "mem waste {wm}");
+        prop_assert!((0.0..=100.0).contains(&wc), "comp waste {wc}");
+    }
+
+    /// Sink outputs carry strictly increasing timestamps (get-latest never
+    /// goes back in virtual time).
+    #[test]
+    fn sink_outputs_monotone(p in pipeline_strategy()) {
+        let r = run(&p);
+        let mut last = None;
+        for ev in r.trace.events() {
+            if let TraceEvent::SinkOutput { ts, .. } = ev {
+                if let Some(prev) = last {
+                    prop_assert!(*ts > prev, "sink ts went backwards");
+                }
+                last = Some(*ts);
+            }
+        }
+    }
+
+    /// Determinism: identical configurations replay bit-identically.
+    #[test]
+    fn replay_is_identical(p in pipeline_strategy()) {
+        let a = run(&p);
+        let b = run(&p);
+        prop_assert_eq!(a.trace.len(), b.trace.len());
+        prop_assert_eq!(a.outputs(), b.outputs());
+    }
+
+    /// GC only ever removes *consumed-or-skipped* items: under Ref/Dgc,
+    /// every Free of an item that was never consumed must be preceded by
+    /// some consumer having moved past it — observable as: a freed,
+    /// never-gotten item's timestamp is below some later-gotten timestamp
+    /// on the same buffer (it was skipped), or the run ended.
+    #[test]
+    fn gc_frees_only_skipped_or_consumed(p in pipeline_strategy()) {
+        let r = run(&p);
+        // map item -> (buffer, ts, gotten?)
+        let mut info: HashMap<aru_metrics::ItemId, (aru_core::NodeId, u64, bool)> = HashMap::new();
+        let mut max_got_per_buffer: HashMap<aru_core::NodeId, u64> = HashMap::new();
+        for ev in r.trace.events() {
+            match ev {
+                TraceEvent::Alloc { item, buffer, ts, .. } => {
+                    info.insert(*item, (*buffer, ts.raw(), false));
+                }
+                TraceEvent::Get { item, .. } => {
+                    if let Some(e) = info.get_mut(item) {
+                        e.2 = true;
+                        let b = e.0;
+                        let ts = e.1;
+                        max_got_per_buffer
+                            .entry(b)
+                            .and_modify(|m| *m = (*m).max(ts))
+                            .or_insert(ts);
+                    }
+                }
+                TraceEvent::Free { item, .. } => {
+                    if let Some(&(buffer, ts, gotten)) = info.get(item) {
+                        if !gotten {
+                            // freed without ever being consumed: must have
+                            // been skipped — a newer item on the same buffer
+                            // was consumed at some point in the run.
+                            let newest = max_got_per_buffer.get(&buffer).copied();
+                            // (checked at end-of-trace below: record here)
+                            let _ = (ts, newest);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Final check: every freed-never-gotten item is older than the
+        // newest consumed item of its buffer.
+        let mut freed = HashSet::new();
+        for ev in r.trace.events() {
+            if let TraceEvent::Free { item, .. } = ev {
+                freed.insert(*item);
+            }
+        }
+        for (item, (buffer, ts, gotten)) in &info {
+            if freed.contains(item) && !*gotten {
+                let newest = max_got_per_buffer.get(buffer).copied().unwrap_or(0);
+                prop_assert!(
+                    *ts <= newest,
+                    "buffer {buffer:?}: freed unconsumed item ts{ts} but newest consumed is ts{newest}"
+                );
+            }
+        }
+    }
+}

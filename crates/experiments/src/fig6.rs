@@ -1,0 +1,203 @@
+//! Figure 6: memory footprint of the tracker vs the Ideal Garbage
+//! Collector, in both configurations.
+
+use crate::config::{configs, modes, ExpParams, Mode};
+use crate::tables::{paper, ShapeCheck};
+use aru_metrics::report::Table;
+use tracker::TrackerConfigId;
+
+const MB: f64 = 1_000_000.0;
+
+/// One measured row.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    pub mode: &'static str,
+    pub config: TrackerConfigId,
+    pub mean_mb: f64,
+    pub std_mb: f64,
+    pub pct_wrt_igc: f64,
+}
+
+/// The full Figure-6 result.
+#[derive(Debug, Clone, Default)]
+pub struct Fig6 {
+    pub rows: Vec<Fig6Row>,
+    /// IGC reference per config: (mean MB, σ MB), from the No-ARU trace
+    /// (the paper's "postmortem analysis of the execution trace").
+    pub igc: Vec<(TrackerConfigId, f64, f64)>,
+}
+
+/// Run the Figure-6 experiment. The paper reports "average statistics over
+/// successive execution runs": every cell is averaged over all seeds.
+#[must_use]
+pub fn run(params: &ExpParams) -> Fig6 {
+    use vtime::OnlineStats;
+    let mut out = Fig6::default();
+    for (config, _) in configs() {
+        // IGC reference from the baseline (No-ARU) runs.
+        let mut igc_mean = OnlineStats::new();
+        let mut igc_std = OnlineStats::new();
+        let mut cells: Vec<(Mode, OnlineStats, OnlineStats)> = modes()
+            .into_iter()
+            .map(|m| (m, OnlineStats::new(), OnlineStats::new()))
+            .collect();
+        for &seed in &params.seeds {
+            for (mode, mean_acc, std_acc) in &mut cells {
+                let analysis =
+                    crate::config::run_cell(*mode, config, seed, params.duration).analyze();
+                let s = analysis.footprint.observed_summary();
+                mean_acc.push(s.mean / MB);
+                std_acc.push(s.std_dev / MB);
+                if *mode == Mode::NoAru {
+                    let igc = analysis.igc.summary();
+                    igc_mean.push(igc.mean / MB);
+                    igc_std.push(igc.std_dev / MB);
+                }
+            }
+        }
+        out.igc.push((config, igc_mean.mean(), igc_std.mean()));
+        for (mode, mean_acc, std_acc) in cells {
+            out.rows.push(Fig6Row {
+                mode: mode.label(),
+                config,
+                mean_mb: mean_acc.mean(),
+                std_mb: std_acc.mean(),
+                pct_wrt_igc: if igc_mean.mean() > 0.0 {
+                    100.0 * mean_acc.mean() / igc_mean.mean()
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+    out
+}
+
+impl Fig6 {
+    /// Render in the paper's format, with the paper's values alongside.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for (ci, (config, cname)) in configs().iter().enumerate() {
+            let mut t = Table::new(
+                format!("Figure 6 — memory footprint, {cname}"),
+                &[
+                    "mode",
+                    "STD (MB)",
+                    "mean (MB)",
+                    "% wrt IGC",
+                    "paper mean",
+                    "paper %",
+                ],
+            );
+            for (mi, row) in self
+                .rows
+                .iter()
+                .filter(|r| r.config == *config)
+                .enumerate()
+            {
+                t.row(vec![
+                    row.mode.to_string(),
+                    format!("{:.2}", row.std_mb),
+                    format!("{:.2}", row.mean_mb),
+                    format!("{:.0}", row.pct_wrt_igc),
+                    format!("{:.2}", paper::FIG6_MEAN_MB[ci][mi]),
+                    format!("{:.0}", paper::FIG6_PCT_IGC[ci][mi]),
+                ]);
+            }
+            if let Some(&(_, mean, std)) = self.igc.iter().find(|(c, _, _)| c == config) {
+                t.row(vec![
+                    "IGC".into(),
+                    format!("{std:.2}"),
+                    format!("{mean:.2}"),
+                    "100".into(),
+                    format!("{:.2}", paper::FIG6_IGC[ci].0),
+                    "100".into(),
+                ]);
+            }
+            s.push_str(&t.render());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Machine-readable CSV (one row per mode×config plus IGC rows).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("config,mode,std_mb,mean_mb,pct_wrt_igc\n");
+        for row in &self.rows {
+            let cfg = match row.config {
+                TrackerConfigId::OneNode => "1node",
+                TrackerConfigId::FiveNodes => "5nodes",
+            };
+            s.push_str(&format!(
+                "{cfg},{},{:.4},{:.4},{:.2}\n",
+                row.mode, row.std_mb, row.mean_mb, row.pct_wrt_igc
+            ));
+        }
+        for &(config, mean, std) in &self.igc {
+            let cfg = match config {
+                TrackerConfigId::OneNode => "1node",
+                TrackerConfigId::FiveNodes => "5nodes",
+            };
+            s.push_str(&format!("{cfg},IGC,{std:.4},{mean:.4},100.00\n"));
+        }
+        s
+    }
+
+    /// The paper-shape invariants for this table.
+    #[must_use]
+    pub fn shape_checks(&self) -> Vec<ShapeCheck> {
+        let mut checks = Vec::new();
+        for (config, cname) in configs() {
+            let rows: Vec<&Fig6Row> = self.rows.iter().filter(|r| r.config == config).collect();
+            let igc = self
+                .igc
+                .iter()
+                .find(|(c, _, _)| *c == config)
+                .map(|&(_, m, _)| m)
+                .unwrap_or(0.0);
+            if rows.len() == 3 {
+                checks.push(ShapeCheck::new(
+                    format!("fig6 {cname}: footprint No-ARU > ARU-min > ARU-max"),
+                    rows[0].mean_mb > rows[1].mean_mb && rows[1].mean_mb > rows[2].mean_mb,
+                    format!(
+                        "{:.2} > {:.2} > {:.2} MB",
+                        rows[0].mean_mb, rows[1].mean_mb, rows[2].mean_mb
+                    ),
+                ));
+                checks.push(ShapeCheck::new(
+                    format!("fig6 {cname}: ARU cuts footprint by ≥ half"),
+                    rows[2].mean_mb < rows[0].mean_mb / 2.0,
+                    format!("max {:.2} vs baseline {:.2} MB", rows[2].mean_mb, rows[0].mean_mb),
+                ));
+                checks.push(ShapeCheck::new(
+                    format!("fig6 {cname}: baseline far above IGC"),
+                    rows[0].mean_mb > igc * 2.0,
+                    format!("baseline {:.2} vs IGC {igc:.2} MB", rows[0].mean_mb),
+                ));
+            }
+        }
+        checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_quick_run_has_paper_shape() {
+        let fig = run(&ExpParams::quick());
+        assert_eq!(fig.rows.len(), 6);
+        assert_eq!(fig.igc.len(), 2);
+        let checks = fig.shape_checks();
+        for c in &checks {
+            assert!(c.passed, "{} — {}", c.name, c.detail);
+        }
+        let rendered = fig.render();
+        assert!(rendered.contains("Figure 6"));
+        assert!(rendered.contains("ARU-max"));
+        assert!(rendered.contains("IGC"));
+    }
+}

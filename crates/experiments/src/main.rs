@@ -1,0 +1,152 @@
+//! `repro` — regenerate the ARU paper's tables and figures.
+//!
+//! ```text
+//! repro [--exp all|fig6|fig7|fig8|fig9|fig10] [--quick]
+//!       [--duration-secs N] [--seeds N] [--out DIR]
+//! ```
+//!
+//! Tables are printed with the paper's published values alongside; the
+//! Figure 8/9 series are written as CSV into `--out` (default `results/`);
+//! a shape-check report summarizes whether the paper's qualitative
+//! orderings hold.
+
+use experiments::config::ExpParams;
+use experiments::tables::render_checks;
+use experiments::{fig10, fig6, fig7, fig8_9, sweep};
+use std::path::PathBuf;
+use tracker::TrackerConfigId;
+use vtime::Micros;
+
+struct Args {
+    exp: String,
+    params: ExpParams,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut exp = "all".to_string();
+    let mut params = ExpParams::default();
+    let mut out = PathBuf::from("results");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--exp" => exp = it.next().expect("--exp needs a value"),
+            "--quick" => params = ExpParams::quick(),
+            "--duration-secs" => {
+                let v: u64 = it
+                    .next()
+                    .expect("--duration-secs needs a value")
+                    .parse()
+                    .expect("numeric duration");
+                params.duration = Micros::from_secs(v);
+            }
+            "--seeds" => {
+                let n: u64 = it
+                    .next()
+                    .expect("--seeds needs a value")
+                    .parse()
+                    .expect("numeric seed count");
+                params.seeds = (0..n).map(|i| 2005 + i).collect();
+            }
+            "--out" => out = PathBuf::from(it.next().expect("--out needs a value")),
+            "--help" | "-h" => {
+                println!(
+                    "repro [--exp all|fig6|fig7|fig8|fig9|fig10|sweep|threads] [--quick] \
+                     [--duration-secs N] [--seeds N] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Args { exp, params, out }
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+    let mut all_checks = Vec::new();
+
+    let want = |name: &str| args.exp == "all" || args.exp == name;
+
+    if want("fig6") {
+        let fig = fig6::run(&args.params);
+        print!("{}", fig.render());
+        std::fs::write(args.out.join("fig6_footprint.csv"), fig.to_csv())
+            .expect("write fig6 csv");
+        all_checks.extend(fig.shape_checks());
+    }
+    if want("fig7") {
+        let fig = fig7::run(&args.params);
+        print!("{}", fig.render());
+        std::fs::write(args.out.join("fig7_waste.csv"), fig.to_csv())
+            .expect("write fig7 csv");
+        all_checks.extend(fig.shape_checks());
+    }
+    if want("fig8") {
+        let fig = fig8_9::run(TrackerConfigId::OneNode, &args.params);
+        let path = args.out.join("fig8_footprint_config1.csv");
+        std::fs::write(&path, fig.to_csv(400)).expect("write fig8 csv");
+        println!("{}", fig.render_ascii(16, 48));
+        println!("fig8 series written to {}", path.display());
+        all_checks.extend(fig.shape_checks());
+    }
+    if want("fig9") {
+        let fig = fig8_9::run(TrackerConfigId::FiveNodes, &args.params);
+        let path = args.out.join("fig9_footprint_config2.csv");
+        std::fs::write(&path, fig.to_csv(400)).expect("write fig9 csv");
+        println!("{}", fig.render_ascii(16, 48));
+        println!("fig9 series written to {}", path.display());
+        all_checks.extend(fig.shape_checks());
+    }
+    if want("fig10") {
+        let fig = fig10::run(&args.params);
+        print!("{}", fig.render());
+        std::fs::write(args.out.join("fig10_perf.csv"), fig.to_csv())
+            .expect("write fig10 csv");
+        all_checks.extend(fig.shape_checks());
+    }
+    if want("sweep") {
+        let fig = sweep::run(&args.params);
+        print!("{}", fig.render());
+        std::fs::write(args.out.join("sweep_sensitivity.csv"), fig.to_csv())
+            .expect("write sweep csv");
+        all_checks.extend(fig.shape_checks());
+    }
+    if args.exp == "threads" {
+        // Per-stage execution view (not a paper figure; diagnostic).
+        for mode in experiments::config::modes() {
+            let report = experiments::config::run_cell(
+                mode,
+                TrackerConfigId::OneNode,
+                args.params.seeds[0],
+                args.params.duration,
+            );
+            println!("--- {} (config 1) ---", mode.label());
+            println!(
+                "{}",
+                aru_metrics::thread_stats::render_thread_stats(
+                    &report.thread_stats(),
+                    &report.topo
+                )
+            );
+            println!(
+                "{}",
+                aru_metrics::channel_stats::render_channel_stats(
+                    &aru_metrics::channel_stats(&report.trace, report.t_end),
+                    &report.topo
+                )
+            );
+        }
+    }
+
+    println!("{}", render_checks(&all_checks));
+    let failed = all_checks.iter().filter(|c| !c.passed).count();
+    if failed > 0 {
+        eprintln!("{failed} shape check(s) FAILED");
+        std::process::exit(1);
+    }
+}

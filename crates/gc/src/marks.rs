@@ -1,0 +1,112 @@
+//! Per-buffer consumption marks.
+//!
+//! ARU assumption 1 (paper §3.3.3): *"Threads always request the latest item
+//! from its input sources."* Consumers therefore move through virtual time
+//! monotonically, and the highest timestamp each consumer connection has
+//! retrieved is a *guarantee*: that connection will never request anything
+//! at or below its mark. Items below every consumer's mark are dead.
+
+use serde::{Deserialize, Serialize};
+use vtime::Timestamp;
+
+/// The per-consumer high-water marks of one buffer.
+///
+/// Slot `i` corresponds to the buffer's output connection with
+/// `out_index == i` (its i-th consumer).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ConsumerMarks {
+    marks: Vec<Option<Timestamp>>,
+}
+
+impl ConsumerMarks {
+    /// Track `n` consumer connections, none of which has consumed yet.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        ConsumerMarks {
+            marks: vec![None; n],
+        }
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+
+    /// Record that consumer `i` retrieved (or skipped up to) `ts`.
+    /// Marks only move forward; a stale update is ignored.
+    pub fn advance(&mut self, i: usize, ts: Timestamp) {
+        if i >= self.marks.len() {
+            self.marks.resize(i + 1, None);
+        }
+        match self.marks[i] {
+            Some(cur) if cur >= ts => {}
+            _ => self.marks[i] = Some(ts),
+        }
+    }
+
+    /// Mark of consumer `i`.
+    #[must_use]
+    pub fn mark(&self, i: usize) -> Option<Timestamp> {
+        self.marks.get(i).copied().flatten()
+    }
+
+    /// The first timestamp consumer `i` might still request: `mark + 1`,
+    /// or 0 if it has consumed nothing (it may still want anything).
+    #[must_use]
+    pub fn floor(&self, i: usize) -> Timestamp {
+        match self.mark(i) {
+            Some(ts) => ts.next(),
+            None => Timestamp::ZERO,
+        }
+    }
+
+    /// Iterate all floors.
+    pub fn floors(&self) -> impl Iterator<Item = Timestamp> + '_ {
+        (0..self.marks.len()).map(|i| self.floor(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_marks_floor_zero() {
+        let m = ConsumerMarks::new(2);
+        assert_eq!(m.mark(0), None);
+        assert_eq!(m.floor(0), Timestamp::ZERO);
+        assert_eq!(m.floor(1), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn advance_moves_forward_only() {
+        let mut m = ConsumerMarks::new(1);
+        m.advance(0, Timestamp(5));
+        assert_eq!(m.mark(0), Some(Timestamp(5)));
+        m.advance(0, Timestamp(3)); // stale
+        assert_eq!(m.mark(0), Some(Timestamp(5)));
+        m.advance(0, Timestamp(9));
+        assert_eq!(m.mark(0), Some(Timestamp(9)));
+        assert_eq!(m.floor(0), Timestamp(10));
+    }
+
+    #[test]
+    fn advance_grows_vector() {
+        let mut m = ConsumerMarks::new(0);
+        m.advance(2, Timestamp(1));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.mark(2), Some(Timestamp(1)));
+        assert_eq!(m.mark(0), None);
+    }
+
+    #[test]
+    fn out_of_range_mark_is_none() {
+        let m = ConsumerMarks::new(1);
+        assert_eq!(m.mark(5), None);
+    }
+}

@@ -1,0 +1,68 @@
+//! Runtime-facing GC policy selector.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which collector the runtime drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GcMode {
+    /// No reclamation at all (items live to the end of the run). Useful for
+    /// tests and for demonstrating why a collector is necessary.
+    None,
+    /// Transparent / REF GC: per-buffer consumption floors only.
+    Ref,
+    /// Dead-timestamp GC with cross-node guarantee propagation — the
+    /// collector the paper runs under every configuration.
+    #[default]
+    Dgc,
+}
+
+impl GcMode {
+    /// Does this mode ever reclaim?
+    #[must_use]
+    pub fn reclaims(self) -> bool {
+        !matches!(self, GcMode::None)
+    }
+
+    /// Does this mode eliminate provably-dead computations?
+    #[must_use]
+    pub fn eliminates_computation(self) -> bool {
+        matches!(self, GcMode::Dgc)
+    }
+}
+
+impl fmt::Display for GcMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcMode::None => write!(f, "no-gc"),
+            GcMode::Ref => write!(f, "ref-gc"),
+            GcMode::Dgc => write!(f, "dgc"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_flags() {
+        assert!(!GcMode::None.reclaims());
+        assert!(GcMode::Ref.reclaims());
+        assert!(GcMode::Dgc.reclaims());
+        assert!(!GcMode::Ref.eliminates_computation());
+        assert!(GcMode::Dgc.eliminates_computation());
+    }
+
+    #[test]
+    fn default_is_dgc() {
+        assert_eq!(GcMode::default(), GcMode::Dgc);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(GcMode::Dgc.to_string(), "dgc");
+        assert_eq!(GcMode::Ref.to_string(), "ref-gc");
+        assert_eq!(GcMode::None.to_string(), "no-gc");
+    }
+}

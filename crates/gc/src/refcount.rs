@@ -1,0 +1,56 @@
+//! Transparent (REF) garbage collection.
+//!
+//! The baseline Stampede collector: an item is garbage once *every*
+//! consumer connection of its buffer has consumed or skipped past it —
+//! i.e. once its timestamp is below every consumer's floor. No cross-node
+//! knowledge is used.
+
+use crate::marks::ConsumerMarks;
+use vtime::Timestamp;
+
+/// The dead-before bound of a single buffer under REF GC: every item with
+/// `ts < dead_before` is reclaimable. A buffer with no consumers retains
+/// nothing for anyone, so everything already produced is dead.
+#[must_use]
+pub fn ref_dead_before(marks: &ConsumerMarks) -> Timestamp {
+    if marks.is_empty() {
+        // No consumer will ever read: all timestamps are dead.
+        return Timestamp(u64::MAX);
+    }
+    marks.floors().min().unwrap_or(Timestamp::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_consumption_keeps_everything() {
+        let m = ConsumerMarks::new(2);
+        assert_eq!(ref_dead_before(&m), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn slowest_consumer_bounds_reclamation() {
+        let mut m = ConsumerMarks::new(2);
+        m.advance(0, Timestamp(10));
+        // consumer 1 has consumed nothing: nothing is dead.
+        assert_eq!(ref_dead_before(&m), Timestamp::ZERO);
+        m.advance(1, Timestamp(4));
+        // items 0..=4 dead (both consumers past them)
+        assert_eq!(ref_dead_before(&m), Timestamp(5));
+    }
+
+    #[test]
+    fn single_consumer() {
+        let mut m = ConsumerMarks::new(1);
+        m.advance(0, Timestamp(7));
+        assert_eq!(ref_dead_before(&m), Timestamp(8));
+    }
+
+    #[test]
+    fn no_consumers_everything_dead() {
+        let m = ConsumerMarks::new(0);
+        assert_eq!(ref_dead_before(&m), Timestamp(u64::MAX));
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the GC algorithms over random topologies and
+//! consumption states.
+
+use aru_core::{NodeId, NodeKind, Topology};
+use aru_gc::{ref_dead_before, ConsumerMarks, DgcEngine};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use vtime::Timestamp;
+
+/// A random alternating pipeline with optional fan-out at each stage:
+/// thread → {1..3 channels} → thread → … , ending in sink threads.
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    /// fan-out degree per stage (1..=2), and marks per channel consumer.
+    stages: Vec<u8>,
+    marks_raw: Vec<u64>,
+}
+
+fn graph_strategy() -> impl Strategy<Value = RandomGraph> {
+    (
+        prop::collection::vec(1u8..3, 1..4),
+        prop::collection::vec(0u64..100, 0..40),
+    )
+        .prop_map(|(stages, marks_raw)| RandomGraph { stages, marks_raw })
+}
+
+/// Build: one source; per stage, `fan` channels each feeding its own
+/// consumer thread; consumers of stage i are producers of stage i+1 (first
+/// consumer only, to keep it a DAG without re-merging).
+fn build(g: &RandomGraph) -> (Topology, Vec<NodeId>, HashMap<NodeId, ConsumerMarks>) {
+    let mut topo = Topology::new();
+    let mut marks = HashMap::new();
+    let mut chans = Vec::new();
+    let mut producer = topo.add_thread("src");
+    let mut mark_iter = g.marks_raw.iter().copied();
+    for (si, &fan) in g.stages.iter().enumerate() {
+        let mut next_producer = None;
+        for f in 0..fan {
+            let c = topo.add_channel(format!("c{si}_{f}"));
+            topo.connect(producer, c).unwrap();
+            let t = topo.add_thread(format!("t{si}_{f}"));
+            topo.connect(c, t).unwrap();
+            let mut m = ConsumerMarks::new(1);
+            if let Some(raw) = mark_iter.next() {
+                if raw > 0 {
+                    m.advance(0, Timestamp(raw));
+                }
+            }
+            marks.insert(c, m);
+            chans.push(c);
+            if next_producer.is_none() {
+                next_producer = Some(t);
+            }
+        }
+        producer = next_producer.unwrap();
+    }
+    (topo, chans, marks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// DGC's bound dominates REF's bound on every buffer (cross-node
+    /// knowledge can only reclaim more), and never reclaims what a
+    /// sink-feeding consumer may still request.
+    #[test]
+    fn dgc_dominates_ref_and_respects_sinks(g in graph_strategy()) {
+        let (topo, chans, marks) = build(&g);
+        let engine = DgcEngine::new(&topo);
+        let res = engine.compute(&topo, &marks);
+        for &c in &chans {
+            let ref_bound = ref_dead_before(&marks[&c]);
+            let dgc_bound = res.buffer_dead_before(c);
+            prop_assert!(
+                dgc_bound >= ref_bound,
+                "{}: dgc {dgc_bound:?} < ref {ref_bound:?}", topo.name(c)
+            );
+            // Buffers whose consumer is a sink: bound == consumer floor.
+            let consumer = topo.outputs(c).next().unwrap().to;
+            if topo.out_degree(consumer) == 0 {
+                prop_assert_eq!(
+                    dgc_bound, marks[&c].floor(0),
+                    "sink-feeding buffer over-reclaimed"
+                );
+            }
+        }
+    }
+
+    /// Monotonicity: advancing any single consumer mark never lowers any
+    /// dead-before or skip-before bound.
+    #[test]
+    fn dgc_is_monotone_in_marks(g in graph_strategy(), bump in 1u64..50) {
+        let (topo, chans, marks) = build(&g);
+        if chans.is_empty() {
+            return Ok(());
+        }
+        let engine = DgcEngine::new(&topo);
+        let before = engine.compute(&topo, &marks);
+        // bump the first channel's consumer mark
+        let mut marks2 = marks.clone();
+        let target = chans[0];
+        let cur = marks2[&target].mark(0).map_or(0, |t| t.raw());
+        marks2.get_mut(&target).unwrap().advance(0, Timestamp(cur + bump));
+        let after = engine.compute(&topo, &marks2);
+        for n in topo.node_ids() {
+            match topo.kind(n) {
+                NodeKind::Channel | NodeKind::Queue => prop_assert!(
+                    after.buffer_dead_before(n) >= before.buffer_dead_before(n),
+                    "dead_before regressed at {}", topo.name(n)
+                ),
+                NodeKind::Thread => prop_assert!(
+                    after.thread_skip_before(n) >= before.thread_skip_before(n),
+                    "skip_before regressed at {}", topo.name(n)
+                ),
+            }
+        }
+    }
+
+    /// Idempotence: recomputing with the same marks yields the same bounds.
+    #[test]
+    fn dgc_is_deterministic(g in graph_strategy()) {
+        let (topo, _chans, marks) = build(&g);
+        let engine = DgcEngine::new(&topo);
+        let a = engine.compute(&topo, &marks);
+        let b = engine.compute(&topo, &marks);
+        for n in topo.node_ids() {
+            prop_assert_eq!(a.buffer_dead_before(n), b.buffer_dead_before(n));
+            prop_assert_eq!(a.thread_skip_before(n), b.thread_skip_before(n));
+        }
+    }
+
+    /// REF floor equals the minimum consumer floor (mark + 1, or 0).
+    #[test]
+    fn ref_bound_is_min_floor(raw in prop::collection::vec(0u64..1000, 1..6)) {
+        let mut m = ConsumerMarks::new(raw.len());
+        for (i, &r) in raw.iter().enumerate() {
+            if r > 0 {
+                m.advance(i, Timestamp(r));
+            }
+        }
+        let want = raw.iter().map(|&r| if r > 0 { r + 1 } else { 0 }).min().unwrap();
+        prop_assert_eq!(ref_dead_before(&m), Timestamp(want));
+    }
+}

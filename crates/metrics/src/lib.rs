@@ -1,0 +1,43 @@
+//! Measurement infrastructure for the ARU reproduction.
+//!
+//! The paper (§4): *"We have an elaborate measurement infrastructure for
+//! recording these statistics in the Stampede runtime. Each interaction of an
+//! item with the operating system (e.g. allocation, deallocation, etc.) is
+//! recorded. Items that do not make it to the end of the pipeline are marked
+//! to differentiate between wasted and successful memory and computations. A
+//! postmortem analysis program uses these statistics to derive the metrics of
+//! interest."*
+//!
+//! This crate is that infrastructure:
+//!
+//! * [`event`] / [`trace`] — the in-memory event trace both runtimes emit
+//!   (item allocation/free, gets, thread iterations, sink outputs);
+//! * [`lineage`] — exact postmortem lineage: which items/iterations fed data
+//!   that reached a pipeline sink ("successful") vs. everything else
+//!   ("wasted");
+//! * [`waste`] — %-wasted-memory (byte·time integral) and
+//!   %-wasted-computation (busy-time sum) exactly as defined in §4;
+//! * [`footprint`] — memory-footprint time series and the time-weighted
+//!   `MUμ`/`MUσ` summary, plus the Ideal-GC (IGC) lower-bound series
+//!   computed from the same trace;
+//! * [`perf`] — latency, throughput and jitter of the pipeline output;
+//! * [`report`] — table/CSV rendering for the experiment harness.
+
+pub mod channel_stats;
+pub mod event;
+pub mod footprint;
+pub mod lineage;
+pub mod perf;
+pub mod report;
+pub mod thread_stats;
+pub mod trace;
+pub mod waste;
+
+pub use channel_stats::{channel_stats, ChannelStats};
+pub use event::{ItemId, IterKey, TraceEvent};
+pub use footprint::{FootprintReport, IGC_LABEL};
+pub use lineage::Lineage;
+pub use perf::PerfReport;
+pub use thread_stats::{thread_stats, ThreadStats};
+pub use trace::{SharedTrace, Trace};
+pub use waste::WasteReport;

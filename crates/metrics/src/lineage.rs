@@ -1,0 +1,327 @@
+//! Postmortem lineage analysis: which items and iterations were *useful*.
+//!
+//! The paper distinguishes *successful* items (those that "make it to the
+//! end of the pipeline") from *wasted* ones. We compute this exactly, not
+//! heuristically, from the event trace:
+//!
+//! * every `Alloc` records which thread iteration produced the item;
+//! * every `Get` records which thread iteration consumed it;
+//! * every `SinkOutput` marks an iteration of a sink thread as having
+//!   emitted pipeline output.
+//!
+//! An **iteration is useful** iff it emitted a sink output or produced at
+//! least one useful item; an **item is useful** iff some useful iteration
+//! consumed it. Usefulness is therefore the backward-reachable set from the
+//! sink outputs over the bipartite item/iteration lineage graph, computed by
+//! a single worklist pass.
+
+use crate::event::{ItemId, IterKey, TraceEvent};
+use crate::trace::Trace;
+use std::collections::{HashMap, HashSet};
+use vtime::{Micros, SimTime, Timestamp};
+
+/// Static facts about one item, extracted from the trace.
+#[derive(Debug, Clone)]
+pub struct ItemRecord {
+    pub alloc_t: SimTime,
+    /// `None` if never freed before the end of the run.
+    pub free_t: Option<SimTime>,
+    pub bytes: u64,
+    pub ts: Timestamp,
+    pub producer: IterKey,
+    /// Times/consumers of every `Get` on this item.
+    pub gets: Vec<(SimTime, IterKey)>,
+}
+
+/// The lineage analysis result.
+///
+/// ```
+/// use aru_core::graph::NodeId;
+/// use aru_metrics::{IterKey, Lineage, Trace};
+/// use vtime::{Micros, SimTime, Timestamp};
+///
+/// let mut tr = Trace::new();
+/// let src = IterKey::new(NodeId(0), 0);
+/// let sink = IterKey::new(NodeId(2), 0);
+/// let used = tr.alloc(SimTime(0), NodeId(1), Timestamp(0), 100, src);
+/// let wasted = tr.alloc(SimTime(1), NodeId(1), Timestamp(1), 100, src);
+/// tr.get(SimTime(2), used, sink);
+/// tr.sink_output(SimTime(3), sink, Timestamp(0));
+///
+/// let lin = Lineage::analyze(&tr);
+/// assert!(lin.is_item_used(used));    // reached the pipeline end
+/// assert!(!lin.is_item_used(wasted)); // never consumed → wasted
+/// ```
+#[derive(Debug, Default)]
+pub struct Lineage {
+    items: HashMap<ItemId, ItemRecord>,
+    iter_busy: HashMap<IterKey, Micros>,
+    iter_end_time: HashMap<IterKey, SimTime>,
+    used_items: HashSet<ItemId>,
+    used_iters: HashSet<IterKey>,
+    sink_outputs: Vec<(SimTime, IterKey, Timestamp)>,
+}
+
+impl Lineage {
+    /// Run the analysis over a trace.
+    #[must_use]
+    pub fn analyze(trace: &Trace) -> Lineage {
+        let mut items: HashMap<ItemId, ItemRecord> = HashMap::new();
+        let mut iter_busy: HashMap<IterKey, Micros> = HashMap::new();
+        let mut iter_end_time: HashMap<IterKey, SimTime> = HashMap::new();
+        let mut produced_by: HashMap<IterKey, Vec<ItemId>> = HashMap::new();
+        let mut consumed_by: HashMap<IterKey, Vec<ItemId>> = HashMap::new();
+        let mut sink_outputs = Vec::new();
+
+        for ev in trace.events() {
+            match *ev {
+                TraceEvent::Alloc {
+                    t,
+                    item,
+                    ts,
+                    bytes,
+                    producer,
+                    ..
+                } => {
+                    items.insert(
+                        item,
+                        ItemRecord {
+                            alloc_t: t,
+                            free_t: None,
+                            bytes,
+                            ts,
+                            producer,
+                            gets: Vec::new(),
+                        },
+                    );
+                    produced_by.entry(producer).or_default().push(item);
+                }
+                TraceEvent::Free { t, item } => {
+                    if let Some(rec) = items.get_mut(&item) {
+                        debug_assert!(rec.free_t.is_none(), "double free of {item:?}");
+                        rec.free_t = Some(t);
+                    }
+                }
+                TraceEvent::Get { t, item, consumer } => {
+                    if let Some(rec) = items.get_mut(&item) {
+                        rec.gets.push((t, consumer));
+                    }
+                    consumed_by.entry(consumer).or_default().push(item);
+                }
+                TraceEvent::IterEnd { t, iter, busy } => {
+                    *iter_busy.entry(iter).or_insert(Micros::ZERO) += busy;
+                    iter_end_time.insert(iter, t);
+                }
+                TraceEvent::SinkOutput { t, iter, ts } => {
+                    sink_outputs.push((t, iter, ts));
+                }
+            }
+        }
+
+        // Backward reachability from sink-output iterations.
+        let mut used_iters: HashSet<IterKey> = HashSet::new();
+        let mut used_items: HashSet<ItemId> = HashSet::new();
+        let mut worklist: Vec<IterKey> = sink_outputs.iter().map(|&(_, it, _)| it).collect();
+        while let Some(iter) = worklist.pop() {
+            if !used_iters.insert(iter) {
+                continue;
+            }
+            if let Some(consumed) = consumed_by.get(&iter) {
+                for &item in consumed {
+                    if used_items.insert(item) {
+                        if let Some(rec) = items.get(&item) {
+                            worklist.push(rec.producer);
+                        }
+                    }
+                }
+            }
+        }
+
+        Lineage {
+            items,
+            iter_busy,
+            iter_end_time,
+            used_items,
+            used_iters,
+            sink_outputs,
+        }
+    }
+
+    /// Was this item consumed on a path that reached a sink output?
+    #[must_use]
+    pub fn is_item_used(&self, item: ItemId) -> bool {
+        self.used_items.contains(&item)
+    }
+
+    /// Was this iteration on a path that reached a sink output?
+    #[must_use]
+    pub fn is_iter_used(&self, iter: IterKey) -> bool {
+        self.used_iters.contains(&iter)
+    }
+
+    /// All item records.
+    #[must_use]
+    pub fn items(&self) -> &HashMap<ItemId, ItemRecord> {
+        &self.items
+    }
+
+    /// Busy time per iteration.
+    #[must_use]
+    pub fn iter_busy(&self) -> &HashMap<IterKey, Micros> {
+        &self.iter_busy
+    }
+
+    /// Sink outputs in trace order: `(time, iteration, virtual timestamp)`.
+    #[must_use]
+    pub fn sink_outputs(&self) -> &[(SimTime, IterKey, Timestamp)] {
+        &self.sink_outputs
+    }
+
+    /// Last time a *useful* consumer retrieved this item. `None` when the
+    /// item was never usefully consumed (an ideal system would not have
+    /// created it at all).
+    #[must_use]
+    pub fn last_useful_get(&self, item: ItemId) -> Option<SimTime> {
+        let rec = self.items.get(&item)?;
+        rec.gets
+            .iter()
+            .filter(|&&(_, c)| self.used_iters.contains(&c))
+            .map(|&(t, _)| t)
+            .max()
+    }
+
+    /// The instant an ideal GC could reclaim this item: the *end* of the
+    /// last useful iteration that consumed it — the consumer still holds
+    /// and processes the item after the `get`, so it is needed until its
+    /// iteration completes. Falls back to the get time when the consuming
+    /// iteration never completed (end of run).
+    #[must_use]
+    pub fn ideal_release(&self, item: ItemId) -> Option<SimTime> {
+        let rec = self.items.get(&item)?;
+        rec.gets
+            .iter()
+            .filter(|&&(_, c)| self.used_iters.contains(&c))
+            .map(|&(t, c)| self.iter_end_time.get(&c).copied().unwrap_or(t).max(t))
+            .max()
+    }
+
+    /// Count of items / useful items.
+    #[must_use]
+    pub fn item_counts(&self) -> (usize, usize) {
+        (self.items.len(), self.used_items.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aru_core::graph::NodeId;
+
+    /// Build a two-stage pipeline trace:
+    ///   src iter0 -> item0 -> mid iter0 -> item2 -> sink iter0 (output)
+    ///   src iter1 -> item1 (skipped, never consumed)
+    fn sample_trace() -> Trace {
+        let src0 = IterKey::new(NodeId(0), 0);
+        let src1 = IterKey::new(NodeId(0), 1);
+        let mid0 = IterKey::new(NodeId(2), 0);
+        let sink0 = IterKey::new(NodeId(4), 0);
+        let buf_a = NodeId(1);
+        let buf_b = NodeId(3);
+
+        let mut tr = Trace::new();
+        let i0 = tr.alloc(SimTime(0), buf_a, Timestamp(0), 100, src0);
+        tr.iter_end(SimTime(10), src0, Micros(10));
+        let i1 = tr.alloc(SimTime(20), buf_a, Timestamp(1), 100, src1);
+        tr.iter_end(SimTime(30), src1, Micros(10));
+        tr.get(SimTime(40), i0, mid0);
+        let i2 = tr.alloc(SimTime(80), buf_b, Timestamp(0), 50, mid0);
+        tr.iter_end(SimTime(90), mid0, Micros(50));
+        tr.get(SimTime(100), i2, sink0);
+        tr.sink_output(SimTime(110), sink0, Timestamp(0));
+        tr.iter_end(SimTime(110), sink0, Micros(10));
+        tr.free(SimTime(120), i0);
+        tr.free(SimTime(130), i1);
+        // i2 never freed
+        let _ = i1;
+        tr
+    }
+
+    #[test]
+    fn reaching_chain_is_used() {
+        let tr = sample_trace();
+        let lin = Lineage::analyze(&tr);
+        assert!(lin.is_item_used(ItemId(0)), "consumed frame is useful");
+        assert!(lin.is_item_used(ItemId(2)), "detection record is useful");
+        assert!(!lin.is_item_used(ItemId(1)), "skipped frame is wasted");
+        assert!(lin.is_iter_used(IterKey::new(NodeId(0), 0)));
+        assert!(!lin.is_iter_used(IterKey::new(NodeId(0), 1)));
+        assert!(lin.is_iter_used(IterKey::new(NodeId(2), 0)));
+        assert!(lin.is_iter_used(IterKey::new(NodeId(4), 0)));
+        assert_eq!(lin.item_counts(), (3, 2));
+    }
+
+    #[test]
+    fn free_times_recorded() {
+        let tr = sample_trace();
+        let lin = Lineage::analyze(&tr);
+        assert_eq!(lin.items()[&ItemId(0)].free_t, Some(SimTime(120)));
+        assert_eq!(lin.items()[&ItemId(2)].free_t, None);
+    }
+
+    #[test]
+    fn last_useful_get() {
+        let tr = sample_trace();
+        let lin = Lineage::analyze(&tr);
+        assert_eq!(lin.last_useful_get(ItemId(0)), Some(SimTime(40)));
+        assert_eq!(lin.last_useful_get(ItemId(2)), Some(SimTime(100)));
+        assert_eq!(lin.last_useful_get(ItemId(1)), None);
+    }
+
+    #[test]
+    fn get_by_wasted_iteration_does_not_make_item_useful() {
+        // item consumed by an iteration whose own output never reaches a
+        // sink is still wasted.
+        let src0 = IterKey::new(NodeId(0), 0);
+        let mid0 = IterKey::new(NodeId(2), 0);
+        let mut tr = Trace::new();
+        let i0 = tr.alloc(SimTime(0), NodeId(1), Timestamp(0), 10, src0);
+        tr.get(SimTime(5), i0, mid0);
+        let _i1 = tr.alloc(SimTime(10), NodeId(3), Timestamp(0), 10, mid0);
+        // i1 is never consumed by anything; no sink output exists.
+        let lin = Lineage::analyze(&tr);
+        assert!(!lin.is_item_used(i0));
+        assert!(!lin.is_iter_used(mid0));
+        assert_eq!(lin.last_useful_get(i0), None);
+    }
+
+    #[test]
+    fn diamond_sharing_marks_shared_input_once() {
+        // one frame feeds two detectors; only detector A's record reaches
+        // the sink. The frame is useful (A used it); B's record is wasted.
+        let src0 = IterKey::new(NodeId(0), 0);
+        let det_a = IterKey::new(NodeId(2), 0);
+        let det_b = IterKey::new(NodeId(3), 0);
+        let sink = IterKey::new(NodeId(5), 0);
+        let mut tr = Trace::new();
+        let frame = tr.alloc(SimTime(0), NodeId(1), Timestamp(0), 100, src0);
+        tr.get(SimTime(10), frame, det_a);
+        tr.get(SimTime(10), frame, det_b);
+        let rec_a = tr.alloc(SimTime(20), NodeId(4), Timestamp(0), 1, det_a);
+        let rec_b = tr.alloc(SimTime(20), NodeId(4), Timestamp(0), 1, det_b);
+        tr.get(SimTime(30), rec_a, sink);
+        tr.sink_output(SimTime(31), sink, Timestamp(0));
+        let lin = Lineage::analyze(&tr);
+        assert!(lin.is_item_used(frame));
+        assert!(lin.is_item_used(rec_a));
+        assert!(!lin.is_item_used(rec_b));
+        assert!(lin.is_iter_used(det_a));
+        assert!(!lin.is_iter_used(det_b));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let lin = Lineage::analyze(&Trace::new());
+        assert_eq!(lin.item_counts(), (0, 0));
+        assert!(lin.sink_outputs().is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! Trace collection.
+//!
+//! [`Trace`] is a plain event log with typed append helpers (used directly
+//! by the single-threaded simulator); [`SharedTrace`] wraps it for the
+//! threaded runtime. Appends are kept trivially cheap — postmortem analysis
+//! does all the work after the run, exactly like the paper's infrastructure.
+
+use crate::event::{ItemId, IterKey, TraceEvent};
+use aru_core::graph::NodeId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use vtime::{Micros, SimTime, Timestamp};
+
+/// An in-memory event trace.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    next_item: u64,
+}
+
+impl Trace {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a fresh [`ItemId`] and record the allocation.
+    pub fn alloc(
+        &mut self,
+        t: SimTime,
+        buffer: NodeId,
+        ts: Timestamp,
+        bytes: u64,
+        producer: IterKey,
+    ) -> ItemId {
+        let item = ItemId(self.next_item);
+        self.next_item += 1;
+        self.events.push(TraceEvent::Alloc {
+            t,
+            item,
+            buffer,
+            ts,
+            bytes,
+            producer,
+        });
+        item
+    }
+
+    pub fn free(&mut self, t: SimTime, item: ItemId) {
+        self.events.push(TraceEvent::Free { t, item });
+    }
+
+    pub fn get(&mut self, t: SimTime, item: ItemId, consumer: IterKey) {
+        self.events.push(TraceEvent::Get { t, item, consumer });
+    }
+
+    pub fn iter_end(&mut self, t: SimTime, iter: IterKey, busy: Micros) {
+        self.events.push(TraceEvent::IterEnd { t, iter, busy });
+    }
+
+    pub fn sink_output(&mut self, t: SimTime, iter: IterKey, ts: Timestamp) {
+        self.events.push(TraceEvent::SinkOutput { t, iter, ts });
+    }
+
+    /// All events in record order (runtimes record in nondecreasing time).
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the last event (end of run proxy when no explicit end is
+    /// supplied).
+    #[must_use]
+    pub fn last_time(&self) -> SimTime {
+        self.events
+            .iter()
+            .map(TraceEvent::time)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Merge another trace (e.g. per-thread shards). Events keep their
+    /// times; the result is re-sorted by time (stable).
+    pub fn merge(&mut self, other: Trace) {
+        self.events.extend(other.events);
+        self.events.sort_by_key(TraceEvent::time);
+        self.next_item = self.next_item.max(other.next_item);
+    }
+}
+
+/// Thread-safe trace handle for the threaded runtime.
+///
+/// Item ids are allocated from an atomic so `alloc` never serializes two
+/// producers on id generation; the event append takes a short mutex.
+#[derive(Debug, Clone, Default)]
+pub struct SharedTrace {
+    inner: Arc<Mutex<Vec<TraceEvent>>>,
+    next_item: Arc<AtomicU64>,
+}
+
+impl SharedTrace {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn alloc(
+        &self,
+        t: SimTime,
+        buffer: NodeId,
+        ts: Timestamp,
+        bytes: u64,
+        producer: IterKey,
+    ) -> ItemId {
+        let item = ItemId(self.next_item.fetch_add(1, Ordering::Relaxed));
+        self.inner.lock().push(TraceEvent::Alloc {
+            t,
+            item,
+            buffer,
+            ts,
+            bytes,
+            producer,
+        });
+        item
+    }
+
+    pub fn free(&self, t: SimTime, item: ItemId) {
+        self.inner.lock().push(TraceEvent::Free { t, item });
+    }
+
+    pub fn get(&self, t: SimTime, item: ItemId, consumer: IterKey) {
+        self.inner.lock().push(TraceEvent::Get { t, item, consumer });
+    }
+
+    pub fn iter_end(&self, t: SimTime, iter: IterKey, busy: Micros) {
+        self.inner.lock().push(TraceEvent::IterEnd { t, iter, busy });
+    }
+
+    pub fn sink_output(&self, t: SimTime, iter: IterKey, ts: Timestamp) {
+        self.inner.lock().push(TraceEvent::SinkOutput { t, iter, ts });
+    }
+
+    /// Snapshot into an owned [`Trace`] for postmortem analysis. Events are
+    /// sorted by time (concurrent appends may interleave slightly out of
+    /// order).
+    #[must_use]
+    pub fn snapshot(&self) -> Trace {
+        let mut events = self.inner.lock().clone();
+        events.sort_by_key(TraceEvent::time);
+        Trace {
+            events,
+            next_item: self.next_item.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_assigns_unique_item_ids() {
+        let mut tr = Trace::new();
+        let p = IterKey::new(NodeId(0), 0);
+        let a = tr.alloc(SimTime(1), NodeId(1), Timestamp(0), 10, p);
+        let b = tr.alloc(SimTime(2), NodeId(1), Timestamp(1), 10, p);
+        assert_ne!(a, b);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.last_time(), SimTime(2));
+    }
+
+    #[test]
+    fn merge_sorts_by_time() {
+        let p = IterKey::new(NodeId(0), 0);
+        let mut a = Trace::new();
+        a.free(SimTime(10), ItemId(0));
+        let mut b = Trace::new();
+        b.alloc(SimTime(5), NodeId(1), Timestamp(0), 1, p);
+        a.merge(b);
+        assert_eq!(a.events()[0].time(), SimTime(5));
+        assert_eq!(a.events()[1].time(), SimTime(10));
+    }
+
+    #[test]
+    fn shared_trace_concurrent_allocs_are_unique() {
+        let tr = SharedTrace::new();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let tr = tr.clone();
+            handles.push(std::thread::spawn(move || {
+                let p = IterKey::new(NodeId(i), 0);
+                (0..100)
+                    .map(|j| tr.alloc(SimTime(j), NodeId(9), Timestamp(j), 1, p))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<ItemId> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 400, "item ids collided");
+        let snap = tr.snapshot();
+        assert_eq!(snap.len(), 400);
+        // snapshot is time-sorted
+        let times: Vec<_> = snap.events().iter().map(TraceEvent::time).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn empty_trace_last_time_is_zero() {
+        assert_eq!(Trace::new().last_time(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests on the postmortem analyses: randomly generated
+//! (well-formed) traces must produce internally consistent reports.
+
+use aru_core::graph::NodeId;
+use aru_metrics::footprint::{ideal_series, observed_series};
+use aru_metrics::{IterKey, Lineage, PerfReport, Trace, WasteReport};
+use proptest::prelude::*;
+use vtime::{Micros, SimTime, Timestamp};
+
+/// A compact random-trace generator: a source producing items 0..n into
+/// one buffer, a consumer that gets a random subset, and sink outputs for a
+/// random subset of the gotten items.
+#[derive(Debug, Clone)]
+struct RandomRun {
+    n: usize,
+    bytes: Vec<u64>,
+    gotten: Vec<bool>,
+    emitted: Vec<bool>,
+    freed: Vec<bool>,
+    gap_us: u64,
+}
+
+fn run_strategy() -> impl Strategy<Value = RandomRun> {
+    (1usize..40).prop_flat_map(|n| {
+        (
+            prop::collection::vec(1u64..100_000, n..=n),
+            prop::collection::vec(any::<bool>(), n..=n),
+            prop::collection::vec(any::<bool>(), n..=n),
+            prop::collection::vec(any::<bool>(), n..=n),
+            10u64..10_000,
+        )
+            .prop_map(move |(bytes, gotten, emitted, freed, gap_us)| RandomRun {
+                n,
+                bytes,
+                gotten,
+                emitted,
+                freed,
+                gap_us,
+            })
+    })
+}
+
+/// Materialize the run into a trace. Returns (trace, t_end).
+fn build(run: &RandomRun) -> (Trace, SimTime) {
+    let src = NodeId(0);
+    let buf = NodeId(1);
+    let snk = NodeId(2);
+    let mut tr = Trace::new();
+    let mut t = 0u64;
+    let mut items = Vec::new();
+    for (i, &bytes) in run.bytes.iter().enumerate() {
+        let key = IterKey::new(src, i as u64);
+        let id = tr.alloc(SimTime(t), buf, Timestamp(i as u64), bytes, key);
+        tr.iter_end(SimTime(t + 5), key, Micros(5));
+        items.push(id);
+        t += run.gap_us;
+    }
+    let mut out_seq = 0u64;
+    for (i, &item) in items.iter().enumerate() {
+        if run.gotten[i] {
+            let key = IterKey::new(snk, out_seq);
+            tr.get(SimTime(t), item, key);
+            if run.emitted[i] {
+                tr.sink_output(SimTime(t + 1), key, Timestamp(i as u64));
+            }
+            tr.iter_end(SimTime(t + 2), key, Micros(2));
+            out_seq += 1;
+            t += run.gap_us;
+        }
+    }
+    for (&item, &freed) in items.iter().zip(&run.freed) {
+        if freed {
+            tr.free(SimTime(t), item);
+            t += 1;
+        }
+    }
+    (tr, SimTime(t + 100))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lineage: an item is useful iff it was gotten by an iteration that
+    /// emitted a sink output.
+    #[test]
+    fn lineage_matches_ground_truth(run in run_strategy()) {
+        let (tr, _t_end) = build(&run);
+        let lin = Lineage::analyze(&tr);
+        let mut out_seq = 0u64;
+        for i in 0..run.n {
+            if run.gotten[i] {
+                let expect_used = run.emitted[i];
+                let id = aru_metrics::ItemId(i as u64);
+                prop_assert_eq!(
+                    lin.is_item_used(id),
+                    expect_used,
+                    "item {} used mismatch", i
+                );
+                out_seq += 1;
+            } else {
+                prop_assert!(!lin.is_item_used(aru_metrics::ItemId(i as u64)));
+            }
+        }
+        let _ = out_seq;
+    }
+
+    /// Waste percentages are well-formed and consistent with counts.
+    #[test]
+    fn waste_report_consistency(run in run_strategy()) {
+        let (tr, t_end) = build(&run);
+        let lin = Lineage::analyze(&tr);
+        let w = WasteReport::compute(&lin, t_end);
+        prop_assert_eq!(w.total_items, run.n);
+        let expect_wasted = (0..run.n)
+            .filter(|&i| !(run.gotten[i] && run.emitted[i]))
+            .count();
+        prop_assert_eq!(w.wasted_items, expect_wasted);
+        prop_assert!(w.wasted_byte_time <= w.total_byte_time * (1.0 + 1e-12));
+        prop_assert!(w.wasted_computation <= w.total_computation);
+        prop_assert!((0.0..=100.0).contains(&w.pct_memory_wasted()));
+        prop_assert!((0.0..=100.0).contains(&w.pct_computation_wasted()));
+    }
+
+    /// The ideal series never exceeds the observed series at any sampled
+    /// instant (pointwise dominance, not just means).
+    #[test]
+    fn ideal_pointwise_below_observed(run in run_strategy()) {
+        let (tr, t_end) = build(&run);
+        let lin = Lineage::analyze(&tr);
+        let obs = observed_series(&tr);
+        let ideal = ideal_series(&lin, t_end);
+        for probe in 0..50u64 {
+            let t = SimTime(t_end.as_micros() * probe / 50);
+            prop_assert!(
+                ideal.value_at(t) <= obs.value_at(t) + 1e-9,
+                "ideal {} > observed {} at {t:?}",
+                ideal.value_at(t),
+                obs.value_at(t)
+            );
+        }
+    }
+
+    /// Perf report: outputs counted exactly; latency nonnegative; gap σ
+    /// finite.
+    #[test]
+    fn perf_report_consistency(run in run_strategy()) {
+        let (tr, t_end) = build(&run);
+        let lin = Lineage::analyze(&tr);
+        let p = PerfReport::compute(&tr, &lin, t_end);
+        let expect_outputs = (0..run.n).filter(|&i| run.gotten[i] && run.emitted[i]).count();
+        prop_assert_eq!(p.outputs, expect_outputs);
+        prop_assert!(p.latency.min >= 0.0);
+        prop_assert!(p.jitter_us.is_finite());
+        prop_assert!(p.throughput_fps >= 0.0);
+    }
+}

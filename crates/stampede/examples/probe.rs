@@ -1,0 +1,51 @@
+//! Diagnostic probe for the ARU feedback loop (not part of the public API).
+
+use stampede::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use vtime::{Micros, Timestamp};
+
+fn main() {
+    let mut b = RuntimeBuilder::new(AruConfig::aru_min(), GcMode::Dgc);
+    let ch = b.channel::<Vec<u8>>("frames");
+    let src = b.thread("src");
+    let snk = b.thread("sink");
+    let out = b.connect_out(src, &ch).unwrap();
+    let mut inp = b.connect_in(&ch, snk).unwrap();
+    let produced = Arc::new(AtomicU64::new(0));
+    let p2 = Arc::clone(&produced);
+    let mut ts = Timestamp::ZERO;
+    b.spawn(src, move |ctx| {
+        std::thread::sleep(Duration::from_millis(1));
+        out.put(ctx, ts, vec![0u8; 10_000])?;
+        if ts.raw().is_multiple_of(20) {
+            eprintln!("src ts={} summary={:?}", ts.raw(), ctx.summary());
+        }
+        ts = ts.next();
+        p2.fetch_add(1, Ordering::Relaxed);
+        Ok(Step::Continue)
+    });
+    b.spawn(snk, move |ctx| {
+        let item = inp.get_latest(ctx)?;
+        std::thread::sleep(Duration::from_millis(20));
+        ctx.emit_output(item.ts);
+        if item.ts.raw().is_multiple_of(10) {
+            eprintln!("snk ts={} summary={:?}", item.ts.raw(), ctx.summary());
+        }
+        Ok(Step::Continue)
+    });
+    let report = b
+        .build()
+        .unwrap()
+        .run_for(Micros::from_millis(300))
+        .unwrap();
+    let a = report.analyze();
+    eprintln!(
+        "produced={} outputs={} waste_mem={:.1}% waste_comp={:.1}%",
+        produced.load(Ordering::Relaxed),
+        report.outputs(),
+        a.waste.pct_memory_wasted(),
+        a.waste.pct_computation_wasted()
+    );
+}

@@ -1,0 +1,740 @@
+//! Timestamped channels with get-latest semantics and ARU piggybacking.
+//!
+//! A channel stores `(timestamp, item)` pairs. Gets are *non-destructive*
+//! (several consumers may read the same item) and *sparse in virtual time*:
+//! a consumer asks for the **latest** item newer than anything it has seen,
+//! skipping over stale items — the behaviour that creates the wasted
+//! resources ARU eliminates.
+//!
+//! Feedback piggybacking (paper §3.3.2) happens exactly at the two buffer
+//! operations:
+//!
+//! * on `get`, the consumer deposits its summary-STP into the channel's
+//!   backward vector slot for that connection;
+//! * on `put`, the channel's compressed summary-STP is handed back to the
+//!   producer as the operation's return value.
+//!
+//! Reclamation: every operation purges items below the channel's current
+//! dead-before bound — the REF consumption floor, raised further by the
+//! periodic DGC pass via [`Channel::apply_dead_before`].
+
+use crate::error::StampedeError;
+use crate::item::{ItemData, StampedItem};
+use crate::task::TaskCtx;
+use aru_core::{AruConfig, AruController, NodeKind, Stp};
+use aru_gc::{ref_dead_before, ConsumerMarks, GcMode};
+use aru_metrics::{ItemId, IterKey, SharedTrace};
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use vtime::{Clock, Timestamp};
+
+struct Stored<T> {
+    value: Arc<T>,
+    id: ItemId,
+    bytes: u64,
+}
+
+struct ChannelState<T> {
+    items: BTreeMap<Timestamp, Stored<T>>,
+    marks: ConsumerMarks,
+    aru: AruController,
+    /// Highest dead-before bound received from the cross-graph DGC pass.
+    dgc_dead_before: Timestamp,
+    /// Optional item-count bound: puts block while the channel is full
+    /// (classic backpressure — the alternative to ARU this runtime lets
+    /// you compare against; `None` reproduces Stampede's unbounded
+    /// channels).
+    capacity: Option<usize>,
+    closed: bool,
+    live_bytes: u64,
+}
+
+/// A timestamped, multi-consumer, get-latest buffer.
+pub struct Channel<T: ItemData> {
+    node: aru_core::NodeId,
+    name: String,
+    gc_mode: GcMode,
+    clock: Arc<dyn Clock>,
+    trace: SharedTrace,
+    state: Mutex<ChannelState<T>>,
+    cond: Condvar,
+}
+
+impl<T: ItemData> Channel<T> {
+    /// Construct an unconnected channel. The builder calls
+    /// [`Channel::configure_consumers`] once the topology is frozen.
+    #[must_use]
+    pub(crate) fn new(
+        node: aru_core::NodeId,
+        name: String,
+        config: &AruConfig,
+        gc_mode: GcMode,
+        capacity: Option<usize>,
+        clock: Arc<dyn Clock>,
+        trace: SharedTrace,
+    ) -> Self {
+        Channel {
+            node,
+            name,
+            gc_mode,
+            clock,
+            trace,
+            state: Mutex::new(ChannelState {
+                items: BTreeMap::new(),
+                marks: ConsumerMarks::new(0),
+                aru: AruController::new(NodeKind::Channel, 0, false, config),
+                dgc_dead_before: Timestamp::ZERO,
+                capacity,
+                closed: false,
+                live_bytes: 0,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Pre-size the consumer bookkeeping to the channel's final out-degree.
+    /// Must run before any operation: a consumer connection that has not yet
+    /// consumed anything pins every timestamp, and the REF floor can only
+    /// know that if the slot exists.
+    pub(crate) fn configure_consumers(&self, n: usize) {
+        let mut st = self.state.lock();
+        st.marks = ConsumerMarks::new(n);
+        st.aru.ensure_outputs(n);
+    }
+
+    #[must_use]
+    pub fn node(&self) -> aru_core::NodeId {
+        self.node
+    }
+
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Insert an item at `ts`. Returns the channel's current summary-STP —
+    /// the backward feedback the producer folds into its own state.
+    ///
+    /// A put at an existing timestamp replaces the item (the old one is
+    /// freed); source threads issue monotonically increasing timestamps so
+    /// this only happens in adversarial tests.
+    ///
+    /// Ignores any capacity bound (used internally and by tests); task code
+    /// goes through [`Output::put`], which blocks on a full bounded channel.
+    pub fn put(
+        &self,
+        ts: Timestamp,
+        value: T,
+        producer: IterKey,
+    ) -> Result<Option<Stp>, StampedeError> {
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(StampedeError::Closed);
+        }
+        let bytes = value.size_bytes();
+        let id = self.trace.alloc(now, self.node, ts, bytes, producer);
+        if let Some(old) = st.items.insert(
+            ts,
+            Stored {
+                value: Arc::new(value),
+                id,
+                bytes,
+            },
+        ) {
+            st.live_bytes -= old.bytes;
+            self.trace.free(now, old.id);
+        }
+        st.live_bytes += bytes;
+        self.purge_locked(&mut st);
+        let summary = st.aru.summary();
+        drop(st);
+        self.cond.notify_all();
+        Ok(summary)
+    }
+
+    /// Capacity-aware insert: blocks while a bounded channel is full
+    /// (backpressure). The wait is recorded as blocking time, so it is
+    /// excluded from the producer's current-STP just like waiting for
+    /// upstream data.
+    pub fn put_blocking(
+        &self,
+        ctx: &mut TaskCtx,
+        ts: Timestamp,
+        value: T,
+    ) -> Result<Option<Stp>, StampedeError> {
+        let mut st = self.state.lock();
+        let mut blocked = false;
+        loop {
+            if st.closed {
+                if blocked {
+                    ctx.block_end(self.clock.now());
+                }
+                return Err(StampedeError::Closed);
+            }
+            let full = st
+                .capacity
+                .is_some_and(|cap| st.items.len() >= cap && !st.items.contains_key(&ts));
+            if !full {
+                if blocked {
+                    ctx.block_end(self.clock.now());
+                }
+                let now = self.clock.now();
+                let bytes = value.size_bytes();
+                let id = self.trace.alloc(now, self.node, ts, bytes, ctx.iter_key());
+                if let Some(old) = st.items.insert(
+                    ts,
+                    Stored {
+                        value: Arc::new(value),
+                        id,
+                        bytes,
+                    },
+                ) {
+                    st.live_bytes -= old.bytes;
+                    self.trace.free(now, old.id);
+                }
+                st.live_bytes += bytes;
+                self.purge_locked(&mut st);
+                let summary = st.aru.summary();
+                drop(st);
+                self.cond.notify_all();
+                return Ok(summary);
+            }
+            if !blocked {
+                blocked = true;
+                ctx.block_begin(self.clock.now());
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+
+    /// Retrieve the newest item with `ts >= floor` (the *consumer's* local
+    /// freshness floor), blocking until one exists. `chan_out_index`
+    /// identifies the consumer connection on the channel side. The
+    /// consumer's summary-STP (from `ctx`) is deposited as backward
+    /// feedback.
+    ///
+    /// Note that this does **not** advance the channel's GC marks: the
+    /// consumer still holds the item while processing it, so the release
+    /// happens at iteration end via [`Channel::release`] (Stampede's
+    /// consume-on-iteration-end semantics) — the endpoint wrappers in
+    /// [`Input`] arrange this automatically.
+    pub fn get_latest(
+        &self,
+        chan_out_index: usize,
+        ctx: &mut TaskCtx,
+        floor: Timestamp,
+    ) -> Result<StampedItem<T>, StampedeError> {
+        let mut st = self.state.lock();
+        let mut blocked = false;
+        loop {
+            let found = st
+                .items
+                .range(floor..)
+                .next_back()
+                .map(|(&ts, stored)| (ts, Arc::clone(&stored.value), stored.id));
+            if let Some((ts, value, id)) = found {
+                if blocked {
+                    ctx.block_end(self.clock.now());
+                }
+                if let Some(summary) = ctx.summary() {
+                    st.aru.receive_feedback(chan_out_index, summary);
+                }
+                let now = self.clock.now();
+                self.trace.get(now, id, ctx.iter_key());
+                return Ok(StampedItem { ts, value });
+            }
+            if st.closed {
+                if blocked {
+                    ctx.block_end(self.clock.now());
+                }
+                return Err(StampedeError::Closed);
+            }
+            if !blocked {
+                blocked = true;
+                ctx.block_begin(self.clock.now());
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+
+    /// Release this consumer connection's claim on everything up to and
+    /// including `ts`: the channel mark advances and dead items may be
+    /// reclaimed. Called at the end of the consuming iteration.
+    pub fn release(&self, chan_out_index: usize, ts: Timestamp) {
+        let mut st = self.state.lock();
+        st.marks.advance(chan_out_index, ts);
+        self.purge_locked(&mut st);
+        drop(st);
+        // reclamation may have opened capacity for a blocked producer
+        self.cond.notify_all();
+    }
+
+    /// Join get: block until the item with exactly timestamp `ts` exists.
+    /// Returns `Ok(None)` when the timestamp can no longer arrive (a newer
+    /// item exists but `ts` does not — the frame was lost), letting the
+    /// caller abandon the iteration.
+    pub fn get_exact(
+        &self,
+        chan_out_index: usize,
+        ctx: &mut TaskCtx,
+        ts: Timestamp,
+    ) -> Result<Option<StampedItem<T>>, StampedeError> {
+        let mut st = self.state.lock();
+        let mut blocked = false;
+        loop {
+            if let Some(stored) = st.items.get(&ts) {
+                let (value, id) = (Arc::clone(&stored.value), stored.id);
+                if blocked {
+                    ctx.block_end(self.clock.now());
+                }
+                if let Some(summary) = ctx.summary() {
+                    st.aru.receive_feedback(chan_out_index, summary);
+                }
+                let now = self.clock.now();
+                self.trace.get(now, id, ctx.iter_key());
+                return Ok(Some(StampedItem { ts, value }));
+            }
+            let newer_exists = st
+                .items
+                .iter()
+                .next_back()
+                .is_some_and(|(&latest, _)| latest > ts);
+            if newer_exists || st.closed {
+                if blocked {
+                    ctx.block_end(self.clock.now());
+                }
+                if st.closed && !newer_exists {
+                    return Err(StampedeError::Closed);
+                }
+                return Ok(None);
+            }
+            if !blocked {
+                blocked = true;
+                ctx.block_begin(self.clock.now());
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+
+    /// Join get: block until the channel is non-empty, then return the
+    /// newest item with timestamp at or before `ts` (falling back to the
+    /// overall newest when everything is newer) — e.g. the freshest color
+    /// model no newer than the frame being analyzed.
+    pub fn get_latest_at_or_before(
+        &self,
+        chan_out_index: usize,
+        ctx: &mut TaskCtx,
+        ts: Timestamp,
+    ) -> Result<StampedItem<T>, StampedeError> {
+        let mut st = self.state.lock();
+        let mut blocked = false;
+        loop {
+            let found = st
+                .items
+                .range(..=ts)
+                .next_back()
+                .or_else(|| st.items.iter().next_back())
+                .map(|(&its, stored)| (its, Arc::clone(&stored.value), stored.id));
+            if let Some((its, value, id)) = found {
+                if blocked {
+                    ctx.block_end(self.clock.now());
+                }
+                if let Some(summary) = ctx.summary() {
+                    st.aru.receive_feedback(chan_out_index, summary);
+                }
+                let now = self.clock.now();
+                self.trace.get(now, id, ctx.iter_key());
+                return Ok(StampedItem { ts: its, value });
+            }
+            if st.closed {
+                if blocked {
+                    ctx.block_end(self.clock.now());
+                }
+                return Err(StampedeError::Closed);
+            }
+            if !blocked {
+                blocked = true;
+                ctx.block_begin(self.clock.now());
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+
+    /// Sliding-window get: block until at least one item with `ts >= floor`
+    /// exists, then return the newest `n` items (oldest first). Supports
+    /// the paper's motivating use case of "a gesture recognition module
+    /// \[that\] may need to analyze a sliding window over a video stream".
+    /// The window may span items older than `floor` (re-reading for context
+    /// is the point of a sliding window); freshness is guaranteed only for
+    /// the newest element.
+    pub fn get_latest_window(
+        &self,
+        chan_out_index: usize,
+        ctx: &mut TaskCtx,
+        floor: Timestamp,
+        n: usize,
+    ) -> Result<Vec<StampedItem<T>>, StampedeError> {
+        assert!(n > 0, "window must be non-empty");
+        let mut st = self.state.lock();
+        let mut blocked = false;
+        loop {
+            let fresh = st.items.range(floor..).next_back().is_some();
+            if fresh {
+                if blocked {
+                    ctx.block_end(self.clock.now());
+                }
+                if let Some(summary) = ctx.summary() {
+                    st.aru.receive_feedback(chan_out_index, summary);
+                }
+                let now = self.clock.now();
+                let mut window: Vec<StampedItem<T>> = st
+                    .items
+                    .iter()
+                    .rev()
+                    .take(n)
+                    .map(|(&ts, stored)| {
+                        self.trace.get(now, stored.id, ctx.iter_key());
+                        StampedItem {
+                            ts,
+                            value: Arc::clone(&stored.value),
+                        }
+                    })
+                    .collect();
+                window.reverse();
+                return Ok(window);
+            }
+            if st.closed {
+                if blocked {
+                    ctx.block_end(self.clock.now());
+                }
+                return Err(StampedeError::Closed);
+            }
+            if !blocked {
+                blocked = true;
+                ctx.block_begin(self.clock.now());
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking variant: `Ok(None)` when nothing at or above `floor`
+    /// is available.
+    pub fn try_get_latest(
+        &self,
+        chan_out_index: usize,
+        ctx: &mut TaskCtx,
+        floor: Timestamp,
+    ) -> Result<Option<StampedItem<T>>, StampedeError> {
+        let mut st = self.state.lock();
+        let found = st
+            .items
+            .range(floor..)
+            .next_back()
+            .map(|(&ts, stored)| (ts, Arc::clone(&stored.value), stored.id));
+        match found {
+            Some((ts, value, id)) => {
+                if let Some(summary) = ctx.summary() {
+                    st.aru.receive_feedback(chan_out_index, summary);
+                }
+                let now = self.clock.now();
+                self.trace.get(now, id, ctx.iter_key());
+                Ok(Some(StampedItem { ts, value }))
+            }
+            None if st.closed => Err(StampedeError::Closed),
+            None => Ok(None),
+        }
+    }
+
+    /// Insert an item whose allocation was already recorded (a remote put:
+    /// the item existed — in flight — since the sender materialized it).
+    /// If the channel closed while in flight, the item is freed instead.
+    pub(crate) fn insert_prealloc(&self, ts: Timestamp, value: T, id: ItemId, bytes: u64) {
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        if st.closed {
+            self.trace.free(now, id);
+            return;
+        }
+        if let Some(old) = st.items.insert(
+            ts,
+            Stored {
+                value: Arc::new(value),
+                id,
+                bytes,
+            },
+        ) {
+            st.live_bytes -= old.bytes;
+            self.trace.free(now, old.id);
+        }
+        st.live_bytes += bytes;
+        self.purge_locked(&mut st);
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    fn dead_bound_locked(&self, st: &ChannelState<T>) -> Timestamp {
+        match self.gc_mode {
+            GcMode::None => Timestamp::ZERO,
+            GcMode::Ref => ref_dead_before(&st.marks),
+            GcMode::Dgc => ref_dead_before(&st.marks).max(st.dgc_dead_before),
+        }
+    }
+
+    fn purge_locked(&self, st: &mut ChannelState<T>) {
+        if !self.gc_mode.reclaims() {
+            return;
+        }
+        let bound = self.dead_bound_locked(st);
+        if bound == Timestamp::ZERO {
+            return;
+        }
+        let now = self.clock.now();
+        let dead: Vec<Timestamp> = st.items.range(..bound).map(|(&ts, _)| ts).collect();
+        for ts in dead {
+            if let Some(stored) = st.items.remove(&ts) {
+                st.live_bytes -= stored.bytes;
+                self.trace.free(now, stored.id);
+            }
+        }
+    }
+
+    // ---- admin interface used by the runtime/GC driver ---------------------
+
+    /// Snapshot of the per-consumer marks (for the cross-graph DGC pass).
+    #[must_use]
+    pub fn marks_snapshot(&self) -> ConsumerMarks {
+        self.state.lock().marks.clone()
+    }
+
+    /// Raise the DGC dead-before bound (monotone) and purge.
+    pub fn apply_dead_before(&self, bound: Timestamp) {
+        let mut st = self.state.lock();
+        if bound > st.dgc_dead_before {
+            st.dgc_dead_before = bound;
+            self.purge_locked(&mut st);
+            drop(st);
+            self.cond.notify_all();
+        }
+    }
+
+    /// Close the channel: all blocked and future gets/puts fail with
+    /// [`StampedeError::Closed`]; remaining items are freed.
+    pub fn close(&self) {
+        let mut st = self.state.lock();
+        if st.closed {
+            return;
+        }
+        st.closed = true;
+        let now = self.clock.now();
+        let ids: Vec<ItemId> = st.items.values().map(|s| s.id).collect();
+        st.items.clear();
+        st.live_bytes = 0;
+        for id in ids {
+            self.trace.free(now, id);
+        }
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    /// The channel's current summary-STP (the value a put would return).
+    #[must_use]
+    pub fn summary(&self) -> Option<Stp> {
+        self.state.lock().aru.summary()
+    }
+
+    /// Bytes currently held.
+    #[must_use]
+    pub fn live_bytes(&self) -> u64 {
+        self.state.lock().live_bytes
+    }
+
+    /// Items currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Type-erased admin view the runtime's GC driver uses.
+pub(crate) trait BufferAdmin: Send + Sync {
+    fn node(&self) -> aru_core::NodeId;
+    fn configure_consumers(&self, n: usize);
+    fn marks_snapshot(&self) -> ConsumerMarks;
+    fn apply_dead_before(&self, bound: Timestamp);
+    fn close(&self);
+    fn live_bytes(&self) -> u64;
+}
+
+impl<T: ItemData> BufferAdmin for Channel<T> {
+    fn node(&self) -> aru_core::NodeId {
+        Channel::node(self)
+    }
+    fn configure_consumers(&self, n: usize) {
+        Channel::configure_consumers(self, n)
+    }
+    fn marks_snapshot(&self) -> ConsumerMarks {
+        Channel::marks_snapshot(self)
+    }
+    fn apply_dead_before(&self, bound: Timestamp) {
+        Channel::apply_dead_before(self, bound)
+    }
+    fn close(&self) {
+        Channel::close(self)
+    }
+    fn live_bytes(&self) -> u64 {
+        Channel::live_bytes(self)
+    }
+}
+
+/// A typed producer endpoint: one thread→channel connection.
+pub struct Output<T: ItemData> {
+    pub(crate) ch: Arc<Channel<T>>,
+    /// Slot in the *producing thread's* backward vector.
+    pub(crate) thread_out_index: usize,
+}
+
+impl<T: ItemData> Output<T> {
+    /// Put an item; folds the channel's returned summary-STP into the
+    /// producing thread's ARU state (the backward propagation hop). Blocks
+    /// while a bounded channel is full.
+    pub fn put(&self, ctx: &mut TaskCtx, ts: Timestamp, value: T) -> Result<(), StampedeError> {
+        let summary = self.ch.put_blocking(ctx, ts, value)?;
+        if let Some(stp) = summary {
+            ctx.receive_feedback(self.thread_out_index, stp);
+        }
+        Ok(())
+    }
+
+    /// The channel this endpoint feeds.
+    #[must_use]
+    pub fn channel(&self) -> &Channel<T> {
+        &self.ch
+    }
+
+    /// A shared handle to the channel (for monitoring outside the task).
+    #[must_use]
+    pub fn channel_arc(&self) -> Arc<Channel<T>> {
+        Arc::clone(&self.ch)
+    }
+}
+
+/// A typed consumer endpoint: one channel→thread connection.
+///
+/// The endpoint tracks its own freshness floor (the next timestamp it would
+/// accept), and registers a deferred *release* with the task context on
+/// every successful get: the channel's GC marks advance only when the
+/// consuming iteration completes, because the task holds the item while
+/// processing it.
+pub struct Input<T: ItemData> {
+    pub(crate) ch: Arc<Channel<T>>,
+    /// This connection's index among the channel's outputs.
+    pub(crate) chan_out_index: usize,
+    /// Local freshness floor: next acceptable timestamp.
+    pub(crate) floor: Timestamp,
+}
+
+impl<T: ItemData> Input<T> {
+    fn took(&mut self, ctx: &mut TaskCtx, ts: Timestamp) {
+        if ts.next() > self.floor {
+            self.floor = ts.next();
+        }
+        let ch = Arc::clone(&self.ch);
+        let idx = self.chan_out_index;
+        ctx.defer_release(Box::new(move || ch.release(idx, ts)));
+    }
+
+    /// Blocking get-latest (see [`Channel::get_latest`]).
+    pub fn get_latest(&mut self, ctx: &mut TaskCtx) -> Result<StampedItem<T>, StampedeError> {
+        let item = self.ch.get_latest(self.chan_out_index, ctx, self.floor)?;
+        self.took(ctx, item.ts);
+        Ok(item)
+    }
+
+    /// Non-blocking get-latest.
+    pub fn try_get_latest(
+        &mut self,
+        ctx: &mut TaskCtx,
+    ) -> Result<Option<StampedItem<T>>, StampedeError> {
+        match self.ch.try_get_latest(self.chan_out_index, ctx, self.floor)? {
+            Some(item) => {
+                self.took(ctx, item.ts);
+                Ok(Some(item))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Blocking exact-timestamp join (see [`Channel::get_exact`]).
+    pub fn get_exact(
+        &mut self,
+        ctx: &mut TaskCtx,
+        ts: Timestamp,
+    ) -> Result<Option<StampedItem<T>>, StampedeError> {
+        match self.ch.get_exact(self.chan_out_index, ctx, ts)? {
+            Some(item) => {
+                self.took(ctx, item.ts);
+                Ok(Some(item))
+            }
+            None => {
+                // The join target is unattainable; release through `ts` so
+                // GC is not pinned by a frame nobody will ever process.
+                self.took(ctx, ts);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Blocking newest-at-or-before join (see
+    /// [`Channel::get_latest_at_or_before`]).
+    pub fn get_latest_at_or_before(
+        &mut self,
+        ctx: &mut TaskCtx,
+        ts: Timestamp,
+    ) -> Result<StampedItem<T>, StampedeError> {
+        let item = self
+            .ch
+            .get_latest_at_or_before(self.chan_out_index, ctx, ts)?;
+        self.took(ctx, item.ts);
+        Ok(item)
+    }
+
+    /// Sliding-window get (see [`Channel::get_latest_window`]): blocks for
+    /// freshness, returns up to `n` newest items oldest-first. Only the
+    /// history the *next* window can no longer contain is released for GC,
+    /// so consecutive windows overlap correctly.
+    pub fn get_latest_window(
+        &mut self,
+        ctx: &mut TaskCtx,
+        n: usize,
+    ) -> Result<Vec<StampedItem<T>>, StampedeError> {
+        let window = self
+            .ch
+            .get_latest_window(self.chan_out_index, ctx, self.floor, n)?;
+        let newest = window.last().expect("window is non-empty").ts;
+        if newest.next() > self.floor {
+            self.floor = newest.next();
+        }
+        if window.len() == n {
+            // The next window holds the n newest items and at least one new
+            // one, so the current oldest can never be needed again.
+            let release_ts = window[0].ts;
+            let ch = Arc::clone(&self.ch);
+            let idx = self.chan_out_index;
+            ctx.defer_release(Box::new(move || ch.release(idx, release_ts)));
+        }
+        Ok(window)
+    }
+
+    /// The channel this endpoint reads.
+    #[must_use]
+    pub fn channel(&self) -> &Channel<T> {
+        &self.ch
+    }
+}

@@ -1,0 +1,62 @@
+//! Runtime error and task-step types.
+
+use std::fmt;
+
+/// Errors surfaced to task bodies by channel/queue operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StampedeError {
+    /// The buffer was closed (runtime shutting down); no further items will
+    /// ever arrive. Task bodies normally propagate this with `?`, which the
+    /// task loop converts into a clean stop.
+    Closed,
+    /// The runtime is shutting down.
+    Shutdown,
+}
+
+impl fmt::Display for StampedeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StampedeError::Closed => write!(f, "buffer closed"),
+            StampedeError::Shutdown => write!(f, "runtime shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for StampedeError {}
+
+/// What a task body wants to happen after the current iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Run another iteration.
+    Continue,
+    /// Stop this task cleanly.
+    Stop,
+}
+
+/// The return type of task bodies: `Err` stops the task just like
+/// `Ok(Step::Stop)` — it exists so `?` on channel operations reads
+/// naturally in application code.
+pub type TaskResult = Result<Step, StampedeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(StampedeError::Closed.to_string(), "buffer closed");
+        assert_eq!(StampedeError::Shutdown.to_string(), "runtime shutting down");
+    }
+
+    #[test]
+    fn question_mark_ergonomics() {
+        fn body(fail: bool) -> TaskResult {
+            if fail {
+                Err(StampedeError::Closed)?;
+            }
+            Ok(Step::Continue)
+        }
+        assert_eq!(body(false), Ok(Step::Continue));
+        assert_eq!(body(true), Err(StampedeError::Closed));
+    }
+}

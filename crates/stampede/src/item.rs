@@ -1,0 +1,90 @@
+//! Items: the payloads that flow through channels and queues.
+
+use std::sync::Arc;
+use vtime::Timestamp;
+
+/// Payload trait: anything stored in a buffer must report its size so the
+/// measurement infrastructure can account memory the way the paper does
+/// (bytes of application data held in channels).
+pub trait ItemData: Send + Sync + 'static {
+    /// Logical size of this item in bytes.
+    fn size_bytes(&self) -> u64;
+}
+
+impl ItemData for Vec<u8> {
+    fn size_bytes(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl ItemData for bytes::Bytes {
+    fn size_bytes(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl ItemData for String {
+    fn size_bytes(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl<T: ItemData> ItemData for Arc<T> {
+    fn size_bytes(&self) -> u64 {
+        (**self).size_bytes()
+    }
+}
+
+/// A fixed-size record wrapper for small plain payloads (e.g. the tracker's
+/// 68-byte detection records): the reported size is `size_of::<T>()`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Record<T>(pub T);
+
+impl<T: Send + Sync + 'static> ItemData for Record<T> {
+    fn size_bytes(&self) -> u64 {
+        std::mem::size_of::<T>() as u64
+    }
+}
+
+/// A retrieved item: the virtual timestamp plus a shared handle to the
+/// payload (channels are multi-consumer, so gets hand out `Arc`s rather
+/// than moving the value).
+#[derive(Debug)]
+pub struct StampedItem<T> {
+    pub ts: Timestamp,
+    pub value: Arc<T>,
+}
+
+impl<T> Clone for StampedItem<T> {
+    fn clone(&self) -> Self {
+        StampedItem {
+            ts: self.ts,
+            value: Arc::clone(&self.value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(vec![0u8; 10].size_bytes(), 10);
+        assert_eq!("hello".to_string().size_bytes(), 5);
+        assert_eq!(bytes::Bytes::from_static(b"abc").size_bytes(), 3);
+        assert_eq!(Arc::new(vec![0u8; 7]).size_bytes(), 7);
+        assert_eq!(Record([0u64; 4]).size_bytes(), 32);
+    }
+
+    #[test]
+    fn stamped_item_clone_shares_payload() {
+        let item = StampedItem {
+            ts: Timestamp(3),
+            value: Arc::new(vec![1u8, 2, 3]),
+        };
+        let c = item.clone();
+        assert_eq!(c.ts, Timestamp(3));
+        assert!(Arc::ptr_eq(&item.value, &c.value));
+    }
+}

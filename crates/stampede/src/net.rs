@@ -1,0 +1,294 @@
+//! Simulated interconnect for the threaded runtime.
+//!
+//! The paper's configuration 2 places tasks on five cluster nodes over
+//! Gigabit Ethernet; a put into a remote channel becomes visible only after
+//! the transfer. The threaded runtime runs on one machine, so
+//! [`NetworkSim`] emulates the link: a remote put is handed to a delivery
+//! thread that inserts the item into the destination channel after
+//! `latency + bytes/bandwidth` — the same model as `desim::NetModel`.
+//!
+//! Backward feedback still flows: the channel's summary-STP returns with
+//! the (simulated) ack, i.e. it is read at send time — matching the
+//! one-hop-per-operation propagation of §3.3.2.
+
+use crate::channel::Channel;
+use crate::error::StampedeError;
+use crate::item::ItemData;
+use crate::task::TaskCtx;
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Instant;
+use vtime::{Micros, Timestamp};
+
+/// Link parameters (mirror of `desim::NetModel`, kept dependency-free).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkModel {
+    /// One-way message latency.
+    pub latency: Micros,
+    /// Payload bandwidth in bytes per microsecond (GbE ≈ 125).
+    pub bandwidth_bytes_per_us: f64,
+}
+
+impl Default for LinkModel {
+    /// Gigabit Ethernet with ~100 µs software latency.
+    fn default() -> Self {
+        LinkModel {
+            latency: Micros(100),
+            bandwidth_bytes_per_us: 125.0,
+        }
+    }
+}
+
+impl LinkModel {
+    /// Transfer time for `bytes`.
+    #[must_use]
+    pub fn transfer(&self, bytes: u64) -> Micros {
+        let ser = if self.bandwidth_bytes_per_us.is_finite() && self.bandwidth_bytes_per_us > 0.0
+        {
+            Micros((bytes as f64 / self.bandwidth_bytes_per_us) as u64)
+        } else {
+            Micros::ZERO
+        };
+        self.latency + ser
+    }
+}
+
+type Delivery = Box<dyn FnOnce() + Send>;
+
+struct PendingDelivery {
+    deadline: Instant,
+    seq: u64,
+    deliver: Delivery,
+}
+
+impl PartialEq for PendingDelivery {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for PendingDelivery {}
+impl PartialOrd for PendingDelivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingDelivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+struct NetState {
+    queue: BinaryHeap<Reverse<PendingDelivery>>,
+    seq: u64,
+    stopped: bool,
+}
+
+/// A delivery thread emulating network transfer delays.
+pub struct NetworkSim {
+    state: Mutex<NetState>,
+    cond: Condvar,
+}
+
+impl NetworkSim {
+    /// Start the delivery thread. Returns the handle applications pass to
+    /// [`RemoteOutput`]s; the thread stops when the handle is dropped or
+    /// [`NetworkSim::stop`] is called.
+    #[must_use]
+    pub fn start() -> Arc<NetworkSim> {
+        let net = Arc::new(NetworkSim {
+            state: Mutex::new(NetState {
+                queue: BinaryHeap::new(),
+                seq: 0,
+                stopped: false,
+            }),
+            cond: Condvar::new(),
+        });
+        let worker = Arc::clone(&net);
+        std::thread::Builder::new()
+            .name("network-sim".into())
+            .spawn(move || worker.run())
+            .expect("spawn network sim");
+        net
+    }
+
+    fn run(&self) {
+        let mut st = self.state.lock();
+        loop {
+            if st.stopped {
+                return;
+            }
+            let now = Instant::now();
+            // Deliver everything due.
+            while let Some(Reverse(head)) = st.queue.peek() {
+                if head.deadline <= now {
+                    let Reverse(p) = st.queue.pop().unwrap();
+                    // run outside the lock so deliveries can't deadlock with
+                    // senders
+                    drop(st);
+                    (p.deliver)();
+                    st = self.state.lock();
+                } else {
+                    break;
+                }
+            }
+            if st.stopped {
+                return;
+            }
+            match st.queue.peek() {
+                Some(Reverse(head)) => {
+                    let wait = head.deadline.saturating_duration_since(Instant::now());
+                    self.cond.wait_for(&mut st, wait);
+                }
+                None => {
+                    self.cond.wait(&mut st);
+                }
+            }
+        }
+    }
+
+    /// Schedule a delivery after `delay`.
+    pub(crate) fn schedule(&self, delay: Micros, deliver: Delivery) {
+        let mut st = self.state.lock();
+        if st.stopped {
+            return;
+        }
+        st.seq += 1;
+        let seq = st.seq;
+        st.queue.push(Reverse(PendingDelivery {
+            deadline: Instant::now() + std::time::Duration::from(delay),
+            seq,
+            deliver,
+        }));
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    /// Number of in-flight deliveries.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Stop the delivery thread; pending deliveries are dropped (the run is
+    /// over).
+    pub fn stop(&self) {
+        let mut st = self.state.lock();
+        st.stopped = true;
+        st.queue.clear();
+        drop(st);
+        self.cond.notify_all();
+    }
+}
+
+/// A producer endpoint whose puts cross a simulated link: the item becomes
+/// visible in the channel after the transfer time. Wraps the endpoint
+/// returned by `RuntimeBuilder::connect_out` via [`RemoteOutput::new`].
+pub struct RemoteOutput<T: ItemData> {
+    inner: crate::channel::Output<T>,
+    net: Arc<NetworkSim>,
+    link: LinkModel,
+}
+
+impl<T: ItemData> RemoteOutput<T> {
+    /// Wrap a local endpoint with a link.
+    #[must_use]
+    pub fn new(inner: crate::channel::Output<T>, net: Arc<NetworkSim>, link: LinkModel) -> Self {
+        RemoteOutput { inner, net, link }
+    }
+
+    /// Put across the link: the value is materialized now (it occupies the
+    /// sender while in flight conceptually, though accounting attributes it
+    /// to the destination channel at arrival) and becomes visible after the
+    /// transfer time. The channel's current summary-STP returns immediately
+    /// (piggybacked on the simulated ack).
+    pub fn put(&self, ctx: &mut TaskCtx, ts: Timestamp, value: T) -> Result<(), StampedeError> {
+        let bytes = value.size_bytes();
+        let delay = self.link.transfer(bytes);
+        let ch: Arc<Channel<T>> = Arc::clone(&self.inner.ch);
+        // Feedback from the ack: the channel's summary right now.
+        if let Some(stp) = ch.summary() {
+            ctx.receive_feedback(self.inner.thread_out_index, stp);
+        }
+        // The item exists from the moment the sender materializes it; the
+        // transfer only delays its *visibility* in the channel (this is
+        // also what makes pipeline latency include the transfer).
+        let id = ctx
+            .trace()
+            .alloc(ctx.now(), ch.node(), ts, bytes, ctx.iter_key());
+        self.net.schedule(
+            delay,
+            Box::new(move || {
+                ch.insert_prealloc(ts, value, id, bytes);
+            }),
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn link_transfer_times() {
+        let l = LinkModel::default();
+        assert_eq!(l.transfer(0), Micros(100));
+        let t = l.transfer(738_000);
+        assert!(t > Micros(5_000) && t < Micros(8_000));
+    }
+
+    #[test]
+    fn deliveries_happen_in_deadline_order() {
+        let net = NetworkSim::start();
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for (delay_ms, tag) in [(30u64, 3), (10, 1), (20, 2)] {
+            let order = Arc::clone(&order);
+            net.schedule(
+                Micros::from_millis(delay_ms),
+                Box::new(move || order.lock().push(tag)),
+            );
+        }
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(*order.lock(), vec![1, 2, 3]);
+        net.stop();
+    }
+
+    #[test]
+    fn stop_drops_pending() {
+        let net = NetworkSim::start();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        net.schedule(
+            Micros::from_secs(30),
+            Box::new(move || {
+                h.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        assert_eq!(net.in_flight(), 1);
+        net.stop();
+        assert_eq!(net.in_flight(), 0);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn immediate_delivery_with_zero_delay() {
+        let net = NetworkSim::start();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        net.schedule(
+            Micros::ZERO,
+            Box::new(move || {
+                h.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        net.stop();
+    }
+}

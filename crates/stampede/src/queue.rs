@@ -1,0 +1,310 @@
+//! Timestamped FIFO queues with destructive gets.
+//!
+//! Stampede queues complement channels: items are delivered in FIFO order
+//! and a `get` removes the item (each item is consumed by exactly one
+//! consumer). ARU piggybacking is identical to channels: consumers deposit
+//! their summary-STP on `get`, producers receive the queue's summary as the
+//! return of `put`.
+//!
+//! Under DGC a queue can also drop queued items whose timestamps are
+//! provably dead downstream (`apply_dead_before`), which is the queue
+//! analogue of channel reclamation.
+
+use crate::channel::BufferAdmin;
+use crate::error::StampedeError;
+use crate::item::{ItemData, StampedItem};
+use crate::task::TaskCtx;
+use aru_core::{AruConfig, AruController, NodeId, NodeKind};
+use aru_gc::ConsumerMarks;
+use aru_metrics::{ItemId, IterKey, SharedTrace};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use vtime::{Clock, Timestamp};
+
+struct QStored<T> {
+    ts: Timestamp,
+    value: Arc<T>,
+    id: ItemId,
+    bytes: u64,
+}
+
+struct QueueState<T> {
+    items: VecDeque<QStored<T>>,
+    marks: ConsumerMarks,
+    aru: AruController,
+    closed: bool,
+    live_bytes: u64,
+}
+
+/// A FIFO buffer of timestamped items.
+pub struct Queue<T: ItemData> {
+    node: NodeId,
+    name: String,
+    clock: Arc<dyn Clock>,
+    trace: SharedTrace,
+    state: Mutex<QueueState<T>>,
+    cond: Condvar,
+}
+
+impl<T: ItemData> Queue<T> {
+    pub(crate) fn new(
+        node: NodeId,
+        name: String,
+        config: &AruConfig,
+        clock: Arc<dyn Clock>,
+        trace: SharedTrace,
+    ) -> Self {
+        Queue {
+            node,
+            name,
+            clock,
+            trace,
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                marks: ConsumerMarks::new(0),
+                aru: AruController::new(NodeKind::Queue, 0, false, config),
+                closed: false,
+                live_bytes: 0,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn configure_consumers(&self, n: usize) {
+        let mut st = self.state.lock();
+        st.marks = ConsumerMarks::new(n);
+        st.aru.ensure_outputs(n);
+    }
+
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Enqueue; returns the queue's summary-STP as backward feedback.
+    pub fn put(
+        &self,
+        ts: Timestamp,
+        value: T,
+        producer: IterKey,
+    ) -> Result<Option<aru_core::Stp>, StampedeError> {
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(StampedeError::Closed);
+        }
+        let bytes = value.size_bytes();
+        let id = self.trace.alloc(now, self.node, ts, bytes, producer);
+        st.items.push_back(QStored {
+            ts,
+            value: Arc::new(value),
+            id,
+            bytes,
+        });
+        st.live_bytes += bytes;
+        let summary = st.aru.summary();
+        drop(st);
+        self.cond.notify_one();
+        Ok(summary)
+    }
+
+    /// Dequeue the oldest item, blocking while empty.
+    pub fn get(
+        &self,
+        chan_out_index: usize,
+        ctx: &mut TaskCtx,
+    ) -> Result<StampedItem<T>, StampedeError> {
+        let mut st = self.state.lock();
+        let mut blocked = false;
+        loop {
+            if let Some(stored) = st.items.pop_front() {
+                if blocked {
+                    ctx.block_end(self.clock.now());
+                }
+                st.live_bytes -= stored.bytes;
+                st.marks.advance(chan_out_index, stored.ts);
+                if let Some(summary) = ctx.summary() {
+                    st.aru.receive_feedback(chan_out_index, summary);
+                }
+                let now = self.clock.now();
+                self.trace.get(now, stored.id, ctx.iter_key());
+                self.trace.free(now, stored.id);
+                return Ok(StampedItem {
+                    ts: stored.ts,
+                    value: stored.value,
+                });
+            }
+            if st.closed {
+                if blocked {
+                    ctx.block_end(self.clock.now());
+                }
+                return Err(StampedeError::Closed);
+            }
+            if !blocked {
+                blocked = true;
+                ctx.block_begin(self.clock.now());
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking dequeue.
+    pub fn try_get(
+        &self,
+        chan_out_index: usize,
+        ctx: &mut TaskCtx,
+    ) -> Result<Option<StampedItem<T>>, StampedeError> {
+        let mut st = self.state.lock();
+        match st.items.pop_front() {
+            Some(stored) => {
+                st.live_bytes -= stored.bytes;
+                st.marks.advance(chan_out_index, stored.ts);
+                if let Some(summary) = ctx.summary() {
+                    st.aru.receive_feedback(chan_out_index, summary);
+                }
+                let now = self.clock.now();
+                self.trace.get(now, stored.id, ctx.iter_key());
+                self.trace.free(now, stored.id);
+                Ok(Some(StampedItem {
+                    ts: stored.ts,
+                    value: stored.value,
+                }))
+            }
+            None if st.closed => Err(StampedeError::Closed),
+            None => Ok(None),
+        }
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[must_use]
+    pub fn live_bytes(&self) -> u64 {
+        self.state.lock().live_bytes
+    }
+
+    /// Snapshot the consumer marks (for DGC).
+    #[must_use]
+    pub fn marks_snapshot(&self) -> ConsumerMarks {
+        self.state.lock().marks.clone()
+    }
+
+    /// Drop queued items with `ts < bound` (their downstream outputs are
+    /// provably dead).
+    pub fn apply_dead_before(&self, bound: Timestamp) {
+        let mut st = self.state.lock();
+        let now = self.clock.now();
+        let mut kept = VecDeque::with_capacity(st.items.len());
+        while let Some(stored) = st.items.pop_front() {
+            if stored.ts < bound {
+                st.live_bytes -= stored.bytes;
+                self.trace.free(now, stored.id);
+            } else {
+                kept.push_back(stored);
+            }
+        }
+        st.items = kept;
+    }
+
+    /// Close: wake blocked getters; free queued items.
+    pub fn close(&self) {
+        let mut st = self.state.lock();
+        if st.closed {
+            return;
+        }
+        st.closed = true;
+        let now = self.clock.now();
+        while let Some(stored) = st.items.pop_front() {
+            self.trace.free(now, stored.id);
+        }
+        st.live_bytes = 0;
+        drop(st);
+        self.cond.notify_all();
+    }
+}
+
+impl<T: ItemData> BufferAdmin for Queue<T> {
+    fn node(&self) -> NodeId {
+        Queue::node(self)
+    }
+    fn configure_consumers(&self, n: usize) {
+        Queue::configure_consumers(self, n)
+    }
+    fn marks_snapshot(&self) -> ConsumerMarks {
+        Queue::marks_snapshot(self)
+    }
+    fn apply_dead_before(&self, bound: Timestamp) {
+        Queue::apply_dead_before(self, bound)
+    }
+    fn close(&self) {
+        Queue::close(self)
+    }
+    fn live_bytes(&self) -> u64 {
+        Queue::live_bytes(self)
+    }
+}
+
+/// Producer endpoint for a queue.
+pub struct QueueOutput<T: ItemData> {
+    pub(crate) q: Arc<Queue<T>>,
+    pub(crate) thread_out_index: usize,
+}
+
+impl<T: ItemData> QueueOutput<T> {
+    /// Enqueue an item, folding the queue's summary-STP back into the
+    /// producing thread.
+    pub fn put(&self, ctx: &mut TaskCtx, ts: Timestamp, value: T) -> Result<(), StampedeError> {
+        let summary = self.q.put(ts, value, ctx.iter_key())?;
+        if let Some(stp) = summary {
+            ctx.receive_feedback(self.thread_out_index, stp);
+        }
+        Ok(())
+    }
+
+    #[must_use]
+    pub fn queue(&self) -> &Queue<T> {
+        &self.q
+    }
+
+    /// A shared handle to the queue (for monitoring outside the task).
+    #[must_use]
+    pub fn queue_arc(&self) -> Arc<Queue<T>> {
+        Arc::clone(&self.q)
+    }
+}
+
+/// Consumer endpoint for a queue.
+pub struct QueueInput<T: ItemData> {
+    pub(crate) q: Arc<Queue<T>>,
+    pub(crate) chan_out_index: usize,
+}
+
+impl<T: ItemData> QueueInput<T> {
+    /// Blocking FIFO get.
+    pub fn get(&mut self, ctx: &mut TaskCtx) -> Result<StampedItem<T>, StampedeError> {
+        self.q.get(self.chan_out_index, ctx)
+    }
+
+    /// Non-blocking FIFO get.
+    pub fn try_get(&mut self, ctx: &mut TaskCtx) -> Result<Option<StampedItem<T>>, StampedeError> {
+        self.q.try_get(self.chan_out_index, ctx)
+    }
+
+    #[must_use]
+    pub fn queue(&self) -> &Queue<T> {
+        &self.q
+    }
+}

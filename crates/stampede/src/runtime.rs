@@ -1,0 +1,268 @@
+//! The running pipeline: thread spawning, the DGC driver, shutdown, and
+//! run reports.
+
+use crate::channel::BufferAdmin;
+use crate::error::TaskResult;
+use crate::shutdown::Shutdown;
+use crate::task::TaskCtx;
+use aru_core::{AruConfig, NodeId, Topology};
+use aru_gc::{ConsumerMarks, DgcEngine, DgcResult, GcMode, IdealGc};
+use aru_metrics::{
+    FootprintReport, Lineage, PerfReport, SharedTrace, Trace, TraceEvent, WasteReport,
+};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use vtime::{Clock, Micros, SimTime};
+
+type Body = Box<dyn FnMut(&mut TaskCtx) -> TaskResult + Send>;
+
+/// A frozen, ready-to-run pipeline (produced by
+/// [`RuntimeBuilder::build`](crate::builder::RuntimeBuilder::build)).
+pub struct Runtime {
+    topo: Topology,
+    config: AruConfig,
+    gc_mode: GcMode,
+    gc_interval: Micros,
+    clock: Arc<dyn Clock>,
+    trace: SharedTrace,
+    admins: Vec<Arc<dyn BufferAdmin>>,
+    tasks: Vec<(NodeId, String)>,
+    bodies: HashMap<NodeId, Body>,
+}
+
+impl Runtime {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        topo: Topology,
+        config: AruConfig,
+        gc_mode: GcMode,
+        gc_interval: Micros,
+        clock: Arc<dyn Clock>,
+        trace: SharedTrace,
+        admins: Vec<Arc<dyn BufferAdmin>>,
+        tasks: Vec<(NodeId, String)>,
+        bodies: HashMap<NodeId, Body>,
+    ) -> Self {
+        Runtime {
+            topo,
+            config,
+            gc_mode,
+            gc_interval,
+            clock,
+            trace,
+            admins,
+            tasks,
+            bodies,
+        }
+    }
+
+    /// The frozen task graph.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Start every task thread (plus the DGC driver when the GC mode calls
+    /// for it) and return a handle for stopping the run.
+    #[must_use]
+    pub fn start(mut self) -> Running {
+        let shutdown = Shutdown::new();
+        let dgc_shared = Arc::new(RwLock::new(DgcResult::default()));
+
+        let mut handles = Vec::with_capacity(self.tasks.len());
+        for (node, name) in &self.tasks {
+            let body = self.bodies.remove(node).expect("validated at build");
+            let ctx = TaskCtx::new(
+                *node,
+                name.clone(),
+                self.topo.out_degree(*node),
+                self.topo.in_degree(*node) == 0,
+                &self.config,
+                Arc::clone(&self.clock),
+                self.trace.clone(),
+                shutdown.clone(),
+                Arc::clone(&dgc_shared),
+            );
+            let handle = std::thread::Builder::new()
+                .name(name.clone())
+                .spawn(move || ctx.run(body))
+                .expect("spawn task thread");
+            handles.push(handle);
+        }
+
+        let gc_handle = if self.gc_mode == GcMode::Dgc {
+            let engine = DgcEngine::new(&self.topo);
+            let topo = self.topo.clone();
+            let admins: Vec<Arc<dyn BufferAdmin>> = self.admins.clone();
+            let sd = shutdown.clone();
+            let shared = Arc::clone(&dgc_shared);
+            let interval = self.gc_interval;
+            Some(
+                std::thread::Builder::new()
+                    .name("dgc-driver".into())
+                    .spawn(move || loop {
+                        if sd.is_set() {
+                            break;
+                        }
+                        let marks: HashMap<NodeId, ConsumerMarks> = admins
+                            .iter()
+                            .map(|a| (a.node(), a.marks_snapshot()))
+                            .collect();
+                        let result = engine.compute(&topo, &marks);
+                        for a in &admins {
+                            a.apply_dead_before(result.buffer_dead_before(a.node()));
+                        }
+                        *shared.write() = result;
+                        if sd.sleep(interval) {
+                            break;
+                        }
+                    })
+                    .expect("spawn dgc driver"),
+            )
+        } else {
+            None
+        };
+
+        Running {
+            topo: self.topo,
+            clock: self.clock,
+            trace: self.trace,
+            admins: self.admins,
+            shutdown,
+            handles,
+            gc_handle,
+        }
+    }
+
+    /// Convenience: start, run for `duration` of wall time, stop, report.
+    pub fn run_for(self, duration: Micros) -> Result<RunReport, BoxedJoinError> {
+        let running = self.start();
+        std::thread::sleep(duration.into());
+        running.stop()
+    }
+}
+
+/// Error carrying a panicked task's name.
+#[derive(Debug)]
+pub struct BoxedJoinError(pub String);
+
+impl std::fmt::Display for BoxedJoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task thread panicked: {}", self.0)
+    }
+}
+
+impl std::error::Error for BoxedJoinError {}
+
+/// A started pipeline.
+pub struct Running {
+    topo: Topology,
+    clock: Arc<dyn Clock>,
+    trace: SharedTrace,
+    admins: Vec<Arc<dyn BufferAdmin>>,
+    shutdown: Shutdown,
+    handles: Vec<JoinHandle<u64>>,
+    gc_handle: Option<JoinHandle<()>>,
+}
+
+impl Running {
+    /// Request shutdown, close every buffer (waking blocked getters), join
+    /// all threads, and produce the run report.
+    pub fn stop(self) -> Result<RunReport, BoxedJoinError> {
+        self.shutdown.set();
+        for a in &self.admins {
+            a.close();
+        }
+        for h in self.handles {
+            let name = h.thread().name().unwrap_or("<task>").to_string();
+            h.join().map_err(|_| BoxedJoinError(name))?;
+        }
+        if let Some(h) = self.gc_handle {
+            h.join().map_err(|_| BoxedJoinError("dgc-driver".into()))?;
+        }
+        let t_end = self.clock.now();
+        Ok(RunReport {
+            trace: self.trace.snapshot(),
+            topo: self.topo,
+            t_end,
+        })
+    }
+
+    /// Is the pipeline still running (i.e. shutdown not yet requested)?
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        !self.shutdown.is_set()
+    }
+
+    /// Bytes currently held across all buffers — a live view of the
+    /// application memory footprint.
+    #[must_use]
+    pub fn live_bytes(&self) -> u64 {
+        self.admins.iter().map(|a| a.live_bytes()).sum()
+    }
+}
+
+/// Everything recorded during one run, plus the postmortem analyses.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub trace: Trace,
+    pub topo: Topology,
+    pub t_end: SimTime,
+}
+
+impl RunReport {
+    /// Number of sink outputs (frames that made it through the pipeline).
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::SinkOutput { .. }))
+            .count()
+    }
+
+    /// Per-thread execution statistics (named via the stored topology with
+    /// [`aru_metrics::thread_stats::render_thread_stats`]).
+    #[must_use]
+    pub fn thread_stats(
+        &self,
+    ) -> std::collections::BTreeMap<NodeId, aru_metrics::ThreadStats> {
+        let lineage = Lineage::analyze(&self.trace);
+        aru_metrics::thread_stats(&self.trace, &lineage)
+    }
+
+    /// Per-channel occupancy statistics.
+    #[must_use]
+    pub fn channel_stats(
+        &self,
+    ) -> std::collections::BTreeMap<NodeId, aru_metrics::ChannelStats> {
+        aru_metrics::channel_stats(&self.trace, self.t_end)
+    }
+
+    /// Run the full postmortem suite.
+    #[must_use]
+    pub fn analyze(&self) -> RunAnalysis {
+        let lineage = Lineage::analyze(&self.trace);
+        let footprint = FootprintReport::compute(&self.trace, &lineage, self.t_end);
+        let waste = WasteReport::compute(&lineage, self.t_end);
+        let perf = PerfReport::compute(&self.trace, &lineage, self.t_end);
+        let igc = IdealGc::from_lineage(&lineage, self.t_end);
+        RunAnalysis {
+            footprint,
+            waste,
+            perf,
+            igc,
+        }
+    }
+}
+
+/// Bundled postmortem results for one run.
+#[derive(Debug, Clone)]
+pub struct RunAnalysis {
+    pub footprint: FootprintReport,
+    pub waste: WasteReport,
+    pub perf: PerfReport,
+    pub igc: IdealGc,
+}

@@ -1,0 +1,95 @@
+//! Cooperative shutdown signal with interruptible sleeping.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+use vtime::Micros;
+
+/// A shared shutdown flag that paced threads can sleep against so that
+/// stopping the runtime never waits out a pacing sleep.
+#[derive(Debug, Clone, Default)]
+pub struct Shutdown {
+    inner: Arc<ShutdownInner>,
+}
+
+#[derive(Debug, Default)]
+struct ShutdownInner {
+    flag: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl Shutdown {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Has shutdown been requested?
+    #[must_use]
+    pub fn is_set(&self) -> bool {
+        *self.inner.flag.lock()
+    }
+
+    /// Request shutdown and wake every sleeper.
+    pub fn set(&self) {
+        let mut g = self.inner.flag.lock();
+        *g = true;
+        self.inner.cond.notify_all();
+    }
+
+    /// Sleep for `d`, waking early on shutdown. Returns `true` if shutdown
+    /// was requested (before or during the sleep).
+    pub fn sleep(&self, d: Micros) -> bool {
+        if d.is_zero() {
+            return self.is_set();
+        }
+        let mut g = self.inner.flag.lock();
+        if *g {
+            return true;
+        }
+        self.inner
+            .cond
+            .wait_for(&mut g, Duration::from(d));
+        *g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn sleep_times_out_without_shutdown() {
+        let s = Shutdown::new();
+        let t0 = Instant::now();
+        let interrupted = s.sleep(Micros::from_millis(5));
+        assert!(!interrupted);
+        assert!(t0.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn set_wakes_sleeper_early() {
+        let s = Shutdown::new();
+        let s2 = s.clone();
+        let h = std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let interrupted = s2.sleep(Micros::from_secs(10));
+            (interrupted, t0.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        s.set();
+        let (interrupted, elapsed) = h.join().unwrap();
+        assert!(interrupted);
+        assert!(elapsed < Duration::from_secs(5), "woke early");
+    }
+
+    #[test]
+    fn zero_sleep_reports_state() {
+        let s = Shutdown::new();
+        assert!(!s.sleep(Micros::ZERO));
+        s.set();
+        assert!(s.sleep(Micros::ZERO));
+        assert!(s.sleep(Micros::from_millis(50)), "already set: immediate");
+    }
+}

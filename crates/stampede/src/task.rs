@@ -1,0 +1,359 @@
+//! Task threads: the canonical Stampede loop plus ARU hooks.
+//!
+//! Every application task runs:
+//!
+//! ```text
+//! loop {
+//!     iteration_begin                  // clock read
+//!     body(ctx)                        // gets (may block) → compute → puts
+//!     periodicity_sync                 // current-STP, summary-STP, pacing
+//!     sleep(pacing residual)           // sources only, by default
+//! }
+//! ```
+//!
+//! The runtime owns the loop; the application supplies only the body, which
+//! is exactly the programming model the paper describes ("each thread is
+//! required to call \[periodicity_sync\] at the end of every thread iteration
+//! loop" — here the runtime calls it for you).
+
+use crate::error::{Step, TaskResult};
+use crate::shutdown::Shutdown;
+use aru_core::{AruConfig, AruController, NodeId, NodeKind, Stp};
+use aru_gc::DgcResult;
+use aru_metrics::{IterKey, SharedTrace};
+use parking_lot::RwLock;
+use std::sync::Arc;
+use vtime::{Clock, SimTime, Timestamp};
+
+/// Per-task context handed to the body on every iteration.
+///
+/// It carries the thread's ARU controller (STP meter, backward vector,
+/// pacer), the trace recorder, the shutdown signal and the live DGC result
+/// for computation elimination.
+pub struct TaskCtx {
+    node: NodeId,
+    name: String,
+    seq: u64,
+    controller: AruController,
+    clock: Arc<dyn Clock>,
+    trace: SharedTrace,
+    shutdown: Shutdown,
+    dgc: Arc<RwLock<DgcResult>>,
+    /// Deferred channel releases, flushed when the iteration ends
+    /// (consume-on-iteration-end semantics).
+    releases: Vec<Box<dyn FnOnce() + Send>>,
+}
+
+impl TaskCtx {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        node: NodeId,
+        name: String,
+        n_outputs: usize,
+        is_source: bool,
+        config: &AruConfig,
+        clock: Arc<dyn Clock>,
+        trace: SharedTrace,
+        shutdown: Shutdown,
+        dgc: Arc<RwLock<DgcResult>>,
+    ) -> Self {
+        TaskCtx {
+            node,
+            name,
+            seq: 0,
+            controller: AruController::new(NodeKind::Thread, n_outputs, is_source, config),
+            clock,
+            trace,
+            shutdown,
+            dgc,
+            releases: Vec::new(),
+        }
+    }
+
+    /// This task's node id in the task graph.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Task name (diagnostics).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Identity of the current iteration (for trace lineage).
+    #[must_use]
+    pub fn iter_key(&self) -> IterKey {
+        IterKey::new(self.node, self.seq)
+    }
+
+    /// Has the runtime requested shutdown? Long-running bodies should poll
+    /// this and return [`Step::Stop`].
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.is_set()
+    }
+
+    /// DGC computation elimination (paper §4): is virtual time `ts` already
+    /// dead in every buffer this thread feeds? If so, processing an input
+    /// with that timestamp is provably wasted and the body should skip it.
+    #[must_use]
+    pub fn should_skip(&self, ts: Timestamp) -> bool {
+        ts < self.dgc.read().thread_skip_before(self.node)
+    }
+
+    /// Record that this (sink) task emitted a pipeline output for frame
+    /// `ts` — e.g. the GUI displayed a tracking result.
+    pub fn emit_output(&mut self, ts: Timestamp) {
+        let now = self.clock.now();
+        self.trace.sink_output(now, self.iter_key(), ts);
+    }
+
+    /// The thread's current summary-STP (piggybacked on gets).
+    #[must_use]
+    pub fn summary(&self) -> Option<Stp> {
+        self.controller.summary()
+    }
+
+    // ---- hooks used by channel/queue endpoints ------------------------------
+
+    pub(crate) fn block_begin(&mut self, now: SimTime) {
+        self.controller.block_begin(now);
+    }
+
+    pub(crate) fn block_end(&mut self, now: SimTime) {
+        self.controller.block_end(now);
+    }
+
+    pub(crate) fn receive_feedback(&mut self, out_index: usize, stp: Stp) {
+        self.controller.receive_feedback(out_index, stp);
+    }
+
+    /// Register a channel release to run when the current iteration ends.
+    pub(crate) fn defer_release(&mut self, release: Box<dyn FnOnce() + Send>) {
+        self.releases.push(release);
+    }
+
+    /// Trace recorder (crate-internal: used by the network layer to record
+    /// allocations at send time).
+    pub(crate) fn trace(&self) -> &SharedTrace {
+        &self.trace
+    }
+
+    // ---- loop driver --------------------------------------------------------
+
+    /// Run the task loop to completion. Returns the number of iterations.
+    pub(crate) fn run(mut self, mut body: Box<dyn FnMut(&mut TaskCtx) -> TaskResult + Send>) -> u64 {
+        loop {
+            if self.shutdown.is_set() {
+                break;
+            }
+            let t0 = self.clock.now();
+            self.controller.iteration_begin(t0);
+            let step = body(&mut self);
+            debug_assert!(
+                !self.controller.is_blocked(),
+                "task body returned while blocked"
+            );
+            // The iteration is over: release every item it consumed so the
+            // channels' GC marks advance.
+            for release in self.releases.drain(..) {
+                release();
+            }
+            let t1 = self.clock.now();
+            let outcome = self.controller.iteration_end(t1);
+            let key = self.iter_key();
+            self.trace.iter_end(t1, key, outcome.current_stp.period());
+            self.seq += 1;
+            match step {
+                Ok(Step::Continue) => {
+                    if !outcome.sleep.is_zero() && self.shutdown.sleep(outcome.sleep) {
+                        break;
+                    }
+                }
+                Ok(Step::Stop) | Err(_) => break,
+            }
+        }
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::StampedeError;
+    use vtime::{ManualClock, Micros};
+
+    fn ctx(clock: ManualClock) -> TaskCtx {
+        TaskCtx::new(
+            NodeId(0),
+            "t".into(),
+            1,
+            true,
+            &AruConfig::aru_min(),
+            Arc::new(clock),
+            SharedTrace::new(),
+            Shutdown::new(),
+            Arc::new(RwLock::new(DgcResult::default())),
+        )
+    }
+
+    #[test]
+    fn loop_stops_on_stop() {
+        let clock = ManualClock::new();
+        let c = ctx(clock);
+        let mut count = 0;
+        let iters = c.run(Box::new(move |_| {
+            count += 1;
+            if count >= 3 {
+                Ok(Step::Stop)
+            } else {
+                Ok(Step::Continue)
+            }
+        }));
+        assert_eq!(iters, 3);
+    }
+
+    #[test]
+    fn loop_stops_on_error() {
+        let clock = ManualClock::new();
+        let c = ctx(clock);
+        let iters = c.run(Box::new(|_| Err(StampedeError::Closed)));
+        assert_eq!(iters, 1);
+    }
+
+    #[test]
+    fn loop_stops_on_shutdown() {
+        let clock = ManualClock::new();
+        let shutdown = Shutdown::new();
+        let c = TaskCtx::new(
+            NodeId(0),
+            "t".into(),
+            0,
+            true,
+            &AruConfig::aru_min(),
+            Arc::new(clock),
+            SharedTrace::new(),
+            shutdown.clone(),
+            Arc::new(RwLock::new(DgcResult::default())),
+        );
+        shutdown.set();
+        let iters = c.run(Box::new(|_| Ok(Step::Continue)));
+        assert_eq!(iters, 0);
+    }
+
+    #[test]
+    fn iterations_are_traced() {
+        let clock = ManualClock::new();
+        let trace = SharedTrace::new();
+        let c = TaskCtx::new(
+            NodeId(7),
+            "t".into(),
+            0,
+            true,
+            &AruConfig::aru_min(),
+            Arc::new(clock.clone()),
+            trace.clone(),
+            Shutdown::new(),
+            Arc::new(RwLock::new(DgcResult::default())),
+        );
+        let mut n = 0;
+        c.run(Box::new(move |ctx| {
+            let _ = ctx.now(); // touch
+            n += 1;
+            if n >= 2 {
+                Ok(Step::Stop)
+            } else {
+                Ok(Step::Continue)
+            }
+        }));
+        let snap = trace.snapshot();
+        let iter_ends = snap
+            .events()
+            .iter()
+            .filter(|e| matches!(e, aru_metrics::TraceEvent::IterEnd { .. }))
+            .count();
+        assert_eq!(iter_ends, 2);
+    }
+
+    #[test]
+    fn should_skip_consults_dgc() {
+        let clock = ManualClock::new();
+        let dgc = Arc::new(RwLock::new(DgcResult::default()));
+        let c = TaskCtx::new(
+            NodeId(3),
+            "t".into(),
+            1,
+            false,
+            &AruConfig::aru_min(),
+            Arc::new(clock),
+            SharedTrace::new(),
+            Shutdown::new(),
+            Arc::clone(&dgc),
+        );
+        assert!(!c.should_skip(Timestamp(5)));
+        dgc.write()
+            .skip_before
+            .insert(NodeId(3), Timestamp(10));
+        assert!(c.should_skip(Timestamp(5)));
+        assert!(!c.should_skip(Timestamp(10)));
+    }
+
+    #[test]
+    fn emit_output_traces_sink_event() {
+        let clock = ManualClock::new();
+        clock.set(SimTime(50));
+        let trace = SharedTrace::new();
+        let mut c = TaskCtx::new(
+            NodeId(1),
+            "gui".into(),
+            0,
+            false,
+            &AruConfig::aru_min(),
+            Arc::new(clock),
+            trace.clone(),
+            Shutdown::new(),
+            Arc::new(RwLock::new(DgcResult::default())),
+        );
+        c.emit_output(Timestamp(4));
+        let snap = trace.snapshot();
+        assert!(matches!(
+            snap.events()[0],
+            aru_metrics::TraceEvent::SinkOutput { ts: Timestamp(4), .. }
+        ));
+    }
+
+    #[test]
+    fn pacing_sleep_is_interruptible() {
+        // Source paced to a huge period must still stop promptly.
+        let shutdown = Shutdown::new();
+        let mut c = TaskCtx::new(
+            NodeId(0),
+            "src".into(),
+            1,
+            true,
+            &AruConfig::aru_min(),
+            Arc::new(vtime::WallClock::new()),
+            SharedTrace::new(),
+            shutdown.clone(),
+            Arc::new(RwLock::new(DgcResult::default())),
+        );
+        c.receive_feedback(0, Stp(Micros::from_secs(3600)));
+        let s2 = shutdown.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            s2.set();
+        });
+        let t0 = std::time::Instant::now();
+        c.run(Box::new(|_| Ok(Step::Continue)));
+        assert!(t0.elapsed() < std::time::Duration::from_secs(10));
+        h.join().unwrap();
+    }
+}

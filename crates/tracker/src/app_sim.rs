@@ -1,0 +1,249 @@
+//! The tracker on the discrete-event cluster simulator — the configuration
+//! used to regenerate the paper's tables and figures.
+//!
+//! Service-time medians are calibrated to the paper's 2005 testbed regime
+//! (550 MHz 8-way P-III Xeons): the digitizer captures at ~30 ms/frame and
+//! target detection — the pipeline bottleneck — takes ~200 ms/frame, which
+//! places the end-to-end throughput in the paper's 3–5 fps band. The two
+//! evaluation configurations mirror §5 exactly: all tasks on one node, or
+//! the five tasks on five nodes with each channel on its producer's node.
+
+use crate::graph::CHANNELS;
+use aru_core::AruConfig;
+use aru_gc::GcMode;
+use desim::{
+    CostModel, InputPolicy, NetModel, ServiceModel, Sim, SimBuilder, SimConfig, SimReport,
+    TaskSpec,
+};
+use vtime::Micros;
+
+/// Which of the paper's two experimental configurations to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackerConfigId {
+    /// Configuration 1: every task on a single 8-way node.
+    OneNode,
+    /// Configuration 2: the five tasks on five nodes over GbE (the two
+    /// target-detection threads share the task's node, as in the paper
+    /// where they belong to one task).
+    FiveNodes,
+}
+
+/// Median per-stage service times.
+#[derive(Debug, Clone, Copy)]
+pub struct StageServices {
+    pub digitizer: Micros,
+    pub change_detection: Micros,
+    pub histogram: Micros,
+    pub target_detection: Micros,
+    pub gui: Micros,
+}
+
+impl Default for StageServices {
+    fn default() -> Self {
+        StageServices {
+            digitizer: Micros::from_millis(30),
+            change_detection: Micros::from_millis(90),
+            histogram: Micros::from_millis(120),
+            target_detection: Micros::from_millis(200),
+            gui: Micros::from_millis(30),
+        }
+    }
+}
+
+/// Full parameter set for one simulated tracker run.
+#[derive(Debug, Clone)]
+pub struct SimTrackerParams {
+    pub aru: AruConfig,
+    pub gc: GcMode,
+    pub config: TrackerConfigId,
+    pub services: StageServices,
+    /// Log-normal σ of OS-scheduling noise on service times.
+    pub noise_sigma: f64,
+    pub cost: CostModel,
+    pub net: NetModel,
+    pub duration: Micros,
+    pub seed: u64,
+}
+
+impl SimTrackerParams {
+    /// Paper-regime defaults for a given ARU mode and configuration.
+    #[must_use]
+    pub fn new(aru: AruConfig, config: TrackerConfigId) -> Self {
+        SimTrackerParams {
+            aru,
+            gc: GcMode::Dgc,
+            config,
+            services: StageServices::default(),
+            noise_sigma: 0.12,
+            cost: CostModel::default(),
+            net: match config {
+                TrackerConfigId::OneNode => NetModel::local(),
+                TrackerConfigId::FiveNodes => NetModel::default(),
+            },
+            duration: Micros::from_secs(200),
+            seed: 2005,
+        }
+    }
+
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    #[must_use]
+    pub fn with_duration(mut self, duration: Micros) -> Self {
+        self.duration = duration;
+        self
+    }
+}
+
+/// Build the simulated tracker; returns the ready simulation inputs.
+#[must_use]
+pub fn build_sim(params: &SimTrackerParams) -> (SimBuilder, SimConfig) {
+    let mut b = SimBuilder::new();
+    // Cluster nodes: paper hardware is 8-way SMPs.
+    let nodes: Vec<_> = match params.config {
+        TrackerConfigId::OneNode => {
+            let n = b.node(8);
+            vec![n, n, n, n, n]
+        }
+        TrackerConfigId::FiveNodes => (0..5).map(|_| b.node(8)).collect(),
+    };
+    let (n_dig, n_cd, n_hist, n_td, n_gui) = (nodes[0], nodes[1], nodes[2], nodes[3], nodes[4]);
+
+    let sigma = params.noise_sigma;
+    let svc = &params.services;
+    let dig = b.source("digitizer", n_dig, ServiceModel::new(svc.digitizer, sigma));
+    let cd = b.task(
+        "change-detection",
+        n_cd,
+        TaskSpec::new(ServiceModel::new(svc.change_detection, sigma)),
+    );
+    let hist = b.task(
+        "histogram",
+        n_hist,
+        TaskSpec::new(ServiceModel::new(svc.histogram, sigma)),
+    );
+    let td1 = b.task(
+        "target-det-1",
+        n_td,
+        TaskSpec::new(ServiceModel::new(svc.target_detection, sigma)),
+    );
+    let td2 = b.task(
+        "target-det-2",
+        n_td,
+        TaskSpec::new(ServiceModel::new(svc.target_detection, sigma)),
+    );
+    let gui = b.task("gui", n_gui, TaskSpec::sink(ServiceModel::new(svc.gui, sigma)));
+
+    // Channels placed on their producer's node (paper §5). Item sizes from
+    // graph::CHANNELS (the §5 sizes).
+    let sz = |i: usize| CHANNELS[i].2;
+    let c1 = b.channel("C1", n_dig);
+    let c2 = b.channel("C2", n_dig);
+    let c3 = b.channel("C3", n_dig);
+    let c4 = b.channel("C4", n_cd);
+    let c5 = b.channel("C5", n_cd);
+    let c6 = b.channel("C6", n_td);
+    let c7 = b.channel("C7", n_hist);
+    let c8 = b.channel("C8", n_hist);
+    let c9 = b.channel("C9", n_td);
+
+    b.output(dig, c1, sz(0)).unwrap();
+    b.output(dig, c2, sz(1)).unwrap();
+    b.output(dig, c3, sz(2)).unwrap();
+    b.input(cd, c1, InputPolicy::DriverLatest).unwrap();
+    b.output(cd, c4, sz(3)).unwrap();
+    b.output(cd, c5, sz(4)).unwrap();
+    b.input(hist, c2, InputPolicy::DriverLatest).unwrap();
+    b.output(hist, c7, sz(6)).unwrap();
+    b.output(hist, c8, sz(7)).unwrap();
+    b.input(td1, c4, InputPolicy::DriverLatest).unwrap();
+    b.input(td1, c3, InputPolicy::JoinExact).unwrap();
+    b.input(td1, c7, InputPolicy::JoinLatestAtOrBefore).unwrap();
+    b.output(td1, c6, sz(5)).unwrap();
+    b.input(td2, c5, InputPolicy::DriverLatest).unwrap();
+    b.input(td2, c3, InputPolicy::JoinExact).unwrap();
+    b.input(td2, c8, InputPolicy::JoinLatestAtOrBefore).unwrap();
+    b.output(td2, c9, sz(8)).unwrap();
+    b.input(gui, c6, InputPolicy::DriverLatest).unwrap();
+    b.input(gui, c9, InputPolicy::LatestOpt).unwrap();
+
+    let mut cfg = SimConfig::new(params.aru.clone());
+    cfg.gc = params.gc;
+    cfg.cost = params.cost;
+    cfg.net = params.net;
+    cfg.duration = params.duration;
+    cfg.seed = params.seed;
+    (b, cfg)
+}
+
+/// Build and run one simulated tracker experiment.
+#[must_use]
+pub fn run_sim(params: &SimTrackerParams) -> SimReport {
+    let (b, cfg) = build_sim(params);
+    Sim::run(b, cfg).expect("tracker sim topology is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short(aru: AruConfig, config: TrackerConfigId) -> SimReport {
+        let params = SimTrackerParams::new(aru, config)
+            .with_duration(Micros::from_secs(30))
+            .with_seed(11);
+        run_sim(&params)
+    }
+
+    #[test]
+    fn tracker_sim_produces_output_one_node() {
+        let r = short(AruConfig::disabled(), TrackerConfigId::OneNode);
+        // bottleneck ~200-300 ms → at least ~60 outputs in 30 s
+        assert!(r.outputs() > 50, "outputs {}", r.outputs());
+    }
+
+    #[test]
+    fn tracker_sim_produces_output_five_nodes() {
+        let r = short(AruConfig::aru_min(), TrackerConfigId::FiveNodes);
+        assert!(r.outputs() > 50, "outputs {}", r.outputs());
+    }
+
+    #[test]
+    fn paper_shape_waste_ordering() {
+        let no = short(AruConfig::disabled(), TrackerConfigId::OneNode).analyze();
+        let min = short(AruConfig::aru_min(), TrackerConfigId::OneNode).analyze();
+        let max = short(AruConfig::aru_max(), TrackerConfigId::OneNode).analyze();
+        let (w_no, w_min, w_max) = (
+            no.waste.pct_memory_wasted(),
+            min.waste.pct_memory_wasted(),
+            max.waste.pct_memory_wasted(),
+        );
+        assert!(
+            w_no > w_min && w_min > w_max,
+            "waste ordering violated: no={w_no:.1} min={w_min:.1} max={w_max:.1}"
+        );
+        assert!(w_no > 40.0, "baseline should waste heavily: {w_no:.1}%");
+        assert!(w_max < 15.0, "ARU-max should waste little: {w_max:.1}%");
+    }
+
+    #[test]
+    fn paper_shape_footprint_ordering() {
+        let no = short(AruConfig::disabled(), TrackerConfigId::OneNode).analyze();
+        let min = short(AruConfig::aru_min(), TrackerConfigId::OneNode).analyze();
+        let max = short(AruConfig::aru_max(), TrackerConfigId::OneNode).analyze();
+        let fp = |a: &desim::report::SimAnalysis| a.footprint.observed_summary().mean;
+        assert!(fp(&no) > fp(&min), "no {} !> min {}", fp(&no), fp(&min));
+        assert!(fp(&min) > fp(&max), "min {} !> max {}", fp(&min), fp(&max));
+        // every run's observed footprint dominates its *own* ideal bound
+        for (label, a) in [("no", &no), ("min", &min), ("max", &max)] {
+            let igc = a.igc.summary().mean;
+            assert!(
+                fp(a) >= igc * 0.999,
+                "{label}: observed {} below own IGC {igc}",
+                fp(a)
+            );
+        }
+    }
+}

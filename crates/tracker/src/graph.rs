@@ -1,0 +1,148 @@
+//! The tracker task graph (paper Figure 5): 6 threads, 9 channels.
+//!
+//! ```text
+//!                 ┌─ C1 ─→ ChangeDetection ─ C4 ─→ TargetDet1 ─ C6 ─→ GUI
+//!                 │                        └ C5 ─→ TargetDet2 ─ C9 ─↗
+//!   Digitizer ────┼─ C2 ─→ Histogram ────── C7 ─→ TargetDet1
+//!                 │                        └ C8 ─→ TargetDet2
+//!                 └─ C3 ─→ (video frames) ─────→ TargetDet1 & TargetDet2
+//! ```
+//!
+//! * C1/C2/C3 carry 738 kB video frames (to change detection, histogram
+//!   and target detection respectively);
+//! * C4/C5 carry 246 kB motion masks (one channel per detection thread);
+//! * C7/C8 carry 981 kB histogram models (one per detection thread);
+//! * C6/C9 carry 68 B location records into the GUI.
+//!
+//! Each Target-Detection thread *drives* on its motion-mask channel (get
+//! latest), joins the video frame at the same timestamp (get exact), and
+//! takes the freshest histogram model at or before it.
+
+use aru_core::Topology;
+
+/// Task names in pipeline order.
+pub const TASKS: [&str; 6] = [
+    "digitizer",
+    "change-detection",
+    "histogram",
+    "target-det-1",
+    "target-det-2",
+    "gui",
+];
+
+/// Channel names (C1..C9) with their payload descriptions and sizes.
+pub const CHANNELS: [(&str, &str, u64); 9] = [
+    ("C1", "video frame → change detection", 737_280),
+    ("C2", "video frame → histogram", 737_280),
+    ("C3", "video frame → target detection", 737_280),
+    ("C4", "motion mask → target-det-1", 245_760),
+    ("C5", "motion mask → target-det-2", 245_760),
+    ("C6", "location model-1 → gui", 68),
+    ("C7", "histogram model → target-det-1", 983_040),
+    ("C8", "histogram model → target-det-2", 983_040),
+    ("C9", "location model-2 → gui", 68),
+];
+
+/// A descriptive handle for rendering / inspection.
+#[derive(Debug, Clone, Default)]
+pub struct TrackerGraph;
+
+impl TrackerGraph {
+    /// Build the abstract topology (the same wiring both runtimes use).
+    #[must_use]
+    pub fn topology() -> Topology {
+        let mut t = Topology::new();
+        let dig = t.add_thread(TASKS[0]);
+        let cd = t.add_thread(TASKS[1]);
+        let hist = t.add_thread(TASKS[2]);
+        let td1 = t.add_thread(TASKS[3]);
+        let td2 = t.add_thread(TASKS[4]);
+        let gui = t.add_thread(TASKS[5]);
+        let c: Vec<_> = CHANNELS
+            .iter()
+            .map(|(name, _, _)| t.add_channel(*name))
+            .collect();
+        // digitizer fan-out
+        t.connect(dig, c[0]).unwrap();
+        t.connect(dig, c[1]).unwrap();
+        t.connect(dig, c[2]).unwrap();
+        t.connect(c[0], cd).unwrap();
+        t.connect(c[1], hist).unwrap();
+        // change detection → per-detector mask channels
+        t.connect(cd, c[3]).unwrap();
+        t.connect(cd, c[4]).unwrap();
+        // histogram → per-detector model channels
+        t.connect(hist, c[6]).unwrap();
+        t.connect(hist, c[7]).unwrap();
+        // target detection inputs: mask (driver), frame (join), model (join)
+        t.connect(c[3], td1).unwrap();
+        t.connect(c[2], td1).unwrap();
+        t.connect(c[6], td1).unwrap();
+        t.connect(c[4], td2).unwrap();
+        t.connect(c[2], td2).unwrap();
+        t.connect(c[7], td2).unwrap();
+        // locations → GUI
+        t.connect(td1, c[5]).unwrap();
+        t.connect(td2, c[8]).unwrap();
+        t.connect(c[5], gui).unwrap();
+        t.connect(c[8], gui).unwrap();
+        t
+    }
+
+    /// Render the pipeline (for examples / the `repro` binary).
+    #[must_use]
+    pub fn render() -> String {
+        Self::topology().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_shape() {
+        let t = TrackerGraph::topology();
+        assert_eq!(t.node_count(), 6 + 9);
+        assert!(t.validate().is_ok());
+        // one source (digitizer), one sink (gui)
+        let sources: Vec<_> = t.source_threads().collect();
+        let sinks: Vec<_> = t.sink_threads().collect();
+        assert_eq!(sources.len(), 1);
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(t.name(sources[0]), "digitizer");
+        assert_eq!(t.name(sinks[0]), "gui");
+    }
+
+    #[test]
+    fn channel_degrees() {
+        let t = TrackerGraph::topology();
+        // C3 (frames to detection) has two consumers; every other channel 1.
+        for n in t.node_ids() {
+            if t.kind(n).is_buffer() {
+                let expected = if t.name(n) == "C3" { 2 } else { 1 };
+                assert_eq!(t.out_degree(n), expected, "channel {}", t.name(n));
+            }
+        }
+        // digitizer fans out to 3 channels; GUI consumes 2.
+        for n in t.node_ids() {
+            match t.name(n) {
+                "digitizer" => assert_eq!(t.out_degree(n), 3),
+                "gui" => assert_eq!(t.in_degree(n), 2),
+                "target-det-1" | "target-det-2" => assert_eq!(t.in_degree(n), 3),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_all_names() {
+        let s = TrackerGraph::render();
+        for task in TASKS {
+            assert!(s.contains(task), "missing {task}");
+        }
+        for (c, _, _) in CHANNELS {
+            assert!(s.contains(c), "missing {c}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Background differencing (the paper's Motion Mask / Background task).
+
+use crate::types::{Frame, MotionMask, FRAME_PIXELS};
+
+/// Summed absolute channel-difference threshold above which a pixel counts
+/// as foreground. The synthetic video applies the same noise sample to all
+/// three channels (max summed noise 3·12 = 36), so 60 rejects noise while
+/// target pixels differ by hundreds.
+pub const DIFF_THRESHOLD: i16 = 60;
+
+/// Compute the motion mask of `frame` against the static `background`.
+#[must_use]
+pub fn subtract_background(background: &Frame, frame: &Frame) -> MotionMask {
+    debug_assert_eq!(background.rgb.len(), frame.rgb.len());
+    let mut mask = vec![0u8; FRAME_PIXELS];
+    for (p, m) in mask.iter_mut().enumerate() {
+        let i = 3 * p;
+        let dr = (frame.rgb[i] as i16 - background.rgb[i] as i16).abs();
+        let dg = (frame.rgb[i + 1] as i16 - background.rgb[i + 1] as i16).abs();
+        let db = (frame.rgb[i + 2] as i16 - background.rgb[i + 2] as i16).abs();
+        if dr + dg + db > DIFF_THRESHOLD {
+            *m = 255;
+        }
+    }
+    MotionMask {
+        frame_no: frame.frame_no,
+        mask,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::SyntheticVideo;
+
+    #[test]
+    fn mask_covers_targets_not_background() {
+        let mut v = SyntheticVideo::two_person_scene(1);
+        v.noise_amp = 0;
+        let bg = v.background_frame();
+        let f = v.frame(20);
+        let m = subtract_background(&bg, &f);
+        // the two targets cover ~2-4% of the frame
+        let ratio = m.foreground_ratio();
+        assert!(
+            ratio > 0.01 && ratio < 0.10,
+            "foreground ratio {ratio} out of range"
+        );
+        // target center is foreground
+        let gt = v.ground_truth(0, 20);
+        let idx = gt.cy as usize * crate::types::FRAME_W + gt.cx as usize;
+        assert_eq!(m.mask[idx], 255);
+        // far corner is background
+        assert_eq!(m.mask[3], 0);
+    }
+
+    #[test]
+    fn noise_is_rejected() {
+        let v = SyntheticVideo::two_person_scene(1); // noise_amp = 12
+        let bg = v.background_frame();
+        let f = v.frame(20);
+        let m = subtract_background(&bg, &f);
+        assert!(
+            m.foreground_ratio() < 0.15,
+            "noise leaked into mask: {}",
+            m.foreground_ratio()
+        );
+    }
+
+    #[test]
+    fn identical_frames_give_empty_mask() {
+        let v = SyntheticVideo::two_person_scene(1);
+        let bg = v.background_frame();
+        let m = subtract_background(&bg, &bg);
+        assert_eq!(m.foreground_ratio(), 0.0);
+    }
+}

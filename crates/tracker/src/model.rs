@@ -1,0 +1,89 @@
+//! Color models for target detection.
+//!
+//! Each Target-Detection thread tracks one color model (paper §4: "each
+//! thread tracks a specific color model"). A model is a normalized RGB
+//! histogram of the target's appearance; detection back-projects it onto
+//! the frame.
+
+use crate::types::{rgb_bin, HIST_BINS};
+use crate::video::{SyntheticVideo, Target};
+
+/// A normalized color histogram describing one target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorModel {
+    pub id: u32,
+    pub bins: Vec<f32>,
+}
+
+impl ColorModel {
+    /// Build a model from a target descriptor by sampling its shaded color
+    /// patch (the same shading the video generator applies).
+    #[must_use]
+    pub fn from_target(id: u32, t: &Target) -> Self {
+        let mut bins = vec![0.0f32; HIST_BINS];
+        let mut count = 0.0f32;
+        for y in 0..16usize {
+            for x in 0..16usize {
+                let shade = ((x ^ y) & 7) as i16 - 3;
+                let r = (t.color.0 as i16 + shade).clamp(0, 255) as u8;
+                let g = (t.color.1 as i16 + shade).clamp(0, 255) as u8;
+                let b = (t.color.2 as i16 + shade).clamp(0, 255) as u8;
+                bins[rgb_bin(r, g, b) as usize] += 1.0;
+                count += 1.0;
+            }
+        }
+        for v in &mut bins {
+            *v /= count;
+        }
+        ColorModel { id, bins }
+    }
+
+    /// The standard pair of models for the two-person scene.
+    #[must_use]
+    pub fn scene_models(video: &SyntheticVideo) -> Vec<ColorModel> {
+        (0..video.target_count())
+            .map(|i| ColorModel::from_target(i as u32, video.target(i)))
+            .collect()
+    }
+
+    /// Likelihood weight of an RGB histogram bin under this model.
+    #[inline]
+    #[must_use]
+    pub fn weight(&self, bin: u32) -> f32 {
+        self.bins[bin as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_is_normalized() {
+        let v = SyntheticVideo::two_person_scene(1);
+        let m = ColorModel::from_target(0, v.target(0));
+        let sum: f32 = m.bins.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+    }
+
+    #[test]
+    fn model_peaks_at_target_color() {
+        let v = SyntheticVideo::two_person_scene(1);
+        let t = v.target(0);
+        let m = ColorModel::from_target(0, t);
+        let bin = rgb_bin(t.color.0, t.color.1, t.color.2);
+        assert!(m.weight(bin) > 0.2, "weight {}", m.weight(bin));
+    }
+
+    #[test]
+    fn distinct_targets_have_distinct_models() {
+        let v = SyntheticVideo::two_person_scene(1);
+        let models = ColorModel::scene_models(&v);
+        assert_eq!(models.len(), 2);
+        let t0 = v.target(0).color;
+        let t1 = v.target(1).color;
+        // model 1 gives ~zero weight to model 0's color
+        assert!(models[1].weight(rgb_bin(t0.0, t0.1, t0.2)) < 0.01);
+        assert!(models[0].weight(rgb_bin(t1.0, t1.1, t1.2)) < 0.01);
+    }
+}

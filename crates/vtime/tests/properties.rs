@@ -1,0 +1,126 @@
+//! Property-based tests for the time-weighted series (the paper's MUμ/MUσ
+//! integrals) and the statistics helpers.
+
+use proptest::prelude::*;
+use vtime::{OnlineStats, SimTime, TimeWeightedSeries};
+
+/// Brute-force time-weighted mean over a step function.
+fn brute_mean(points: &[(u64, f64)], t_end: u64) -> f64 {
+    if points.is_empty() || t_end <= points[0].0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    let total = (t_end - points[0].0) as f64;
+    for (i, &(t, v)) in points.iter().enumerate() {
+        let next = if i + 1 < points.len() {
+            points[i + 1].0.min(t_end)
+        } else {
+            t_end
+        };
+        if next > t {
+            acc += v * (next - t) as f64;
+        }
+    }
+    acc / total
+}
+
+fn series_strategy() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    prop::collection::vec((1u64..1000, 0.0f64..1e6), 1..40).prop_map(|mut deltas| {
+        // strictly increasing times with distinct values
+        let mut t = 0u64;
+        for d in &mut deltas {
+            t += d.0;
+            d.0 = t;
+        }
+        deltas
+    })
+}
+
+proptest! {
+    /// weighted_summary.mean matches a brute-force integral.
+    #[test]
+    fn weighted_mean_matches_bruteforce(points in series_strategy(), extra in 1u64..5000) {
+        let mut s = TimeWeightedSeries::new();
+        for &(t, v) in &points {
+            s.push(SimTime(t), v);
+        }
+        let t_end = points.last().unwrap().0 + extra;
+        let got = s.weighted_summary(SimTime(t_end)).mean;
+        let want = brute_mean(&points, t_end);
+        prop_assert!((got - want).abs() <= 1e-6 * (1.0 + want.abs()),
+            "got {got}, want {want}");
+    }
+
+    /// The time-weighted mean lies within [min, max] of the values.
+    #[test]
+    fn weighted_mean_bounded(points in series_strategy()) {
+        let mut s = TimeWeightedSeries::new();
+        for &(t, v) in &points {
+            s.push(SimTime(t), v);
+        }
+        let t_end = points.last().unwrap().0 + 100;
+        let sum = s.weighted_summary(SimTime(t_end));
+        let lo = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let hi = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(sum.mean >= lo - 1e-9 && sum.mean <= hi + 1e-9);
+        prop_assert!(sum.std_dev >= 0.0);
+        prop_assert!(sum.std_dev <= (hi - lo) + 1e-9, "σ exceeds range");
+    }
+
+    /// value_at is right-continuous lookup of the latest change point.
+    #[test]
+    fn value_at_matches_definition(points in series_strategy(), probe in 0u64..50_000) {
+        let mut s = TimeWeightedSeries::new();
+        for &(t, v) in &points {
+            s.push(SimTime(t), v);
+        }
+        let want = points
+            .iter()
+            .rev()
+            .find(|&&(t, _)| t <= probe)
+            .map_or(0.0, |&(_, v)| v);
+        prop_assert_eq!(s.value_at(SimTime(probe)), want);
+    }
+
+    /// Downsampling bounds: at most `buckets + 1` points, each within the
+    /// series' value range.
+    #[test]
+    fn downsample_bounds(points in series_strategy(), buckets in 1usize..64) {
+        let mut s = TimeWeightedSeries::new();
+        for &(t, v) in &points {
+            s.push(SimTime(t), v);
+        }
+        let t_end = SimTime(points.last().unwrap().0 + 100);
+        let ds = s.downsample(t_end, buckets);
+        prop_assert!(ds.len() <= buckets + 1, "{} > {}", ds.len(), buckets + 1);
+        let lo = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let hi = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        for &(_, v) in &ds {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    /// OnlineStats merge is order-independent and matches sequential.
+    #[test]
+    fn online_stats_merge(xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+                          split in 0usize..100) {
+        let split = split % xs.len();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..split] {
+            a.push(x);
+        }
+        for &x in &xs[split..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs()
+            < 1e-6 * (1.0 + whole.variance().abs()));
+    }
+}

@@ -1,0 +1,51 @@
+//! # stampede-aru
+//!
+//! A full Rust reproduction of *"Adaptive Resource Utilization via Feedback
+//! Control for Streaming Applications"* (Mandviwala, Harel, Ramachandran,
+//! Knobe; IPDPS/IPPS 2005): a Stampede-like timestamped-channel runtime
+//! with the paper's ARU feedback mechanism, its garbage collectors, its
+//! measurement infrastructure, a deterministic cluster simulator, the
+//! color-based people-tracker evaluation application, and the harness that
+//! regenerates every table and figure of the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`aru`] ([`aru_core`]) — the paper's contribution: STP measurement,
+//!   backward summary-STP propagation, min/max compression, pacing;
+//! * [`runtime`] ([`stampede`]) — the threaded Stampede-like runtime;
+//! * [`gc`] ([`aru_gc`]) — REF, Dead-Timestamp (DGC) and Ideal (IGC)
+//!   collectors;
+//! * [`metrics`] ([`aru_metrics`]) — event traces and postmortem analyses;
+//! * [`sim`] ([`desim`]) — the discrete-event cluster simulator;
+//! * [`tracker`] — the color-based people tracker;
+//! * [`experiments`] — the table/figure reproduction harness;
+//! * [`vtime`] — timestamps, clocks, time-weighted series.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use aru_core as aru;
+pub use aru_gc as gc;
+pub use aru_metrics as metrics;
+pub use desim as sim;
+pub use experiments;
+pub use stampede as runtime;
+pub use tracker;
+pub use vtime;
+
+/// Convenient top-level prelude for applications.
+pub mod prelude {
+    pub use aru_core::{AruConfig, CompressOp, FilterSpec, PacingPolicy, Stp};
+    pub use aru_gc::GcMode;
+    pub use stampede::prelude::*;
+    pub use vtime::{Micros, SimTime, Timestamp};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        let _ = crate::aru::AruConfig::aru_min();
+        let _ = crate::gc::GcMode::Dgc;
+        let _ = crate::vtime::Timestamp::ZERO;
+    }
+}
