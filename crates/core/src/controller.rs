@@ -74,6 +74,14 @@ pub struct AruConfig {
     pub filter: FilterSpec,
     /// Which threads sleep.
     pub pacing: PacingPolicy,
+    /// Staleness horizon for downstream feedback. When the newest
+    /// summary-STP a thread holds is older than this, the thread stops
+    /// trusting it: over one further horizon span the pacing target decays
+    /// linearly from the frozen summary toward the thread's own
+    /// current-STP, after which the thread runs effectively un-paced
+    /// (No-ARU) until feedback resumes. `None` (the default) trusts
+    /// feedback forever — the paper's behaviour.
+    pub staleness: Option<Micros>,
 }
 
 impl AruConfig {
@@ -85,6 +93,7 @@ impl AruConfig {
             compress: CompressOp::Min,
             filter: FilterSpec::Identity,
             pacing: PacingPolicy::Disabled,
+            staleness: None,
         }
     }
 
@@ -96,6 +105,7 @@ impl AruConfig {
             compress: CompressOp::Min,
             filter: FilterSpec::Identity,
             pacing: PacingPolicy::SourcesOnly,
+            staleness: None,
         }
     }
 
@@ -107,6 +117,7 @@ impl AruConfig {
             compress: CompressOp::Max,
             filter: FilterSpec::Identity,
             pacing: PacingPolicy::SourcesOnly,
+            staleness: None,
         }
     }
 
@@ -119,6 +130,13 @@ impl AruConfig {
     #[must_use]
     pub fn with_pacing(mut self, pacing: PacingPolicy) -> Self {
         self.pacing = pacing;
+        self
+    }
+
+    /// Set the feedback staleness horizon (see [`AruConfig::staleness`]).
+    #[must_use]
+    pub fn with_staleness(mut self, horizon: Micros) -> Self {
+        self.staleness = Some(horizon);
         self
     }
 }
@@ -138,6 +156,9 @@ pub struct IterationOutcome {
     pub summary: Option<Stp>,
     /// How long the thread should sleep before its next iteration.
     pub sleep: Micros,
+    /// True when the pacing target was decayed because downstream feedback
+    /// is older than the configured staleness horizon.
+    pub stale: bool,
 }
 
 /// Per-node ARU state machine. See the module docs for the driving contract.
@@ -153,6 +174,11 @@ pub struct AruController {
     meter: StpMeter,
     pacer: Pacer,
     cached_summary: Option<Stp>,
+    staleness: Option<Micros>,
+    /// When downstream feedback last arrived through
+    /// [`AruController::receive_feedback_at`]; `None` until the first
+    /// timestamped delivery (untimestamped feedback never goes stale).
+    last_feedback: Option<SimTime>,
 }
 
 impl AruController {
@@ -172,6 +198,8 @@ impl AruController {
             meter: StpMeter::new(),
             pacer: Pacer::new(),
             cached_summary: None,
+            staleness: config.staleness,
+            last_feedback: None,
         }
     }
 
@@ -203,6 +231,10 @@ impl AruController {
     /// Feedback arrived from downstream on output connection `out_index`
     /// (from a consumer `get` for buffers, from a `put` return for threads).
     /// Returns the refreshed summary.
+    ///
+    /// Untimestamped variant: the feedback is treated as eternally fresh.
+    /// Runtimes that enforce a staleness horizon must use
+    /// [`AruController::receive_feedback_at`] instead.
     pub fn receive_feedback(&mut self, out_index: usize, stp: Stp) -> Option<Stp> {
         if !self.enabled {
             return None;
@@ -210,6 +242,28 @@ impl AruController {
         self.backward.update(out_index, stp);
         self.recompute();
         self.cached_summary
+    }
+
+    /// Timestamped [`AruController::receive_feedback`]: also records `now`
+    /// as the feedback's arrival time so [`AruController::iteration_end`]
+    /// can age it against the staleness horizon.
+    pub fn receive_feedback_at(&mut self, out_index: usize, stp: Stp, now: SimTime) -> Option<Stp> {
+        let out = self.receive_feedback(out_index, stp);
+        if self.enabled {
+            self.last_feedback = Some(now);
+        }
+        out
+    }
+
+    /// Is the newest downstream feedback older than the staleness horizon
+    /// at `now`? Always false when no horizon is configured or no
+    /// timestamped feedback has arrived yet.
+    #[must_use]
+    pub fn feedback_is_stale(&self, now: SimTime) -> bool {
+        match (self.staleness, self.last_feedback) {
+            (Some(horizon), Some(last)) => now.since(last) > horizon,
+            _ => false,
+        }
     }
 
     fn recompute(&mut self) {
@@ -250,11 +304,23 @@ impl AruController {
     /// End of a task-loop iteration — the paper's `periodicity_sync()` call.
     /// Computes current-STP, refreshes the summary, and returns the pacing
     /// sleep according to the configured policy.
+    ///
+    /// When a staleness horizon is configured and the newest downstream
+    /// feedback is older than it, the summary (and hence the pacing target)
+    /// decays linearly from the frozen value toward the thread's own
+    /// current-STP over one further horizon span; past `2·horizon` the
+    /// thread is fully un-paced. Lost feedback therefore degrades to No-ARU
+    /// production instead of pacing off a wedged value forever.
     pub fn iteration_end(&mut self, now: SimTime) -> IterationOutcome {
         debug_assert!(self.kind.is_thread(), "iteration hooks are thread-only");
         let current = self.meter.iteration_end(now);
         if self.enabled {
             self.recompute();
+        }
+        let mut stale = false;
+        if self.enabled && self.feedback_is_stale(now) {
+            stale = true;
+            self.decay_stale_summary(now, current);
         }
         let sleep = if self.should_pace() {
             self.pacer.sleep_until_release(now)
@@ -265,6 +331,37 @@ impl AruController {
             current_stp: current,
             summary: self.cached_summary,
             sleep,
+            stale,
+        }
+    }
+
+    /// Blend the frozen summary toward `current` according to how far past
+    /// the horizon the feedback has aged. Writes the decayed value into the
+    /// cached summary (so upstream piggybacks see it too) and retargets the
+    /// pacer; the backward vector keeps the raw values, so the blend is
+    /// recomputed — not compounded — every iteration.
+    fn decay_stale_summary(&mut self, now: SimTime, current: Stp) {
+        let (Some(horizon), Some(last)) = (self.staleness, self.last_feedback) else {
+            return;
+        };
+        let Some(summary) = self.cached_summary else {
+            return;
+        };
+        let over = now.since(last).saturating_sub(horizon);
+        let w = if horizon.is_zero() {
+            1.0
+        } else {
+            (over.as_micros() as f64 / horizon.as_micros() as f64).min(1.0)
+        };
+        let s = summary.as_micros() as f64;
+        let own = current.as_micros() as f64;
+        let decayed = Stp::from_micros((s + (own - s) * w).round() as u64);
+        self.cached_summary = Some(decayed);
+        if self.kind.is_thread() {
+            // Fully aged out: clear the target so the thread is un-paced,
+            // exactly as if ARU had never heard from downstream.
+            self.pacer
+                .set_target(if w >= 1.0 { None } else { Some(decayed) });
         }
     }
 
@@ -390,6 +487,62 @@ mod tests {
         assert!(!c.is_blocked());
         let out = c.iteration_end(SimTime(100));
         assert_eq!(out.current_stp, us(50));
+    }
+
+    #[test]
+    fn untimestamped_feedback_never_goes_stale() {
+        let cfg = AruConfig::aru_min().with_staleness(Micros(10));
+        let mut c = AruController::new(NodeKind::Thread, 1, true, &cfg);
+        c.receive_feedback(0, us(10_000));
+        c.iteration_begin(SimTime(1_000_000));
+        let out = c.iteration_end(SimTime(1_000_100));
+        assert!(!out.stale);
+        assert_eq!(out.summary, Some(us(10_000)));
+    }
+
+    #[test]
+    fn stale_decay_is_linear_between_horizons() {
+        let cfg = AruConfig::aru_min().with_staleness(Micros(1000));
+        let mut c = AruController::new(NodeKind::Thread, 1, true, &cfg);
+        c.receive_feedback_at(0, us(10_000), SimTime(0));
+        assert!(!c.feedback_is_stale(SimTime(1000)));
+        assert!(c.feedback_is_stale(SimTime(1001)));
+        // Age 1500 = horizon + 500 → halfway through the decay span:
+        // 10_000 + (100 − 10_000)·0.5 = 5050.
+        c.iteration_begin(SimTime(1400));
+        let out = c.iteration_end(SimTime(1500));
+        assert!(out.stale);
+        assert_eq!(out.current_stp, us(100));
+        assert_eq!(out.summary, Some(us(5050)));
+        assert_eq!(c.summary(), Some(us(5050)));
+    }
+
+    #[test]
+    fn stale_feedback_fully_decays_to_unpaced_and_revives() {
+        let cfg = AruConfig::aru_min().with_staleness(Micros(1000));
+        let mut c = AruController::new(NodeKind::Thread, 1, true, &cfg);
+        c.receive_feedback_at(0, us(10_000), SimTime(0));
+        // Fresh: the source paces to the 10 ms summary.
+        c.iteration_begin(SimTime(0));
+        c.iteration_end(SimTime(100)); // anchor
+        c.iteration_begin(SimTime(100));
+        let paced = c.iteration_end(SimTime(200));
+        assert!(!paced.stale);
+        assert!(paced.sleep > Micros(7000), "expected a long pace, got {}", paced.sleep);
+        // Past 2·horizon: summary collapses to own current-STP, no pacing.
+        c.iteration_begin(SimTime(50_000));
+        let out = c.iteration_end(SimTime(50_100));
+        assert!(out.stale);
+        assert_eq!(out.summary, Some(us(100)));
+        c.iteration_begin(SimTime(50_100));
+        let out2 = c.iteration_end(SimTime(50_200));
+        assert_eq!(out2.sleep, Micros::ZERO, "stale source must run un-paced");
+        // Fresh feedback revives pacing immediately.
+        c.receive_feedback_at(0, us(10_000), SimTime(50_200));
+        c.iteration_begin(SimTime(50_200));
+        let revived = c.iteration_end(SimTime(50_300));
+        assert!(!revived.stale);
+        assert_eq!(revived.summary, Some(us(10_000)));
     }
 
     #[test]

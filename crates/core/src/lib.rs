@@ -27,6 +27,10 @@
 //! * **Controller** ([`controller::AruController`]): the per-node state
 //!   machine both runtimes (threaded `stampede` and discrete-event `desim`)
 //!   drive from their `put`/`get` hooks.
+//! * **Retry policy** ([`retry::RetryPolicy`]): deterministic restart
+//!   schedules (constant/exponential backoff with seeded jitter) shared by
+//!   the threaded runtime's task supervisor and the simulator's fault
+//!   injector, so crash-recovery behaviour matches across runtimes.
 //!
 //! Everything here is deterministic and side-effect free, which is what makes
 //! the same mechanism testable with `proptest` and reusable across the two
@@ -39,6 +43,7 @@ pub mod controller;
 pub mod filter;
 pub mod graph;
 pub mod pacing;
+pub mod retry;
 pub mod stp;
 pub mod summary;
 
@@ -49,5 +54,6 @@ pub use controller::{AruConfig, AruController, FilterSpec, IterationOutcome, Pac
 pub use filter::{EwmaFilter, IdentityFilter, MedianFilter, StpFilter};
 pub use graph::{ConnId, NodeId, NodeKind, Topology};
 pub use pacing::Pacer;
+pub use retry::{Backoff, RetryPolicy};
 pub use stp::{Stp, StpMeter};
 pub use summary::{summary_for_buffer, summary_for_thread};

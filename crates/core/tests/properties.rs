@@ -208,3 +208,63 @@ proptest! {
         }
     }
 }
+
+fn retry_strategy() -> impl Strategy<Value = aru_core::RetryPolicy> {
+    use aru_core::RetryPolicy;
+    (
+        any::<bool>(),
+        1u32..12,
+        1u64..1_000_000,
+        1u64..10_000_000,
+        0.0f64..1.0,
+        any::<u64>(),
+    )
+        .prop_map(|(exp, max_restarts, base, cap, jitter, seed)| {
+            let p = if exp {
+                RetryPolicy::exponential(max_restarts, Micros(base), Micros(base.max(cap)))
+            } else {
+                RetryPolicy::constant(max_restarts, Micros(base))
+            };
+            p.with_jitter(jitter).with_seed(seed)
+        })
+}
+
+proptest! {
+    /// The backoff schedule is a pure function of (policy, seed): the same
+    /// policy replayed yields the same delays, a different seed perturbs a
+    /// jittered schedule's hash stream deterministically too.
+    #[test]
+    fn retry_schedule_is_deterministic_per_seed(p in retry_strategy()) {
+        prop_assert_eq!(p.schedule(), p.schedule());
+        for attempt in 1..=p.max_restarts {
+            prop_assert_eq!(p.delay(attempt), p.delay(attempt));
+        }
+    }
+
+    /// Exponential backoff is monotone non-decreasing even with jitter (the
+    /// doc-comment argument: raw delays double, worst jitter ratio ≥ ½) and
+    /// every jittered delay respects the cap.
+    #[test]
+    fn exponential_backoff_is_monotone_and_capped(
+        max_restarts in 2u32..16,
+        base in 1u64..100_000,
+        cap_mult in 1u64..1000,
+        jitter in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        use aru_core::RetryPolicy;
+        let cap = Micros(base.saturating_mul(cap_mult));
+        let p = RetryPolicy::exponential(max_restarts, Micros(base), cap)
+            .with_jitter(jitter)
+            .with_seed(seed);
+        let sched = p.schedule();
+        prop_assert_eq!(sched.len(), max_restarts as usize);
+        for w in sched.windows(2) {
+            prop_assert!(w[1] >= w[0], "schedule not monotone: {sched:?}");
+        }
+        for &d in &sched {
+            prop_assert!(d <= cap, "delay {d} above cap {cap}");
+            prop_assert!(d >= Micros(base).min(cap), "delay {d} below base");
+        }
+    }
+}

@@ -8,12 +8,13 @@
 
 use crate::builder::{ChanId, SimBuilder, SimBuildError, TaskDecl, TaskId};
 use crate::cost::CostModel;
+use crate::fault::{Fault, FaultPlan};
 use crate::net::NetModel;
 use crate::noise::Noise;
 use crate::report::SimReport;
 use crate::schannel::{SimChannel, SimItem};
 use crate::spec::InputPolicy;
-use aru_core::{AruConfig, AruController, NodeId, NodeKind, Topology};
+use aru_core::{AruConfig, AruController, NodeId, NodeKind, RetryPolicy, Topology};
 use aru_gc::{ref_dead_before, ConsumerMarks, DgcEngine, DgcResult, GcMode};
 use aru_metrics::{IterKey, Trace};
 use std::cmp::Reverse;
@@ -39,6 +40,11 @@ pub struct SimConfig {
     pub dgc_interval: Micros,
     /// Root RNG seed (per-task noise seeds derive from it).
     pub seed: u64,
+    /// Scheduled fault injection (crashes, stalls, summary drops, link
+    /// spikes). Empty by default.
+    pub faults: FaultPlan,
+    /// Supervised-restart policy applied to injected crashes.
+    pub retry: RetryPolicy,
 }
 
 impl SimConfig {
@@ -53,6 +59,8 @@ impl SimConfig {
             duration: Micros::from_secs(10),
             dgc_interval: Micros::from_millis(10),
             seed: 0xA2_05,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -68,6 +76,9 @@ enum Phase {
         skipped: bool,
         driver_ts: Option<Timestamp>,
     },
+    /// Killed by fault injection; waiting for the supervisor's restart (or
+    /// dead forever once the retry budget is exhausted).
+    Crashed,
 }
 
 struct TaskState {
@@ -91,6 +102,15 @@ struct TaskState {
     /// consuming an item from a channel on another node pulls the payload
     /// across the link (Stampede's remote get), charged to the iteration.
     pending_fetch: Micros,
+    /// Incarnation counter: bumped on every injected crash so in-flight
+    /// events addressed to the previous incarnation are discarded.
+    generation: u64,
+    /// Crashes of this task so far (the retry policy's attempt counter).
+    attempts: u32,
+    /// Restart budget exhausted: never scheduled again.
+    dead: bool,
+    /// Injected transient stall, consumed by the next compute.
+    pending_stall: Micros,
 }
 
 impl TaskState {
@@ -105,14 +125,21 @@ impl TaskState {
 
 #[derive(Debug, Clone)]
 enum EvKind {
-    Wake(TaskId),
-    ComputeDone(TaskId),
+    /// Wake a task incarnation (stale generations are discarded).
+    Wake(TaskId, u64),
+    /// A task incarnation finished computing (stale generations are
+    /// discarded — the compute died with the crash).
+    ComputeDone(TaskId, u64),
     ItemArrive {
         chan: ChanId,
         ts: Timestamp,
         item: SimItem,
     },
     DgcPass,
+    /// A scheduled fault from the plan fires (index into the plan).
+    Fault(usize),
+    /// The supervisor restarts a crashed task after its backoff.
+    Restart(TaskId),
 }
 
 #[derive(Debug, Clone)]
@@ -233,6 +260,10 @@ impl Sim {
                     input_floors: vec![Timestamp::ZERO; n_inputs],
                     pending_releases: Vec::new(),
                     pending_fetch: Micros::ZERO,
+                    generation: 0,
+                    attempts: 0,
+                    dead: false,
+                    pending_stall: Micros::ZERO,
                 }
             })
             .collect();
@@ -255,11 +286,25 @@ impl Sim {
         };
 
         for i in 0..sim.tasks.len() {
-            sim.schedule(SimTime::ZERO, EvKind::Wake(TaskId(i)));
+            sim.schedule(SimTime::ZERO, EvKind::Wake(TaskId(i), 0));
         }
         if sim.config.gc == GcMode::Dgc {
             let first = SimTime::ZERO + sim.config.dgc_interval;
             sim.schedule(first, EvKind::DgcPass);
+        }
+        // Point faults (crashes, stalls) fire as events; window faults
+        // (summary drops, link spikes) are consulted at their use sites.
+        let fault_events: Vec<(SimTime, usize)> = sim
+            .config
+            .faults
+            .faults
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| matches!(f, Fault::Crash { .. } | Fault::Stall { .. }))
+            .map(|(i, f)| (SimTime::ZERO + f.starts_at(), i))
+            .collect();
+        for (at, i) in fault_events {
+            sim.schedule(at, EvKind::Fault(i));
         }
 
         let horizon = SimTime::ZERO + sim.config.duration;
@@ -290,16 +335,21 @@ impl Sim {
 
     fn dispatch(&mut self, kind: EvKind) {
         match kind {
-            EvKind::Wake(t) => self.handle_wake(t),
-            EvKind::ComputeDone(t) => self.handle_compute_done(t),
+            EvKind::Wake(t, gen) => self.handle_wake(t, gen),
+            EvKind::ComputeDone(t, gen) => self.handle_compute_done(t, gen),
             EvKind::ItemArrive { chan, ts, item } => self.deliver(chan, ts, item),
             EvKind::DgcPass => self.handle_dgc_pass(),
+            EvKind::Fault(i) => self.handle_fault(i),
+            EvKind::Restart(t) => self.handle_restart(t),
         }
     }
 
     // ---- task lifecycle -----------------------------------------------------
 
-    fn handle_wake(&mut self, t: TaskId) {
+    fn handle_wake(&mut self, t: TaskId, gen: u64) {
+        if gen != self.tasks[t.0].generation {
+            return; // wake addressed to a crashed incarnation
+        }
         match self.tasks[t.0].phase {
             Phase::Idle => {
                 let now = self.now;
@@ -312,6 +362,7 @@ impl Sim {
             }
             Phase::Gathering { .. } => self.gather(t),
             Phase::Computing { .. } => { /* spurious wake; ignore */ }
+            Phase::Crashed => { /* woken by a channel while down; ignore */ }
         }
     }
 
@@ -435,7 +486,7 @@ impl Sim {
         self.trace.get(now, item.id, key);
         let remote = self.chans[cid].cluster_node != self.tasks[t.0].decl.cluster_node;
         let fetch = if remote {
-            self.config.net.transfer(item.bytes)
+            self.net_transfer(item.bytes)
         } else {
             Micros::ZERO
         };
@@ -458,7 +509,8 @@ impl Sim {
         };
         let node = self.tasks[t.0].decl.cluster_node.0;
         self.node_busy[node] += 1;
-        self.schedule(now + overhead, EvKind::ComputeDone(t));
+        let gen = self.tasks[t.0].generation;
+        self.schedule(now + overhead, EvKind::ComputeDone(t, gen));
     }
 
     fn start_compute(&mut self, t: TaskId, driver_ts: Option<Timestamp>) {
@@ -485,20 +537,26 @@ impl Sim {
         let service = task.noise.jitter(model.base, model.noise_sigma);
         let out_bytes: u64 = task.decl.outputs.iter().map(|o| o.bytes).sum();
         let fetch = std::mem::take(&mut task.pending_fetch);
+        let stall = std::mem::take(&mut task.pending_stall);
         let d = self
             .config
             .cost
             .effective_duration(service, out_bytes, busy_others, cores, live)
-            + fetch;
+            + fetch
+            + stall;
         task.phase = Phase::Computing {
             skipped: false,
             driver_ts,
         };
+        let gen = task.generation;
         self.node_busy[node] += 1;
-        self.schedule(now + d, EvKind::ComputeDone(t));
+        self.schedule(now + d, EvKind::ComputeDone(t, gen));
     }
 
-    fn handle_compute_done(&mut self, t: TaskId) {
+    fn handle_compute_done(&mut self, t: TaskId, gen: u64) {
+        if gen != self.tasks[t.0].generation {
+            return; // the compute died with the crashed incarnation
+        }
         let now = self.now;
         let node = self.tasks[t.0].decl.cluster_node.0;
         self.node_busy[node] -= 1;
@@ -526,6 +584,11 @@ impl Sim {
             };
             let outputs = self.tasks[t.0].decl.outputs.clone();
             let task_node = self.tasks[t.0].decl.cluster_node;
+            let task_graph_node = self.tasks[t.0].decl.graph_node;
+            let drop_fb = self
+                .config
+                .faults
+                .drops_summaries_for(&self.tasks[t.0].decl.name, now);
             for o in &outputs {
                 // The item is allocated the moment the producer materializes
                 // it; a remote put only delays its *visibility* in the
@@ -537,7 +600,7 @@ impl Sim {
                 let item = SimItem { id, bytes: o.bytes };
                 let remote = self.chans[o.chan.0].cluster_node != task_node;
                 if remote {
-                    let delay = self.config.net.transfer(o.bytes);
+                    let delay = self.net_transfer(o.bytes);
                     self.schedule(
                         now + delay,
                         EvKind::ItemArrive {
@@ -550,9 +613,19 @@ impl Sim {
                     self.deliver(o.chan, out_ts, item);
                 }
                 // Backward feedback: the channel's summary returns to the
-                // producer with the put.
+                // producer with the put — unless an injected fault window is
+                // eating the feedback path (the producer's view then decays
+                // under the staleness horizon instead of freezing).
                 if let Some(s) = self.chans[o.chan.0].aru.summary() {
-                    self.tasks[t.0].controller.receive_feedback(o.thread_out_index, s);
+                    if drop_fb {
+                        self.trace.summary_dropped(now, task_graph_node);
+                    } else {
+                        self.tasks[t.0].controller.receive_feedback_at(
+                            o.thread_out_index,
+                            s,
+                            now,
+                        );
+                    }
                 }
             }
             if self.tasks[t.0].decl.spec.is_sink_reporter {
@@ -564,9 +637,103 @@ impl Sim {
         let outcome = self.tasks[t.0].controller.iteration_end(now);
         self.trace
             .iter_end(now, key, outcome.current_stp.period());
+        if outcome.stale {
+            self.trace.stale_summary(now, key);
+        }
         self.tasks[t.0].seq += 1;
         self.tasks[t.0].phase = Phase::Idle;
-        self.schedule(now + outcome.sleep, EvKind::Wake(t));
+        let gen = self.tasks[t.0].generation;
+        self.schedule(now + outcome.sleep, EvKind::Wake(t, gen));
+    }
+
+    // ---- fault injection ----------------------------------------------------
+
+    /// Interconnect transfer time with any active link-spike fault applied.
+    fn net_transfer(&self, bytes: u64) -> Micros {
+        let base = self.config.net.transfer(bytes);
+        let factor = self.config.faults.link_factor(self.now);
+        if factor == 1.0 {
+            base
+        } else {
+            base.mul_f64(factor)
+        }
+    }
+
+    fn task_by_name(&self, name: &str) -> Option<usize> {
+        self.tasks.iter().position(|t| t.decl.name == name)
+    }
+
+    fn handle_fault(&mut self, idx: usize) {
+        let fault = self.config.faults.faults[idx].clone();
+        match fault {
+            Fault::Crash { task, .. } => {
+                let Some(ti) = self.task_by_name(&task) else {
+                    return;
+                };
+                if self.tasks[ti].dead || matches!(self.tasks[ti].phase, Phase::Crashed) {
+                    return;
+                }
+                let now = self.now;
+                let node = self.tasks[ti].decl.cluster_node.0;
+                let graph = self.tasks[ti].decl.graph_node;
+                // A mid-compute crash frees the core it occupied.
+                if matches!(self.tasks[ti].phase, Phase::Computing { .. }) {
+                    self.node_busy[node] -= 1;
+                }
+                // Release items the dying iteration had consumed so the
+                // crash cannot pin channel GC forever.
+                let releases = std::mem::take(&mut self.tasks[ti].pending_releases);
+                for (cid, cidx, ts) in releases {
+                    self.chans[cid].marks.advance(cidx, ts);
+                    self.purge_chan(cid);
+                }
+                let t = &mut self.tasks[ti];
+                t.attempts += 1;
+                let attempt = t.attempts;
+                t.generation += 1; // invalidate in-flight Wake/ComputeDone
+                t.phase = Phase::Crashed;
+                t.blocked = false;
+                t.pending_fetch = Micros::ZERO;
+                t.seq += 1; // the crashed iteration's key is never reused
+                self.trace.task_crash(now, graph, attempt);
+                if self.config.retry.allows(attempt) {
+                    let backoff = self.config.retry.delay(attempt);
+                    self.schedule(now + backoff, EvKind::Restart(TaskId(ti)));
+                } else {
+                    self.tasks[ti].dead = true;
+                }
+            }
+            Fault::Stall { task, extra, .. } => {
+                if let Some(ti) = self.task_by_name(&task) {
+                    self.tasks[ti].pending_stall += extra;
+                }
+            }
+            Fault::DropSummaries { .. } | Fault::LinkSpike { .. } => {
+                // Window faults are consulted at their use sites.
+            }
+        }
+    }
+
+    /// The simulated supervisor brings a crashed task back: fresh controller
+    /// (summary state did not survive the crash), fresh incarnation, and an
+    /// immediate wake. Source timestamps continue from where they left off —
+    /// the channel contents survived; only the task's thread died.
+    fn handle_restart(&mut self, t: TaskId) {
+        if self.tasks[t.0].dead || !matches!(self.tasks[t.0].phase, Phase::Crashed) {
+            return;
+        }
+        let now = self.now;
+        let n_out = self.tasks[t.0].decl.outputs.len();
+        let is_source = self.tasks[t.0].is_source();
+        let attempt = self.tasks[t.0].attempts;
+        let backoff = self.config.retry.delay(attempt);
+        self.tasks[t.0].controller =
+            AruController::new(NodeKind::Thread, n_out, is_source, &self.config.aru);
+        self.tasks[t.0].phase = Phase::Idle;
+        let graph = self.tasks[t.0].decl.graph_node;
+        self.trace.task_restart(now, graph, attempt, backoff);
+        let gen = self.tasks[t.0].generation;
+        self.schedule(now, EvKind::Wake(t, gen));
     }
 
     // ---- channel operations --------------------------------------------------
@@ -584,7 +751,8 @@ impl Sim {
         self.purge_chan(cid);
         let waiters = std::mem::take(&mut self.chans[cid].waiters);
         for w in waiters {
-            self.schedule(now, EvKind::Wake(w));
+            let gen = self.tasks[w.0].generation;
+            self.schedule(now, EvKind::Wake(w, gen));
         }
     }
 

@@ -1,0 +1,226 @@
+//! Deterministic fault injection for the simulator.
+//!
+//! A [`FaultPlan`] is a schedule of faults at virtual times, fixed before
+//! the run starts: task crashes (recovered by the simulated supervisor
+//! under the run's [`aru_core::RetryPolicy`]), transient compute stalls,
+//! summary-feedback drop windows, and interconnect latency spikes. Because
+//! the plan is data — not callbacks — two runs with the same builder,
+//! config and plan replay the same fault sequence exactly, which is what
+//! makes crash-recovery experiments reproducible and lets the chaos tests
+//! assert on post-fault behaviour.
+//!
+//! Times are offsets from the start of the run ([`SimTime::ZERO`]).
+
+use serde::{Deserialize, Serialize};
+use vtime::{Micros, SimTime};
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Kill the named task at `at`: its in-flight iteration is discarded
+    /// (items it consumed are still released so GC is not pinned) and the
+    /// supervisor restarts it after the retry policy's backoff — or never,
+    /// once the restart budget is exhausted.
+    Crash { task: String, at: Micros },
+    /// Add `extra` to the named task's next compute starting at `at` — a
+    /// transient hiccup (page fault storm, GC pause) rather than a death.
+    Stall {
+        task: String,
+        at: Micros,
+        extra: Micros,
+    },
+    /// Drop every summary-STP feedback message delivered *to* the named
+    /// task during `[from, until)`; with a staleness horizon configured the
+    /// task's controller decays toward un-paced instead of freezing on the
+    /// last value.
+    DropSummaries {
+        task: String,
+        from: Micros,
+        until: Micros,
+    },
+    /// Multiply interconnect transfer times by `factor` during
+    /// `[from, until)` (congestion / retransmission storm).
+    LinkSpike {
+        from: Micros,
+        until: Micros,
+        factor: f64,
+    },
+}
+
+impl Fault {
+    /// When this fault first takes effect.
+    #[must_use]
+    pub fn starts_at(&self) -> Micros {
+        match *self {
+            Fault::Crash { at, .. } | Fault::Stall { at, .. } => at,
+            Fault::DropSummaries { from, .. } | Fault::LinkSpike { from, .. } => from,
+        }
+    }
+}
+
+/// A deterministic schedule of faults for one simulated run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults — the default).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Schedule a crash of `task` at `at`.
+    #[must_use]
+    pub fn crash(mut self, task: impl Into<String>, at: Micros) -> Self {
+        self.faults.push(Fault::Crash {
+            task: task.into(),
+            at,
+        });
+        self
+    }
+
+    /// Schedule a transient stall of `extra` on `task`'s next compute at
+    /// `at`.
+    #[must_use]
+    pub fn stall(mut self, task: impl Into<String>, at: Micros, extra: Micros) -> Self {
+        self.faults.push(Fault::Stall {
+            task: task.into(),
+            at,
+            extra,
+        });
+        self
+    }
+
+    /// Drop summary feedback to `task` during `[from, until)`.
+    #[must_use]
+    pub fn drop_summaries(
+        mut self,
+        task: impl Into<String>,
+        from: Micros,
+        until: Micros,
+    ) -> Self {
+        self.faults.push(Fault::DropSummaries {
+            task: task.into(),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Multiply link transfer times by `factor` during `[from, until)`.
+    #[must_use]
+    pub fn link_spike(mut self, from: Micros, until: Micros, factor: f64) -> Self {
+        self.faults.push(Fault::LinkSpike { from, until, factor });
+        self
+    }
+
+    /// Scatter `n` crashes of `task` across `[from, until)` at
+    /// seed-determined times: the same seed always yields the same crash
+    /// schedule (mirrors the seeded-noise guarantee of the service models).
+    #[must_use]
+    pub fn seeded_crashes(
+        mut self,
+        task: impl Into<String>,
+        n: usize,
+        from: Micros,
+        until: Micros,
+        seed: u64,
+    ) -> Self {
+        let task = task.into();
+        let span = until.0.saturating_sub(from.0);
+        for i in 0..n {
+            let at = if span == 0 {
+                from
+            } else {
+                Micros(from.0 + splitmix64(seed ^ ((i as u64) << 17)) % span)
+            };
+            self.faults.push(Fault::Crash {
+                task: task.clone(),
+                at,
+            });
+        }
+        self
+    }
+
+    /// Is a summary-drop window active for `task` at `now`?
+    #[must_use]
+    pub fn drops_summaries_for(&self, task: &str, now: SimTime) -> bool {
+        self.faults.iter().any(|f| match f {
+            Fault::DropSummaries { task: t, from, until } => {
+                t == task && in_window(now, *from, *until)
+            }
+            _ => false,
+        })
+    }
+
+    /// Combined link-latency multiplier at `now` (1.0 when no spike is
+    /// active; overlapping spikes compound).
+    #[must_use]
+    pub fn link_factor(&self, now: SimTime) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::LinkSpike { from, until, factor } if in_window(now, *from, *until) => {
+                    Some(*factor)
+                }
+                _ => None,
+            })
+            .product()
+    }
+}
+
+fn in_window(now: SimTime, from: Micros, until: Micros) -> bool {
+    now >= SimTime::ZERO + from && now < SimTime::ZERO + until
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_half_open() {
+        let p = FaultPlan::none().drop_summaries("t", Micros(100), Micros(200));
+        assert!(!p.drops_summaries_for("t", SimTime(99)));
+        assert!(p.drops_summaries_for("t", SimTime(100)));
+        assert!(p.drops_summaries_for("t", SimTime(199)));
+        assert!(!p.drops_summaries_for("t", SimTime(200)));
+        assert!(!p.drops_summaries_for("other", SimTime(150)));
+    }
+
+    #[test]
+    fn link_factor_compounds_overlapping_spikes() {
+        let p = FaultPlan::none()
+            .link_spike(Micros(0), Micros(100), 2.0)
+            .link_spike(Micros(50), Micros(100), 3.0);
+        assert_eq!(p.link_factor(SimTime(10)), 2.0);
+        assert_eq!(p.link_factor(SimTime(60)), 6.0);
+        assert_eq!(p.link_factor(SimTime(100)), 1.0);
+    }
+
+    #[test]
+    fn seeded_crashes_are_deterministic_and_in_range() {
+        let a = FaultPlan::none().seeded_crashes("t", 8, Micros(1000), Micros(5000), 7);
+        let b = FaultPlan::none().seeded_crashes("t", 8, Micros(1000), Micros(5000), 7);
+        assert_eq!(a, b, "same seed, same schedule");
+        for f in &a.faults {
+            let at = f.starts_at();
+            assert!(at >= Micros(1000) && at < Micros(5000), "{at} out of window");
+        }
+        let c = FaultPlan::none().seeded_crashes("t", 8, Micros(1000), Micros(5000), 8);
+        assert_ne!(a, c, "different seed perturbs the schedule");
+    }
+}

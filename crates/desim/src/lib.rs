@@ -35,6 +35,7 @@
 pub mod builder;
 pub mod cost;
 pub mod engine;
+pub mod fault;
 pub mod net;
 pub mod noise;
 pub mod report;
@@ -44,6 +45,7 @@ pub mod spec;
 pub use builder::{ChanId, SimBuilder, SimNodeId, TaskId};
 pub use cost::CostModel;
 pub use engine::{Sim, SimConfig};
+pub use fault::{Fault, FaultPlan};
 pub use net::NetModel;
 pub use noise::Noise;
 pub use report::{SimAnalysis, SimReport};

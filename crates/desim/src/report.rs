@@ -2,7 +2,9 @@
 
 use aru_core::Topology;
 use aru_gc::IdealGc;
-use aru_metrics::{FootprintReport, Lineage, PerfReport, Trace, TraceEvent, WasteReport};
+use aru_metrics::{
+    FaultReport, FootprintReport, Lineage, PerfReport, Trace, TraceEvent, WasteReport,
+};
 use vtime::SimTime;
 
 /// Everything recorded during one simulated run.
@@ -52,11 +54,13 @@ impl SimReport {
         let waste = WasteReport::compute(&lineage, self.t_end);
         let perf = PerfReport::compute(&self.trace, &lineage, self.t_end);
         let igc = IdealGc::from_lineage(&lineage, self.t_end);
+        let faults = FaultReport::compute(&self.trace);
         SimAnalysis {
             footprint,
             waste,
             perf,
             igc,
+            faults,
         }
     }
 }
@@ -68,4 +72,5 @@ pub struct SimAnalysis {
     pub waste: WasteReport,
     pub perf: PerfReport,
     pub igc: IdealGc,
+    pub faults: FaultReport,
 }

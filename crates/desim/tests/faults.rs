@@ -1,0 +1,210 @@
+//! Fault-injection tests: crashes, restarts, stalls, feedback-drop windows
+//! and link spikes, all deterministic under a fixed seed.
+
+use aru_core::{AruConfig, RetryPolicy};
+use aru_metrics::TraceEvent;
+use desim::{
+    CostModel, FaultPlan, InputPolicy, NetModel, ServiceModel, Sim, SimBuilder, SimConfig,
+    SimReport, TaskSpec,
+};
+use vtime::Micros;
+
+/// src(2ms) -> c -> snk(20ms), ARU-min: the canonical paced pipeline.
+fn paced_pipeline(cfg_mut: impl FnOnce(&mut SimConfig)) -> SimReport {
+    let mut b = SimBuilder::new();
+    let n = b.node(8);
+    let c = b.channel("c", n);
+    let src = b.source("src", n, ServiceModel::fixed(Micros::from_millis(2)));
+    let snk = b.task(
+        "snk",
+        n,
+        TaskSpec::sink(ServiceModel::fixed(Micros::from_millis(20))),
+    );
+    b.output(src, c, 1000).unwrap();
+    b.input(snk, c, InputPolicy::DriverLatest).unwrap();
+    let mut cfg = SimConfig::new(AruConfig::aru_min());
+    cfg.cost = CostModel::ideal();
+    cfg.duration = Micros::from_secs(20);
+    cfg_mut(&mut cfg);
+    Sim::run(b, cfg).unwrap()
+}
+
+fn alloc_times(r: &SimReport) -> Vec<u64> {
+    r.trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Alloc { t, .. } => Some(t.as_micros()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn crashes_are_counted_and_recovered() {
+    let plan = FaultPlan::none()
+        .crash("snk", Micros::from_secs(5))
+        .crash("snk", Micros::from_secs(10));
+    let r = paced_pipeline(|cfg| {
+        cfg.faults = plan;
+        cfg.retry = RetryPolicy::constant(5, Micros::from_millis(50));
+    });
+    let f = r.analyze().faults;
+    assert_eq!(f.crashes, 2, "{f}");
+    assert_eq!(f.restarts, 2, "{f}");
+    // The pipeline keeps producing after both recoveries.
+    let last = *alloc_times(&r).last().unwrap();
+    assert!(last > 15_000_000, "production resumed after restarts: {last}");
+}
+
+#[test]
+fn fault_runs_are_deterministic() {
+    let run = || {
+        paced_pipeline(|cfg| {
+            cfg.faults = FaultPlan::none()
+                .seeded_crashes("snk", 3, Micros::from_secs(2), Micros::from_secs(18), 42)
+                .stall("snk", Micros::from_secs(1), Micros::from_millis(200));
+            cfg.retry = RetryPolicy::exponential(
+                5,
+                Micros::from_millis(10),
+                Micros::from_secs(1),
+            )
+            .with_seed(7)
+            .with_jitter(0.2);
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a.trace.events().len(),
+        b.trace.events().len(),
+        "identical event counts"
+    );
+    assert_eq!(a.analyze().faults, b.analyze().faults, "identical fault reports");
+    assert_eq!(alloc_times(&a), alloc_times(&b), "identical alloc schedules");
+}
+
+#[test]
+fn exhausted_retry_budget_kills_the_task_forever() {
+    let r = paced_pipeline(|cfg| {
+        cfg.faults = FaultPlan::none().crash("snk", Micros::from_secs(5));
+        cfg.retry = RetryPolicy::none();
+    });
+    let f = r.analyze().faults;
+    assert_eq!(f.crashes, 1, "{f}");
+    assert_eq!(f.restarts, 0, "no restart budget: {f}");
+    // No sink outputs after the crash instant.
+    let last_out = r
+        .trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::SinkOutput { t, .. } => Some(t.as_micros()),
+            _ => None,
+        })
+        .max()
+        .unwrap();
+    assert!(last_out <= 5_000_000, "sink died at 5s, last output {last_out}");
+}
+
+#[test]
+fn stall_delays_without_crashing() {
+    let baseline = paced_pipeline(|_| {});
+    let stalled = paced_pipeline(|cfg| {
+        cfg.faults =
+            FaultPlan::none().stall("snk", Micros::from_secs(5), Micros::from_secs(2));
+    });
+    let f = stalled.analyze().faults;
+    assert_eq!(f.crashes, 0, "a stall is not a crash: {f}");
+    let outs = |r: &SimReport| r.outputs();
+    assert!(
+        outs(&stalled) < outs(&baseline),
+        "2s stall costs throughput: {} !< {}",
+        outs(&stalled),
+        outs(&baseline)
+    );
+}
+
+#[test]
+fn link_spike_slows_remote_pipeline() {
+    // Two nodes with a real link: src on n0, sink on n1 consuming remotely.
+    let run = |faults: FaultPlan| {
+        let mut b = SimBuilder::new();
+        let n0 = b.node(8);
+        let n1 = b.node(8);
+        let c = b.channel("c", n0);
+        let src = b.source("src", n0, ServiceModel::fixed(Micros::from_millis(5)));
+        let snk = b.task(
+            "snk",
+            n1,
+            TaskSpec::sink(ServiceModel::fixed(Micros::from_millis(5))),
+        );
+        b.output(src, c, 1_000_000).unwrap();
+        b.input(snk, c, InputPolicy::DriverLatest).unwrap();
+        let mut cfg = SimConfig::new(AruConfig::disabled());
+        cfg.cost = CostModel::ideal();
+        cfg.net = NetModel::default();
+        cfg.duration = Micros::from_secs(10);
+        cfg.faults = faults;
+        Sim::run(b, cfg).unwrap()
+    };
+    let clean = run(FaultPlan::none());
+    let spiked = run(FaultPlan::none().link_spike(
+        Micros::ZERO,
+        Micros::from_secs(10),
+        20.0,
+    ));
+    assert!(
+        spiked.outputs() < clean.outputs(),
+        "20x slower link costs throughput: {} !< {}",
+        spiked.outputs(),
+        clean.outputs()
+    );
+}
+
+/// The acceptance property for feedback loss: when every summary to the
+/// source is dropped past the staleness horizon, the source falls back to
+/// un-paced production (its own service period) instead of freezing on the
+/// last pacing target.
+#[test]
+fn dropped_summaries_decay_to_unpaced_production() {
+    let drop_from = 8_000_000u64;
+    let drop_until = 16_000_000u64;
+    let r = paced_pipeline(|cfg| {
+        cfg.aru = AruConfig::aru_min().with_staleness(Micros::from_millis(500));
+        cfg.faults = FaultPlan::none().drop_summaries(
+            "src",
+            Micros(drop_from),
+            Micros(drop_until),
+        );
+    });
+    let f = r.analyze().faults;
+    assert!(f.summaries_dropped > 0, "drop window saw traffic: {f}");
+    assert!(f.stale_iterations > 0, "source noticed the staleness: {f}");
+
+    let allocs = alloc_times(&r);
+    // Paced steady state before the window: ~20ms per item.
+    let before: usize = allocs
+        .iter()
+        .filter(|&&t| (4_000_000..drop_from).contains(&t))
+        .count();
+    // Deep inside the window (after the 500ms horizon has expired): the
+    // source should approach its own 2ms period — far faster than paced.
+    let during: usize = allocs
+        .iter()
+        .filter(|&&t| (10_000_000..drop_until).contains(&t))
+        .count();
+    let before_rate = before as f64 / 4.0; // items per second
+    let during_rate = during as f64 / 6.0;
+    assert!(
+        during_rate > before_rate * 3.0,
+        "stale source reverts toward unpaced: before {before_rate}/s, during {during_rate}/s"
+    );
+    // And it re-paces once feedback returns.
+    let after: usize = allocs.iter().filter(|&&t| t >= 17_000_000).count();
+    let after_rate = after as f64 / 3.0;
+    assert!(
+        after_rate < during_rate / 2.0,
+        "pacing resumes when feedback returns: during {during_rate}/s, after {after_rate}/s"
+    );
+}

@@ -1,0 +1,269 @@
+//! Chaos experiment (extension beyond the paper): fault injection against
+//! the simulated tracker, demonstrating that the ARU feedback loop is
+//! self-healing.
+//!
+//! Two scenarios, both on configuration 1 with ARU-min:
+//!
+//! 1. **Crash-recovery** — the Motion-Mask stage (change detection) is
+//!    killed mid-run and restarted by the supervisor under the default
+//!    retry policy. Because ARU keeps no state outside the channels, the
+//!    digitizer's paced production period must re-converge to its pre-fault
+//!    steady state.
+//! 2. **Feedback loss** — every summary to the digitizer is dropped for a
+//!    window, with a staleness horizon configured. The source must decay
+//!    back to un-paced production (instead of freezing on the last pacing
+//!    target), then re-pace when feedback returns.
+
+use crate::config::ExpParams;
+use crate::tables::ShapeCheck;
+use aru_core::{AruConfig, RetryPolicy};
+use aru_metrics::report::Table;
+use aru_metrics::{FaultReport, TraceEvent};
+use desim::{FaultPlan, SimReport};
+use tracker::{SimTrackerParams, TrackerConfigId};
+use vtime::Micros;
+
+/// Results of the crash-recovery scenario.
+#[derive(Debug, Clone)]
+pub struct CrashRecovery {
+    pub faults: FaultReport,
+    /// Digitizer production period (µs) in the pre-fault steady window.
+    pub period_before_us: f64,
+    /// Digitizer production period (µs) in the post-recovery tail window.
+    pub period_after_us: f64,
+    /// Virtual time of the last sink output (µs).
+    pub last_output_us: u64,
+    pub duration_us: u64,
+}
+
+impl CrashRecovery {
+    /// |after − before| / before.
+    #[must_use]
+    pub fn drift(&self) -> f64 {
+        (self.period_after_us - self.period_before_us).abs() / self.period_before_us
+    }
+}
+
+/// Results of the feedback-loss scenario.
+#[derive(Debug, Clone)]
+pub struct FeedbackLoss {
+    pub faults: FaultReport,
+    /// Digitizer production rate (items/s) while paced, before the window.
+    pub rate_before: f64,
+    /// Production rate deep inside the drop window (staleness expired).
+    pub rate_during: f64,
+    /// Production rate after feedback returns.
+    pub rate_after: f64,
+}
+
+/// The chaos experiment bundle.
+#[derive(Debug, Clone)]
+pub struct Chaos {
+    pub crash: CrashRecovery,
+    pub loss: FeedbackLoss,
+}
+
+fn digitizer_iter_ends(r: &SimReport) -> Vec<u64> {
+    let node = r
+        .topo
+        .node_ids()
+        .find(|&n| r.topo.name(n) == "digitizer")
+        .expect("digitizer in topology");
+    r.trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::IterEnd { t, iter, .. } if iter.node == node => Some(t.as_micros()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn mean_gap(ends: &[u64], lo: u64, hi: u64) -> f64 {
+    let w: Vec<u64> = ends.iter().copied().filter(|t| (lo..hi).contains(t)).collect();
+    if w.len() < 2 {
+        return f64::NAN;
+    }
+    (w[w.len() - 1] - w[0]) as f64 / (w.len() - 1) as f64
+}
+
+fn rate_per_sec(ends: &[u64], lo: u64, hi: u64) -> f64 {
+    let n = ends.iter().filter(|t| (lo..hi).contains(t)).count();
+    n as f64 / ((hi - lo) as f64 / 1e6)
+}
+
+/// Run both chaos scenarios (config 1, first seed).
+#[must_use]
+pub fn run(params: &ExpParams) -> Chaos {
+    let dur = params.duration.as_micros();
+    let seed = params.seeds[0];
+
+    // Scenario 1: crash change detection at the midpoint.
+    let crash_at = dur / 2;
+    let p = SimTrackerParams::new(AruConfig::aru_min(), TrackerConfigId::OneNode)
+        .with_seed(seed)
+        .with_duration(params.duration)
+        .with_faults(FaultPlan::none().crash("change-detection", Micros(crash_at)))
+        .with_retry(RetryPolicy::default());
+    let r = tracker::app_sim::run_sim(&p);
+    let ends = digitizer_iter_ends(&r);
+    let last_output_us = r
+        .trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::SinkOutput { t, .. } => Some(t.as_micros()),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let crash = CrashRecovery {
+        faults: r.analyze().faults,
+        // steady window: second quarter (warm, pre-fault); tail: last quarter.
+        period_before_us: mean_gap(&ends, dur / 4, crash_at),
+        period_after_us: mean_gap(&ends, dur * 3 / 4, dur),
+        last_output_us,
+        duration_us: dur,
+    };
+
+    // Scenario 2: drop every summary to the digitizer for the middle 40%
+    // of the run, with a 500 ms staleness horizon.
+    let from = dur * 3 / 10;
+    let until = dur * 7 / 10;
+    let p = SimTrackerParams::new(
+        AruConfig::aru_min().with_staleness(Micros::from_millis(500)),
+        TrackerConfigId::OneNode,
+    )
+    .with_seed(seed)
+    .with_duration(params.duration)
+    .with_faults(FaultPlan::none().drop_summaries("digitizer", Micros(from), Micros(until)));
+    let r = tracker::app_sim::run_sim(&p);
+    let ends = digitizer_iter_ends(&r);
+    let loss = FeedbackLoss {
+        faults: r.analyze().faults,
+        rate_before: rate_per_sec(&ends, dur / 10, from),
+        // skip the first second of the window (staleness horizon + decay)
+        rate_during: rate_per_sec(&ends, from + 1_000_000, until),
+        rate_after: rate_per_sec(&ends, until + 1_000_000, dur),
+    };
+
+    Chaos { crash, loss }
+}
+
+impl Chaos {
+    /// Render both scenarios.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Chaos — crash-recovery and feedback-loss (config 1, ARU-min)",
+            &["scenario", "faults", "before", "during/after", "verdict"],
+        );
+        let c = &self.crash;
+        t.row(vec![
+            "crash+restart (change-detection)".into(),
+            format!("{} crash / {} restart", c.faults.crashes, c.faults.restarts),
+            format!("{:.1} ms period", c.period_before_us / 1e3),
+            format!("{:.1} ms period", c.period_after_us / 1e3),
+            format!("{:.1}% drift", c.drift() * 100.0),
+        ]);
+        let l = &self.loss;
+        t.row(vec![
+            "summary loss (digitizer)".into(),
+            format!(
+                "{} dropped / {} stale iters",
+                l.faults.summaries_dropped, l.faults.stale_iterations
+            ),
+            format!("{:.1}/s paced", l.rate_before),
+            format!("{:.1}/s unpaced → {:.1}/s repaced", l.rate_during, l.rate_after),
+            "decays, re-paces".into(),
+        ]);
+        t.render()
+    }
+
+    /// CSV export.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "scenario,crashes,restarts,summaries_dropped,stale_iterations,\
+             before,during_or_after,tail\n",
+        );
+        let c = &self.crash;
+        s.push_str(&format!(
+            "crash_recovery,{},{},{},{},{:.1},{:.1},{}\n",
+            c.faults.crashes,
+            c.faults.restarts,
+            c.faults.summaries_dropped,
+            c.faults.stale_iterations,
+            c.period_before_us,
+            c.period_after_us,
+            c.last_output_us,
+        ));
+        let l = &self.loss;
+        s.push_str(&format!(
+            "feedback_loss,{},{},{},{},{:.2},{:.2},{:.2}\n",
+            l.faults.crashes,
+            l.faults.restarts,
+            l.faults.summaries_dropped,
+            l.faults.stale_iterations,
+            l.rate_before,
+            l.rate_during,
+            l.rate_after,
+        ));
+        s
+    }
+
+    /// The qualitative invariants this experiment must uphold.
+    #[must_use]
+    pub fn shape_checks(&self) -> Vec<ShapeCheck> {
+        let c = &self.crash;
+        let l = &self.loss;
+        vec![
+            ShapeCheck::new(
+                "chaos: supervisor recovered the crash",
+                c.faults.crashes == 1 && c.faults.restarts == 1,
+                format!("{}", c.faults),
+            ),
+            ShapeCheck::new(
+                "chaos: source pacing re-converged within 10%",
+                c.drift() < 0.10,
+                format!(
+                    "before {:.1} ms, after {:.1} ms ({:.1}% drift)",
+                    c.period_before_us / 1e3,
+                    c.period_after_us / 1e3,
+                    c.drift() * 100.0
+                ),
+            ),
+            ShapeCheck::new(
+                "chaos: pipeline alive to the end of the run",
+                c.last_output_us > c.duration_us * 9 / 10,
+                format!("last output at {} of {}", c.last_output_us, c.duration_us),
+            ),
+            ShapeCheck::new(
+                "chaos: stale source decays toward unpaced",
+                l.rate_during > l.rate_before * 2.0,
+                format!("{:.1}/s paced vs {:.1}/s stale", l.rate_before, l.rate_during),
+            ),
+            ShapeCheck::new(
+                "chaos: pacing resumes when feedback returns",
+                l.rate_after < l.rate_during / 2.0,
+                format!("{:.1}/s stale vs {:.1}/s repaced", l.rate_during, l.rate_after),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_quick_shape_holds() {
+        let chaos = run(&ExpParams::quick());
+        for check in chaos.shape_checks() {
+            assert!(check.passed, "{}: {}", check.name, check.detail);
+        }
+        let csv = chaos.to_csv();
+        assert!(csv.contains("crash_recovery,1,1"));
+        assert!(csv.lines().count() == 3);
+    }
+}

@@ -8,6 +8,7 @@
 //! | [`fig8_9`] | Figures 8/9 — footprint-vs-time series (4 panels each) |
 //! | [`fig10`] | Figure 10 — latency / throughput / jitter |
 //! | [`sweep`] | Sensitivity sweep: production ratio vs ARU benefit (extension) |
+//! | [`chaos`] | Fault injection: crash-recovery & feedback loss (extension) |
 //! | [`tables`] | The paper's published numbers + shape checks |
 //!
 //! The binary `repro` drives everything:
@@ -16,6 +17,7 @@
 //! cargo run -p experiments --release --bin repro -- --exp all
 //! ```
 
+pub mod chaos;
 pub mod config;
 pub mod fig10;
 pub mod fig6;

@@ -12,7 +12,7 @@
 
 use experiments::config::ExpParams;
 use experiments::tables::render_checks;
-use experiments::{fig10, fig6, fig7, fig8_9, sweep};
+use experiments::{chaos, fig10, fig6, fig7, fig8_9, sweep};
 use std::path::PathBuf;
 use tracker::TrackerConfigId;
 use vtime::Micros;
@@ -51,7 +51,7 @@ fn parse_args() -> Args {
             "--out" => out = PathBuf::from(it.next().expect("--out needs a value")),
             "--help" | "-h" => {
                 println!(
-                    "repro [--exp all|fig6|fig7|fig8|fig9|fig10|sweep|threads] [--quick] \
+                    "repro [--exp all|fig6|fig7|fig8|fig9|fig10|sweep|chaos|threads] [--quick] \
                      [--duration-secs N] [--seeds N] [--out DIR]"
                 );
                 std::process::exit(0);
@@ -114,6 +114,13 @@ fn main() {
         print!("{}", fig.render());
         std::fs::write(args.out.join("sweep_sensitivity.csv"), fig.to_csv())
             .expect("write sweep csv");
+        all_checks.extend(fig.shape_checks());
+    }
+    if want("chaos") {
+        let fig = chaos::run(&args.params);
+        print!("{}", fig.render());
+        std::fs::write(args.out.join("chaos_faults.csv"), fig.to_csv())
+            .expect("write chaos csv");
         all_checks.extend(fig.shape_checks());
     }
     if args.exp == "threads" {

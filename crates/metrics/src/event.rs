@@ -66,6 +66,28 @@ pub enum TraceEvent {
         iter: IterKey,
         ts: Timestamp,
     },
+    /// A supervised task crashed — a panic in the threaded runtime, or an
+    /// injected crash in the simulator. `attempt` counts failures of this
+    /// task so far (1 = first crash).
+    TaskCrash {
+        t: SimTime,
+        node: NodeId,
+        attempt: u32,
+    },
+    /// The supervisor restarted a crashed task after waiting `backoff`.
+    TaskRestart {
+        t: SimTime,
+        node: NodeId,
+        attempt: u32,
+        backoff: Micros,
+    },
+    /// A blocking channel/queue operation gave up after the op timeout.
+    OpTimeout { t: SimTime, node: NodeId },
+    /// A thread finished an iteration with its downstream summary-STP older
+    /// than the staleness horizon (the controller decayed the pacing target).
+    StaleSummary { t: SimTime, iter: IterKey },
+    /// A summary-STP feedback message was dropped (fault injection).
+    SummaryDropped { t: SimTime, node: NodeId },
 }
 
 impl TraceEvent {
@@ -77,7 +99,12 @@ impl TraceEvent {
             | TraceEvent::Free { t, .. }
             | TraceEvent::Get { t, .. }
             | TraceEvent::IterEnd { t, .. }
-            | TraceEvent::SinkOutput { t, .. } => t,
+            | TraceEvent::SinkOutput { t, .. }
+            | TraceEvent::TaskCrash { t, .. }
+            | TraceEvent::TaskRestart { t, .. }
+            | TraceEvent::OpTimeout { t, .. }
+            | TraceEvent::StaleSummary { t, .. }
+            | TraceEvent::SummaryDropped { t, .. } => t,
         }
     }
 }

@@ -21,10 +21,14 @@
 //!   `MUμ`/`MUσ` summary, plus the Ideal-GC (IGC) lower-bound series
 //!   computed from the same trace;
 //! * [`perf`] — latency, throughput and jitter of the pipeline output;
+//! * [`fault`] — fault accounting: crashes, supervisor restarts, timed-out
+//!   ops, dropped summaries and stale-summary intervals, overall and per
+//!   node;
 //! * [`report`] — table/CSV rendering for the experiment harness.
 
 pub mod channel_stats;
 pub mod event;
+pub mod fault;
 pub mod footprint;
 pub mod lineage;
 pub mod perf;
@@ -35,6 +39,7 @@ pub mod waste;
 
 pub use channel_stats::{channel_stats, ChannelStats};
 pub use event::{ItemId, IterKey, TraceEvent};
+pub use fault::{FaultReport, NodeFaults};
 pub use footprint::{FootprintReport, IGC_LABEL};
 pub use lineage::Lineage;
 pub use perf::PerfReport;

@@ -115,6 +115,14 @@ impl Lineage {
                 TraceEvent::SinkOutput { t, iter, ts } => {
                     sink_outputs.push((t, iter, ts));
                 }
+                // Fault events carry no lineage: a crashed iteration never
+                // reached iter_end, and restarts/timeouts/staleness don't
+                // move items.
+                TraceEvent::TaskCrash { .. }
+                | TraceEvent::TaskRestart { .. }
+                | TraceEvent::OpTimeout { .. }
+                | TraceEvent::StaleSummary { .. }
+                | TraceEvent::SummaryDropped { .. } => {}
             }
         }
 

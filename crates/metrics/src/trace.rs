@@ -63,6 +63,31 @@ impl Trace {
         self.events.push(TraceEvent::SinkOutput { t, iter, ts });
     }
 
+    pub fn task_crash(&mut self, t: SimTime, node: NodeId, attempt: u32) {
+        self.events.push(TraceEvent::TaskCrash { t, node, attempt });
+    }
+
+    pub fn task_restart(&mut self, t: SimTime, node: NodeId, attempt: u32, backoff: Micros) {
+        self.events.push(TraceEvent::TaskRestart {
+            t,
+            node,
+            attempt,
+            backoff,
+        });
+    }
+
+    pub fn op_timeout(&mut self, t: SimTime, node: NodeId) {
+        self.events.push(TraceEvent::OpTimeout { t, node });
+    }
+
+    pub fn stale_summary(&mut self, t: SimTime, iter: IterKey) {
+        self.events.push(TraceEvent::StaleSummary { t, iter });
+    }
+
+    pub fn summary_dropped(&mut self, t: SimTime, node: NodeId) {
+        self.events.push(TraceEvent::SummaryDropped { t, node });
+    }
+
     /// All events in record order (runtimes record in nondecreasing time).
     #[must_use]
     pub fn events(&self) -> &[TraceEvent] {
@@ -149,6 +174,33 @@ impl SharedTrace {
 
     pub fn sink_output(&self, t: SimTime, iter: IterKey, ts: Timestamp) {
         self.inner.lock().push(TraceEvent::SinkOutput { t, iter, ts });
+    }
+
+    pub fn task_crash(&self, t: SimTime, node: NodeId, attempt: u32) {
+        self.inner
+            .lock()
+            .push(TraceEvent::TaskCrash { t, node, attempt });
+    }
+
+    pub fn task_restart(&self, t: SimTime, node: NodeId, attempt: u32, backoff: Micros) {
+        self.inner.lock().push(TraceEvent::TaskRestart {
+            t,
+            node,
+            attempt,
+            backoff,
+        });
+    }
+
+    pub fn op_timeout(&self, t: SimTime, node: NodeId) {
+        self.inner.lock().push(TraceEvent::OpTimeout { t, node });
+    }
+
+    pub fn stale_summary(&self, t: SimTime, iter: IterKey) {
+        self.inner.lock().push(TraceEvent::StaleSummary { t, iter });
+    }
+
+    pub fn summary_dropped(&self, t: SimTime, node: NodeId) {
+        self.inner.lock().push(TraceEvent::SummaryDropped { t, node });
     }
 
     /// Snapshot into an owned [`Trace`] for postmortem analysis. Events are

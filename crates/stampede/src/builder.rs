@@ -11,7 +11,7 @@ use crate::queue::{Queue, QueueInput, QueueOutput};
 use crate::runtime::Runtime;
 use crate::task::TaskCtx;
 use aru_core::graph::TopologyError;
-use aru_core::{AruConfig, NodeId, Topology};
+use aru_core::{AruConfig, NodeId, RetryPolicy, Topology};
 use aru_gc::GcMode;
 use aru_metrics::SharedTrace;
 use std::any::Any;
@@ -103,6 +103,8 @@ pub struct RuntimeBuilder {
     buffers: HashMap<NodeId, Arc<dyn Any + Send + Sync>>,
     admins: Vec<Arc<dyn BufferAdmin>>,
     bodies: HashMap<NodeId, Body>,
+    retry: RetryPolicy,
+    op_timeout: Option<Micros>,
 }
 
 impl RuntimeBuilder {
@@ -120,6 +122,8 @@ impl RuntimeBuilder {
             buffers: HashMap::new(),
             admins: Vec::new(),
             bodies: HashMap::new(),
+            retry: RetryPolicy::none(),
+            op_timeout: None,
         }
     }
 
@@ -134,6 +138,26 @@ impl RuntimeBuilder {
     #[must_use]
     pub fn with_gc_interval(mut self, interval: Micros) -> Self {
         self.gc_interval = interval;
+        self
+    }
+
+    /// Supervised-restart policy applied to every task thread: a panicking
+    /// body is caught and restarted up to the policy's budget, then the
+    /// runtime escalates to a clean shutdown. The default is
+    /// [`RetryPolicy::none`] — first crash stops the pipeline.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Deadline applied to every blocking channel/queue operation: a get or
+    /// bounded put that blocks longer than `timeout` fails with
+    /// [`crate::error::StampedeError::Timeout`] instead of waiting forever
+    /// (e.g. on a producer that crashed and is backing off before restart).
+    #[must_use]
+    pub fn with_op_timeout(mut self, timeout: Micros) -> Self {
+        self.op_timeout = Some(timeout);
         self
     }
 
@@ -322,6 +346,8 @@ impl RuntimeBuilder {
             self.admins,
             tasks,
             bodies,
+            self.retry,
+            self.op_timeout,
         ))
     }
 }

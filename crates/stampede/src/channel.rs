@@ -24,10 +24,17 @@ use crate::task::TaskCtx;
 use aru_core::{AruConfig, AruController, NodeKind, Stp};
 use aru_gc::{ref_dead_before, ConsumerMarks, GcMode};
 use aru_metrics::{ItemId, IterKey, SharedTrace};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use vtime::{Clock, Timestamp};
+
+/// Wall-clock deadline for one blocking buffer operation, from the task's
+/// configured op timeout (`None` = block forever).
+pub(crate) fn op_deadline(ctx: &TaskCtx) -> Option<Instant> {
+    ctx.op_timeout().map(|d| Instant::now() + Duration::from(d))
+}
 
 struct Stored<T> {
     value: Arc<T>,
@@ -164,6 +171,7 @@ impl<T: ItemData> Channel<T> {
         ts: Timestamp,
         value: T,
     ) -> Result<Option<Stp>, StampedeError> {
+        let deadline = op_deadline(ctx);
         let mut st = self.state.lock();
         let mut blocked = false;
         loop {
@@ -205,7 +213,9 @@ impl<T: ItemData> Channel<T> {
                 blocked = true;
                 ctx.block_begin(self.clock.now());
             }
-            self.cond.wait(&mut st);
+            if self.wait_step(&mut st, deadline) {
+                return Err(self.timed_out(ctx, blocked));
+            }
         }
     }
 
@@ -226,6 +236,7 @@ impl<T: ItemData> Channel<T> {
         ctx: &mut TaskCtx,
         floor: Timestamp,
     ) -> Result<StampedItem<T>, StampedeError> {
+        let deadline = op_deadline(ctx);
         let mut st = self.state.lock();
         let mut blocked = false;
         loop {
@@ -255,7 +266,9 @@ impl<T: ItemData> Channel<T> {
                 blocked = true;
                 ctx.block_begin(self.clock.now());
             }
-            self.cond.wait(&mut st);
+            if self.wait_step(&mut st, deadline) {
+                return Err(self.timed_out(ctx, blocked));
+            }
         }
     }
 
@@ -281,6 +294,7 @@ impl<T: ItemData> Channel<T> {
         ctx: &mut TaskCtx,
         ts: Timestamp,
     ) -> Result<Option<StampedItem<T>>, StampedeError> {
+        let deadline = op_deadline(ctx);
         let mut st = self.state.lock();
         let mut blocked = false;
         loop {
@@ -314,7 +328,9 @@ impl<T: ItemData> Channel<T> {
                 blocked = true;
                 ctx.block_begin(self.clock.now());
             }
-            self.cond.wait(&mut st);
+            if self.wait_step(&mut st, deadline) {
+                return Err(self.timed_out(ctx, blocked));
+            }
         }
     }
 
@@ -328,6 +344,7 @@ impl<T: ItemData> Channel<T> {
         ctx: &mut TaskCtx,
         ts: Timestamp,
     ) -> Result<StampedItem<T>, StampedeError> {
+        let deadline = op_deadline(ctx);
         let mut st = self.state.lock();
         let mut blocked = false;
         loop {
@@ -358,7 +375,9 @@ impl<T: ItemData> Channel<T> {
                 blocked = true;
                 ctx.block_begin(self.clock.now());
             }
-            self.cond.wait(&mut st);
+            if self.wait_step(&mut st, deadline) {
+                return Err(self.timed_out(ctx, blocked));
+            }
         }
     }
 
@@ -377,6 +396,7 @@ impl<T: ItemData> Channel<T> {
         n: usize,
     ) -> Result<Vec<StampedItem<T>>, StampedeError> {
         assert!(n > 0, "window must be non-empty");
+        let deadline = op_deadline(ctx);
         let mut st = self.state.lock();
         let mut blocked = false;
         loop {
@@ -415,7 +435,9 @@ impl<T: ItemData> Channel<T> {
                 blocked = true;
                 ctx.block_begin(self.clock.now());
             }
-            self.cond.wait(&mut st);
+            if self.wait_step(&mut st, deadline) {
+                return Err(self.timed_out(ctx, blocked));
+            }
         }
     }
 
@@ -498,6 +520,39 @@ impl<T: ItemData> Channel<T> {
                 self.trace.free(now, stored.id);
             }
         }
+    }
+
+    /// One bounded wait on the condvar; `true` means the op deadline passed
+    /// before anything woke us.
+    fn wait_step(
+        &self,
+        st: &mut MutexGuard<'_, ChannelState<T>>,
+        deadline: Option<Instant>,
+    ) -> bool {
+        match deadline {
+            None => {
+                self.cond.wait(st);
+                false
+            }
+            Some(dl) => {
+                let now = Instant::now();
+                if now >= dl {
+                    return true;
+                }
+                self.cond.wait_for(st, dl - now);
+                false
+            }
+        }
+    }
+
+    /// Shared exit path for a blocking op that hit its deadline: end the
+    /// blocking interval, record the timeout, hand back the error.
+    fn timed_out(&self, ctx: &mut TaskCtx, blocked: bool) -> StampedeError {
+        if blocked {
+            ctx.block_end(self.clock.now());
+        }
+        self.trace.op_timeout(self.clock.now(), ctx.node());
+        StampedeError::Timeout
     }
 
     // ---- admin interface used by the runtime/GC driver ---------------------

@@ -11,6 +11,13 @@ pub enum StampedeError {
     Closed,
     /// The runtime is shutting down.
     Shutdown,
+    /// A blocking channel/queue operation exceeded the configured op
+    /// timeout (see `RuntimeBuilder::with_op_timeout`). The buffer is still
+    /// usable; the body may retry or give up.
+    Timeout,
+    /// A supervised task exhausted its restart budget; the supervisor
+    /// escalated to a runtime-wide shutdown.
+    TaskFailed,
 }
 
 impl fmt::Display for StampedeError {
@@ -18,6 +25,8 @@ impl fmt::Display for StampedeError {
         match self {
             StampedeError::Closed => write!(f, "buffer closed"),
             StampedeError::Shutdown => write!(f, "runtime shutting down"),
+            StampedeError::Timeout => write!(f, "blocking operation timed out"),
+            StampedeError::TaskFailed => write!(f, "task failed permanently"),
         }
     }
 }
@@ -46,6 +55,14 @@ mod tests {
     fn display() {
         assert_eq!(StampedeError::Closed.to_string(), "buffer closed");
         assert_eq!(StampedeError::Shutdown.to_string(), "runtime shutting down");
+        assert_eq!(
+            StampedeError::Timeout.to_string(),
+            "blocking operation timed out"
+        );
+        assert_eq!(
+            StampedeError::TaskFailed.to_string(),
+            "task failed permanently"
+        );
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub use error::{Step, StampedeError, TaskResult};
 pub use item::{ItemData, Record, StampedItem};
 pub use net::{LinkModel, NetworkSim, RemoteOutput};
 pub use queue::{Queue, QueueInput, QueueOutput};
-pub use runtime::{RunAnalysis, RunReport, Running, Runtime};
+pub use runtime::{BoxedJoinError, RunAnalysis, RunReport, Running, Runtime};
 pub use task::TaskCtx;
 
 /// Common imports for application code.
@@ -82,6 +82,6 @@ pub mod prelude {
     pub use crate::queue::{QueueInput, QueueOutput};
     pub use crate::runtime::{RunAnalysis, RunReport, Runtime};
     pub use crate::task::TaskCtx;
-    pub use aru_core::{AruConfig, CompressOp, PacingPolicy};
+    pub use aru_core::{AruConfig, CompressOp, PacingPolicy, RetryPolicy};
     pub use aru_gc::GcMode;
 }

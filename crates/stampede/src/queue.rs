@@ -114,12 +114,14 @@ impl<T: ItemData> Queue<T> {
         Ok(summary)
     }
 
-    /// Dequeue the oldest item, blocking while empty.
+    /// Dequeue the oldest item, blocking while empty (up to the task's op
+    /// timeout, when one is configured).
     pub fn get(
         &self,
         chan_out_index: usize,
         ctx: &mut TaskCtx,
     ) -> Result<StampedItem<T>, StampedeError> {
+        let deadline = crate::channel::op_deadline(ctx);
         let mut st = self.state.lock();
         let mut blocked = false;
         loop {
@@ -150,7 +152,18 @@ impl<T: ItemData> Queue<T> {
                 blocked = true;
                 ctx.block_begin(self.clock.now());
             }
-            self.cond.wait(&mut st);
+            match deadline {
+                None => self.cond.wait(&mut st),
+                Some(dl) => {
+                    let now = std::time::Instant::now();
+                    if now >= dl {
+                        ctx.block_end(self.clock.now());
+                        self.trace.op_timeout(self.clock.now(), ctx.node());
+                        return Err(StampedeError::Timeout);
+                    }
+                    self.cond.wait_for(&mut st, dl - now);
+                }
+            }
         }
     }
 

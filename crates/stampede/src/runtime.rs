@@ -5,18 +5,33 @@ use crate::channel::BufferAdmin;
 use crate::error::TaskResult;
 use crate::shutdown::Shutdown;
 use crate::task::TaskCtx;
-use aru_core::{AruConfig, NodeId, Topology};
+use aru_core::{AruConfig, NodeId, RetryPolicy, Topology};
 use aru_gc::{ConsumerMarks, DgcEngine, DgcResult, GcMode, IdealGc};
 use aru_metrics::{
-    FootprintReport, Lineage, PerfReport, SharedTrace, Trace, TraceEvent, WasteReport,
+    FaultReport, FootprintReport, Lineage, PerfReport, SharedTrace, Trace, TraceEvent, WasteReport,
 };
 use parking_lot::RwLock;
+use std::any::Any;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use vtime::{Clock, Micros, SimTime};
 
 type Body = Box<dyn FnMut(&mut TaskCtx) -> TaskResult + Send>;
+
+/// Render a panic payload (the `Box<dyn Any>` from `catch_unwind`/`join`)
+/// as best we can: panics raised via `panic!("…")` carry a `String` or
+/// `&'static str`.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// A frozen, ready-to-run pipeline (produced by
 /// [`RuntimeBuilder::build`](crate::builder::RuntimeBuilder::build)).
@@ -30,6 +45,8 @@ pub struct Runtime {
     admins: Vec<Arc<dyn BufferAdmin>>,
     tasks: Vec<(NodeId, String)>,
     bodies: HashMap<NodeId, Body>,
+    retry: RetryPolicy,
+    op_timeout: Option<Micros>,
 }
 
 impl Runtime {
@@ -44,6 +61,8 @@ impl Runtime {
         admins: Vec<Arc<dyn BufferAdmin>>,
         tasks: Vec<(NodeId, String)>,
         bodies: HashMap<NodeId, Body>,
+        retry: RetryPolicy,
+        op_timeout: Option<Micros>,
     ) -> Self {
         Runtime {
             topo,
@@ -55,6 +74,8 @@ impl Runtime {
             admins,
             tasks,
             bodies,
+            retry,
+            op_timeout,
         }
     }
 
@@ -73,8 +94,8 @@ impl Runtime {
 
         let mut handles = Vec::with_capacity(self.tasks.len());
         for (node, name) in &self.tasks {
-            let body = self.bodies.remove(node).expect("validated at build");
-            let ctx = TaskCtx::new(
+            let mut body = self.bodies.remove(node).expect("validated at build");
+            let mut ctx = TaskCtx::new(
                 *node,
                 name.clone(),
                 self.topo.out_degree(*node),
@@ -85,9 +106,50 @@ impl Runtime {
                 shutdown.clone(),
                 Arc::clone(&dgc_shared),
             );
+            ctx.set_op_timeout(self.op_timeout);
+            let node = *node;
+            let policy = self.retry;
+            let clock = Arc::clone(&self.clock);
+            let trace = self.trace.clone();
+            let sd = shutdown.clone();
+            let admins: Vec<Arc<dyn BufferAdmin>> = self.admins.clone();
+            // Supervisor loop: a panicking body is caught, the context is
+            // recovered and the loop re-entered under the retry policy;
+            // when the restart budget is exhausted the supervisor escalates
+            // to a clean runtime-wide shutdown (buffers closed so peers
+            // unblock and drain).
             let handle = std::thread::Builder::new()
                 .name(name.clone())
-                .spawn(move || ctx.run(body))
+                .spawn(move || {
+                    let mut attempt: u32 = 0;
+                    loop {
+                        match catch_unwind(AssertUnwindSafe(|| ctx.run(&mut *body))) {
+                            Ok(iters) => return Ok(iters),
+                            Err(payload) => {
+                                attempt += 1;
+                                let msg = panic_message(payload.as_ref());
+                                trace.task_crash(clock.now(), node, attempt);
+                                if sd.is_set() {
+                                    return Err(msg);
+                                }
+                                if policy.allows(attempt) {
+                                    let backoff = policy.delay(attempt);
+                                    ctx.recover();
+                                    trace.task_restart(clock.now(), node, attempt, backoff);
+                                    if sd.sleep(backoff) {
+                                        return Err(msg);
+                                    }
+                                } else {
+                                    sd.set();
+                                    for a in &admins {
+                                        a.close();
+                                    }
+                                    return Err(msg);
+                                }
+                            }
+                        }
+                    }
+                })
                 .expect("spawn task thread");
             handles.push(handle);
         }
@@ -144,13 +206,20 @@ impl Runtime {
     }
 }
 
-/// Error carrying a panicked task's name.
+/// A task failed permanently: the supervisor exhausted its restart budget
+/// (or the thread died outside the supervised loop). Carries the failing
+/// task's name and the panic payload, rendered to a string.
 #[derive(Debug)]
-pub struct BoxedJoinError(pub String);
+pub struct BoxedJoinError {
+    /// Name of the task (thread) that failed.
+    pub task: String,
+    /// The panic message that killed it.
+    pub payload: String,
+}
 
 impl std::fmt::Display for BoxedJoinError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "task thread panicked: {}", self.0)
+        write!(f, "task '{}' failed permanently: {}", self.task, self.payload)
     }
 }
 
@@ -163,13 +232,17 @@ pub struct Running {
     trace: SharedTrace,
     admins: Vec<Arc<dyn BufferAdmin>>,
     shutdown: Shutdown,
-    handles: Vec<JoinHandle<u64>>,
+    handles: Vec<JoinHandle<Result<u64, String>>>,
     gc_handle: Option<JoinHandle<()>>,
 }
 
 impl Running {
     /// Request shutdown, close every buffer (waking blocked getters), join
     /// all threads, and produce the run report.
+    ///
+    /// Returns [`BoxedJoinError`] — task name plus the preserved panic
+    /// payload — when any supervised task failed permanently during the
+    /// run.
     pub fn stop(self) -> Result<RunReport, BoxedJoinError> {
         self.shutdown.set();
         for a in &self.admins {
@@ -177,10 +250,24 @@ impl Running {
         }
         for h in self.handles {
             let name = h.thread().name().unwrap_or("<task>").to_string();
-            h.join().map_err(|_| BoxedJoinError(name))?;
+            match h.join() {
+                Ok(Ok(_iters)) => {}
+                Ok(Err(payload)) => return Err(BoxedJoinError { task: name, payload }),
+                // The supervisor itself panicked (shouldn't happen): the
+                // join error is the raw payload.
+                Err(p) => {
+                    return Err(BoxedJoinError {
+                        task: name,
+                        payload: panic_message(p.as_ref()),
+                    })
+                }
+            }
         }
         if let Some(h) = self.gc_handle {
-            h.join().map_err(|_| BoxedJoinError("dgc-driver".into()))?;
+            h.join().map_err(|p| BoxedJoinError {
+                task: "dgc-driver".into(),
+                payload: panic_message(p.as_ref()),
+            })?;
         }
         let t_end = self.clock.now();
         Ok(RunReport {
@@ -249,11 +336,13 @@ impl RunReport {
         let waste = WasteReport::compute(&lineage, self.t_end);
         let perf = PerfReport::compute(&self.trace, &lineage, self.t_end);
         let igc = IdealGc::from_lineage(&lineage, self.t_end);
+        let faults = FaultReport::compute(&self.trace);
         RunAnalysis {
             footprint,
             waste,
             perf,
             igc,
+            faults,
         }
     }
 }
@@ -265,4 +354,137 @@ pub struct RunAnalysis {
     pub waste: WasteReport,
     pub perf: PerfReport,
     pub igc: IdealGc,
+    pub faults: FaultReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::RuntimeBuilder;
+    use crate::error::{StampedeError, Step};
+    use aru_core::{AruConfig, RetryPolicy};
+    use aru_gc::GcMode;
+    use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use vtime::Micros;
+
+    /// Spin until `pred` holds (bounded); panics on timeout.
+    fn wait_until(pred: impl Fn() -> bool, what: &str) {
+        let t0 = Instant::now();
+        while !pred() {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "timed out waiting for {what}"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn supervisor_restarts_panicking_task() {
+        let mut b = RuntimeBuilder::new(AruConfig::aru_min(), GcMode::None)
+            .with_retry_policy(RetryPolicy::constant(3, Micros::from_millis(1)));
+        let t = b.thread("flaky");
+        let n = Arc::new(AtomicU32::new(0));
+        let n2 = Arc::clone(&n);
+        b.spawn(t, move |_| {
+            let i = n2.fetch_add(1, Ordering::SeqCst);
+            if i == 1 {
+                panic!("injected crash");
+            }
+            if i >= 5 {
+                return Ok(Step::Stop);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+            Ok(Step::Continue)
+        });
+        let running = b.build().unwrap().start();
+        wait_until(|| n.load(Ordering::SeqCst) > 5, "task to finish");
+        let report = running.stop().expect("recovered run completes cleanly");
+        let faults = report.analyze().faults;
+        assert_eq!(faults.crashes, 1);
+        assert_eq!(faults.restarts, 1);
+        assert!(n.load(Ordering::SeqCst) > 5, "task kept running after restart");
+    }
+
+    #[test]
+    fn exhausted_retries_escalate_and_preserve_payload() {
+        let mut b = RuntimeBuilder::new(AruConfig::aru_min(), GcMode::None)
+            .with_retry_policy(RetryPolicy::none());
+        let bomb = b.thread("bomb");
+        let sink = b.thread("sink");
+        let ch = b.channel::<Vec<u8>>("c");
+        b.connect_out(bomb, &ch).unwrap();
+        let mut input = b.connect_in(&ch, sink).unwrap();
+        let sink_entered = Arc::new(AtomicBool::new(false));
+        let sink_unblocked = Arc::new(AtomicBool::new(false));
+        // The bomb waits for the sink to be blocked on the empty channel
+        // before panicking, so the test exercises escalation *unblocking* a
+        // peer (not just stopping it before it starts).
+        let se = Arc::clone(&sink_entered);
+        b.spawn(bomb, move |_| {
+            while !se.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            panic!("kaboom");
+        });
+        let se = Arc::clone(&sink_entered);
+        let su = Arc::clone(&sink_unblocked);
+        b.spawn(sink, move |ctx| {
+            se.store(true, Ordering::SeqCst);
+            // Blocks forever on the empty channel until escalation closes it.
+            match input.get_latest(ctx) {
+                Err(StampedeError::Closed) => {
+                    su.store(true, Ordering::SeqCst);
+                    Ok(Step::Stop)
+                }
+                other => {
+                    let _ = other?;
+                    Ok(Step::Continue)
+                }
+            }
+        });
+        let running = b.build().unwrap().start();
+        wait_until(|| !running.is_running(), "escalation to shut the runtime down");
+        wait_until(
+            || sink_unblocked.load(Ordering::SeqCst),
+            "escalation to close buffers and unblock the sink",
+        );
+        let err = running.stop().expect_err("permanent failure is reported");
+        assert_eq!(err.task, "bomb");
+        assert!(
+            err.payload.contains("kaboom"),
+            "panic payload preserved, got: {}",
+            err.payload
+        );
+    }
+
+    #[test]
+    fn blocked_get_times_out_when_configured() {
+        let mut b = RuntimeBuilder::new(AruConfig::aru_min(), GcMode::None)
+            .with_op_timeout(Micros::from_millis(5));
+        let sink = b.thread("sink");
+        let ch = b.channel::<Vec<u8>>("never-fed");
+        let mut input = b.connect_in(&ch, sink).unwrap();
+        let saw_timeout = Arc::new(AtomicBool::new(false));
+        let st = Arc::clone(&saw_timeout);
+        b.spawn(sink, move |ctx| match input.get_latest(ctx) {
+            Err(StampedeError::Timeout) => {
+                st.store(true, Ordering::SeqCst);
+                Ok(Step::Stop)
+            }
+            other => {
+                let _ = other?;
+                Ok(Step::Continue)
+            }
+        });
+        let running = b.build().unwrap().start();
+        wait_until(|| saw_timeout.load(Ordering::SeqCst), "op timeout");
+        let report = running.stop().expect("timeout is not a crash");
+        assert!(saw_timeout.load(Ordering::SeqCst));
+        let faults = report.analyze().faults;
+        assert_eq!(faults.timeouts, 1);
+        assert!(faults.any());
+    }
 }

@@ -92,4 +92,37 @@ mod tests {
         assert!(s.sleep(Micros::ZERO));
         assert!(s.sleep(Micros::from_millis(50)), "already set: immediate");
     }
+
+    #[test]
+    fn concurrent_set_from_many_threads_wakes_all_sleepers() {
+        // Several sleepers, several racing setters: set() must be idempotent
+        // under contention and every sleeper must wake promptly.
+        let s = Shutdown::new();
+        let sleepers: Vec<_> = (0..4)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let t0 = Instant::now();
+                    let interrupted = s.sleep(Micros::from_secs(30));
+                    (interrupted, t0.elapsed())
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(10));
+        let setters: Vec<_> = (0..4)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || s.set())
+            })
+            .collect();
+        for h in setters {
+            h.join().unwrap();
+        }
+        for h in sleepers {
+            let (interrupted, elapsed) = h.join().unwrap();
+            assert!(interrupted, "sleeper saw the shutdown");
+            assert!(elapsed < Duration::from_secs(10), "woke early");
+        }
+        assert!(s.is_set());
+    }
 }

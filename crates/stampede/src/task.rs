@@ -23,7 +23,7 @@ use aru_gc::DgcResult;
 use aru_metrics::{IterKey, SharedTrace};
 use parking_lot::RwLock;
 use std::sync::Arc;
-use vtime::{Clock, SimTime, Timestamp};
+use vtime::{Clock, Micros, SimTime, Timestamp};
 
 /// Per-task context handed to the body on every iteration.
 ///
@@ -35,6 +35,14 @@ pub struct TaskCtx {
     name: String,
     seq: u64,
     controller: AruController,
+    /// Retained so [`TaskCtx::recover`] can rebuild the controller after a
+    /// crash (controller state from a half-finished iteration is garbage).
+    config: AruConfig,
+    n_outputs: usize,
+    is_source: bool,
+    /// Deadline applied to every blocking channel/queue operation this task
+    /// issues; `None` means block forever (classic Stampede semantics).
+    op_timeout: Option<Micros>,
     clock: Arc<dyn Clock>,
     trace: SharedTrace,
     shutdown: Shutdown,
@@ -62,6 +70,10 @@ impl TaskCtx {
             name,
             seq: 0,
             controller: AruController::new(NodeKind::Thread, n_outputs, is_source, config),
+            config: config.clone(),
+            n_outputs,
+            is_source,
+            op_timeout: None,
             clock,
             trace,
             shutdown,
@@ -133,7 +145,17 @@ impl TaskCtx {
     }
 
     pub(crate) fn receive_feedback(&mut self, out_index: usize, stp: Stp) {
-        self.controller.receive_feedback(out_index, stp);
+        let now = self.clock.now();
+        self.controller.receive_feedback_at(out_index, stp, now);
+    }
+
+    /// Op timeout applied by blocking buffer operations.
+    pub(crate) fn op_timeout(&self) -> Option<Micros> {
+        self.op_timeout
+    }
+
+    pub(crate) fn set_op_timeout(&mut self, timeout: Option<Micros>) {
+        self.op_timeout = timeout;
     }
 
     /// Register a channel release to run when the current iteration ends.
@@ -150,14 +172,18 @@ impl TaskCtx {
     // ---- loop driver --------------------------------------------------------
 
     /// Run the task loop to completion. Returns the number of iterations.
-    pub(crate) fn run(mut self, mut body: Box<dyn FnMut(&mut TaskCtx) -> TaskResult + Send>) -> u64 {
+    ///
+    /// Borrows `self` and the body so the supervisor can call it again with
+    /// the same context after a crash (see [`TaskCtx::recover`]); iteration
+    /// seqs therefore stay unique across restarts.
+    pub(crate) fn run(&mut self, body: &mut (dyn FnMut(&mut TaskCtx) -> TaskResult + Send)) -> u64 {
         loop {
             if self.shutdown.is_set() {
                 break;
             }
             let t0 = self.clock.now();
             self.controller.iteration_begin(t0);
-            let step = body(&mut self);
+            let step = body(self);
             debug_assert!(
                 !self.controller.is_blocked(),
                 "task body returned while blocked"
@@ -171,6 +197,9 @@ impl TaskCtx {
             let outcome = self.controller.iteration_end(t1);
             let key = self.iter_key();
             self.trace.iter_end(t1, key, outcome.current_stp.period());
+            if outcome.stale {
+                self.trace.stale_summary(t1, key);
+            }
             self.seq += 1;
             match step {
                 Ok(Step::Continue) => {
@@ -182,6 +211,27 @@ impl TaskCtx {
             }
         }
         self.seq
+    }
+
+    /// Reset after a crash, before the supervisor re-enters [`TaskCtx::run`].
+    ///
+    /// The controller is rebuilt from the stored config — STP meter state
+    /// from the half-finished iteration (e.g. an unmatched `block_begin`) is
+    /// unusable, and summary feedback will re-arrive on the next get/put.
+    /// Deferred releases from the crashed iteration are still executed so the
+    /// consumed items don't pin channel GC forever. The iteration seq is
+    /// advanced past the crashed iteration so its `IterKey` is never reused.
+    pub(crate) fn recover(&mut self) {
+        for release in self.releases.drain(..) {
+            release();
+        }
+        self.controller = AruController::new(
+            NodeKind::Thread,
+            self.n_outputs,
+            self.is_source,
+            &self.config,
+        );
+        self.seq += 1;
     }
 }
 
@@ -208,24 +258,24 @@ mod tests {
     #[test]
     fn loop_stops_on_stop() {
         let clock = ManualClock::new();
-        let c = ctx(clock);
+        let mut c = ctx(clock);
         let mut count = 0;
-        let iters = c.run(Box::new(move |_| {
+        let iters = c.run(&mut move |_: &mut TaskCtx| {
             count += 1;
             if count >= 3 {
                 Ok(Step::Stop)
             } else {
                 Ok(Step::Continue)
             }
-        }));
+        });
         assert_eq!(iters, 3);
     }
 
     #[test]
     fn loop_stops_on_error() {
         let clock = ManualClock::new();
-        let c = ctx(clock);
-        let iters = c.run(Box::new(|_| Err(StampedeError::Closed)));
+        let mut c = ctx(clock);
+        let iters = c.run(&mut |_: &mut TaskCtx| Err(StampedeError::Closed));
         assert_eq!(iters, 1);
     }
 
@@ -233,7 +283,7 @@ mod tests {
     fn loop_stops_on_shutdown() {
         let clock = ManualClock::new();
         let shutdown = Shutdown::new();
-        let c = TaskCtx::new(
+        let mut c = TaskCtx::new(
             NodeId(0),
             "t".into(),
             0,
@@ -245,7 +295,7 @@ mod tests {
             Arc::new(RwLock::new(DgcResult::default())),
         );
         shutdown.set();
-        let iters = c.run(Box::new(|_| Ok(Step::Continue)));
+        let iters = c.run(&mut |_: &mut TaskCtx| Ok(Step::Continue));
         assert_eq!(iters, 0);
     }
 
@@ -253,7 +303,7 @@ mod tests {
     fn iterations_are_traced() {
         let clock = ManualClock::new();
         let trace = SharedTrace::new();
-        let c = TaskCtx::new(
+        let mut c = TaskCtx::new(
             NodeId(7),
             "t".into(),
             0,
@@ -265,7 +315,7 @@ mod tests {
             Arc::new(RwLock::new(DgcResult::default())),
         );
         let mut n = 0;
-        c.run(Box::new(move |ctx| {
+        c.run(&mut move |ctx: &mut TaskCtx| {
             let _ = ctx.now(); // touch
             n += 1;
             if n >= 2 {
@@ -273,7 +323,7 @@ mod tests {
             } else {
                 Ok(Step::Continue)
             }
-        }));
+        });
         let snap = trace.snapshot();
         let iter_ends = snap
             .events()
@@ -352,8 +402,42 @@ mod tests {
             s2.set();
         });
         let t0 = std::time::Instant::now();
-        c.run(Box::new(|_| Ok(Step::Continue)));
+        c.run(&mut |_: &mut TaskCtx| Ok(Step::Continue));
         assert!(t0.elapsed() < std::time::Duration::from_secs(10));
         h.join().unwrap();
+    }
+
+    #[test]
+    fn recover_resets_controller_and_skips_crashed_seq() {
+        let clock = ManualClock::new();
+        let mut c = ctx(clock);
+        // Simulate a crash mid-iteration: blocked, feedback received,
+        // releases pending.
+        let released = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let r2 = Arc::clone(&released);
+        c.block_begin(SimTime(0));
+        c.receive_feedback(0, Stp(Micros(500)));
+        c.defer_release(Box::new(move || {
+            r2.store(true, std::sync::atomic::Ordering::SeqCst);
+        }));
+        let crashed_key = c.iter_key();
+        c.recover();
+        assert!(
+            released.load(std::sync::atomic::Ordering::SeqCst),
+            "pending releases must run so GC marks advance"
+        );
+        assert_ne!(c.iter_key(), crashed_key, "crashed IterKey never reused");
+        assert_eq!(c.summary(), None, "controller state rebuilt from scratch");
+        // The rebuilt loop runs normally.
+        let mut n = 0;
+        let iters = c.run(&mut move |_: &mut TaskCtx| {
+            n += 1;
+            if n >= 2 {
+                Ok(Step::Stop)
+            } else {
+                Ok(Step::Continue)
+            }
+        });
+        assert!(iters >= 2);
     }
 }

@@ -9,11 +9,11 @@
 //! the five tasks on five nodes with each channel on its producer's node.
 
 use crate::graph::CHANNELS;
-use aru_core::AruConfig;
+use aru_core::{AruConfig, RetryPolicy};
 use aru_gc::GcMode;
 use desim::{
-    CostModel, InputPolicy, NetModel, ServiceModel, Sim, SimBuilder, SimConfig, SimReport,
-    TaskSpec,
+    CostModel, FaultPlan, InputPolicy, NetModel, ServiceModel, Sim, SimBuilder, SimConfig,
+    SimReport, TaskSpec,
 };
 use vtime::Micros;
 
@@ -63,6 +63,10 @@ pub struct SimTrackerParams {
     pub net: NetModel,
     pub duration: Micros,
     pub seed: u64,
+    /// Scheduled fault injection for chaos experiments (empty by default).
+    pub faults: FaultPlan,
+    /// Supervised-restart policy for injected crashes.
+    pub retry: RetryPolicy,
 }
 
 impl SimTrackerParams {
@@ -82,6 +86,8 @@ impl SimTrackerParams {
             },
             duration: Micros::from_secs(200),
             seed: 2005,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -94,6 +100,18 @@ impl SimTrackerParams {
     #[must_use]
     pub fn with_duration(mut self, duration: Micros) -> Self {
         self.duration = duration;
+        self
+    }
+
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -176,6 +194,8 @@ pub fn build_sim(params: &SimTrackerParams) -> (SimBuilder, SimConfig) {
     cfg.net = params.net;
     cfg.duration = params.duration;
     cfg.seed = params.seed;
+    cfg.faults = params.faults.clone();
+    cfg.retry = params.retry;
     (b, cfg)
 }
 

@@ -1,0 +1,486 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest that this workspace's property tests
+//! use: the [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! range and tuple strategies, `prop::collection::vec`, `any::<T>()`,
+//! `ProptestConfig::with_cases`, and the `proptest!`/`prop_assert!`/
+//! `prop_assert_eq!` macros.
+//!
+//! Differences from the real crate, both deliberate:
+//! - **No shrinking.** A failing case reports its generated inputs and the
+//!   assertion message; it is not minimized.
+//! - **Deterministic seeding.** Each test's RNG is seeded from the test's
+//!   name, so every run (locally and in CI) exercises the same cases.
+//!   `*.proptest-regressions` files are ignored.
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// A value generator. Mirrors `proptest::strategy::Strategy`, minus
+    /// shrinking: a strategy only needs to produce values.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    // Modulo bias is irrelevant at test-range sizes.
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let u: f64 = rng.random();
+                    self.start + (u as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Inclusive length bounds for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<::std::ops::Range<usize>> for SizeRange {
+        fn from(r: ::std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<::std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: ::std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Mirror of `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Full-domain strategy used by [`any`].
+    pub struct AnyStrategy<T> {
+        _marker: ::std::marker::PhantomData<T>,
+    }
+
+    macro_rules! arbitrary_impl {
+        ($($t:ty => $gen:expr),* $(,)?) => {$(
+            impl Strategy for AnyStrategy<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let f: fn(&mut TestRng) -> $t = $gen;
+                    f(rng)
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = AnyStrategy<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyStrategy { _marker: ::std::marker::PhantomData }
+                }
+            }
+        )*};
+    }
+
+    arbitrary_impl! {
+        bool => |rng| rng.next_u64() & 1 == 1,
+        u8 => |rng| rng.next_u64() as u8,
+        u16 => |rng| rng.next_u64() as u16,
+        u32 => |rng| rng.next_u64() as u32,
+        u64 => |rng| rng.next_u64(),
+        usize => |rng| rng.next_u64() as usize,
+        i32 => |rng| rng.next_u64() as i32,
+        i64 => |rng| rng.next_u64() as i64,
+        f64 => |rng| rng.random(),
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// RNG threaded through strategies. An alias so strategies stay simple.
+    pub type TestRng = StdRng;
+
+    /// Mirror of `proptest::test_runner::Config` (the fields this
+    /// workspace touches).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property-test case (carried back out of the test closure
+    /// by `prop_assert!`).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl ::std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Drives the cases of one `proptest!` test function.
+    pub struct TestRunner {
+        rng: TestRng,
+        cases: u32,
+    }
+
+    impl TestRunner {
+        /// Seed the RNG from the test's name (FNV-1a), so runs are
+        /// reproducible everywhere without a regressions file.
+        #[must_use]
+        pub fn new(config: &ProptestConfig, test_name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner {
+                rng: TestRng::seed_from_u64(h),
+                cases: config.cases,
+            }
+        }
+
+        #[must_use]
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// Mirror of `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Mirror of `proptest::prelude::prop` (module re-exports so
+    /// `prop::collection::vec(..)` resolves).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Mirror of `proptest!`. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by test functions whose arguments
+/// are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr;) => {};
+    (config = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(&config, stringify!($name));
+            for case in 0..runner.cases() {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), runner.rng());
+                )*
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property '{}' failed at case {} of {}: {}\n(inputs: {})",
+                        stringify!($name),
+                        case + 1,
+                        runner.cases(),
+                        e,
+                        stringify!($($arg),*),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+}
+
+/// Mirror of `prop_assert!` — fails the current case without aborting the
+/// whole process (the runner turns it into a panic with context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Mirror of `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: {:?} == {:?}",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs == *rhs, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_generate_in_bounds() {
+        let cfg = crate::test_runner::ProptestConfig::default();
+        let mut runner = crate::test_runner::TestRunner::new(&cfg, "bounds");
+        for _ in 0..200 {
+            let x = Strategy::generate(&(3u64..10), runner.rng());
+            assert!((3..10).contains(&x));
+            let f = Strategy::generate(&(-2.0f64..2.0), runner.rng());
+            assert!((-2.0..2.0).contains(&f));
+            let v = Strategy::generate(&prop::collection::vec(0u8..5, 1..4), runner.rng());
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&b| b < 5));
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic_per_name() {
+        let cfg = crate::test_runner::ProptestConfig::default();
+        let mut a = crate::test_runner::TestRunner::new(&cfg, "same");
+        let mut b = crate::test_runner::TestRunner::new(&cfg, "same");
+        let sa: Vec<u64> = (0..32)
+            .map(|_| Strategy::generate(&(0u64..1_000_000), a.rng()))
+            .collect();
+        let sb: Vec<u64> = (0..32)
+            .map(|_| Strategy::generate(&(0u64..1_000_000), b.rng()))
+            .collect();
+        assert_eq!(sa, sb);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro path itself: map, flat_map, tuples, any.
+        fn macro_roundtrip(
+            n in (1usize..5).prop_flat_map(|n| {
+                prop::collection::vec(any::<bool>(), n..=n).prop_map(move |v| (n, v))
+            }),
+            x in (1u64..100).prop_map(|v| v * 2),
+        ) {
+            prop_assert_eq!(n.0, n.1.len());
+            prop_assert!(x % 2 == 0, "x = {}", x);
+        }
+    }
+}

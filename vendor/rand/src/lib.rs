@@ -1,0 +1,154 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the subset this workspace uses — `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `RngExt::random::<T>()` — backed by
+//! xoshiro256** seeded through SplitMix64 (the construction the xoshiro
+//! authors recommend). Deterministic per seed, which is the property the
+//! simulator's noise and fault plans depend on; the streams do NOT match
+//! the real `rand` crate's `StdRng`.
+
+/// Types that can construct themselves from an RNG's raw u64 stream.
+pub trait FromRandom: Sized {
+    fn from_random<R: RngExt + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Random-value generation, mirroring `rand::Rng::random`.
+pub trait RngExt {
+    /// Next raw 64 bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value of `T` (for floats: in `[0, 1)`).
+    fn random<T: FromRandom>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_random(self)
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl FromRandom for u64 {
+    fn from_random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRandom for u32 {
+    fn from_random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl FromRandom for usize {
+    fn from_random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl FromRandom for bool {
+    fn from_random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRandom for f64 {
+    fn from_random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRandom for f32 {
+    fn from_random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// SplitMix64 — used to expand a u64 seed into xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngExt, SeedableRng};
+
+    /// xoshiro256** generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; splitmix64 cannot
+            // produce four zeros from any seed, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(100);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..10_000).map(|_| r.random::<f64>()).collect();
+        assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn bool_is_balanced() {
+        let mut r = StdRng::seed_from_u64(3);
+        let trues = (0..10_000).filter(|_| r.random::<bool>()).count();
+        assert!((4_500..5_500).contains(&trues), "{trues}");
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Exposes `Serialize`/`Deserialize` in both namespaces the way real serde
+//! does: as traits (types here, nothing in the workspace bounds on them)
+//! and as derive macros (re-exported from the vendored `serde_derive`,
+//! which expands them to nothing). This keeps every
+//! `#[derive(Serialize, Deserialize)]` in the workspace compiling without
+//! crates.io access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
