@@ -9,10 +9,11 @@
 //! full cross-graph DGC pass on the tracker topology.
 
 use aru_core::{
-    summary_for_thread, AruConfig, AruController, BackwardStpVec, CompressOp, NodeKind, Pacer,
-    Stp, StpMeter,
+    summary_for_thread, AruConfig, AruController, BackwardStpVec, CompressOp, NodeId, NodeKind,
+    Pacer, Stp, StpMeter,
 };
 use aru_gc::{ConsumerMarks, DgcEngine};
+use aru_metrics::{CoarseTrace, IterKey, SharedTrace};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::HashMap;
 use std::hint::black_box;
@@ -89,6 +90,54 @@ fn bench(c: &mut Criterion) {
             }
         }
         b.iter(|| black_box(engine.compute(&topo, &marks)))
+    });
+
+    // Per-put/get tracing overhead, coarse (global mutex) vs. the sharded
+    // buffered writer the runtime uses. Single-threaded lower bound; the
+    // contended numbers come from `experiments/src/bin/hotpath.rs`
+    // (BENCH_hotpath.json).
+    c.bench_function("trace_put_coarse_mutex", |b| {
+        let tr = CoarseTrace::new();
+        let p = IterKey::new(NodeId(0), 0);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(tr.alloc(SimTime(t), NodeId(1), Timestamp(t), 1024, p))
+        })
+    });
+
+    c.bench_function("trace_put_sharded_local", |b| {
+        let tr = SharedTrace::new();
+        let mut local = tr.local();
+        let p = IterKey::new(NodeId(0), 0);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(local.alloc(SimTime(t), NodeId(1), Timestamp(t), 1024, p))
+        })
+    });
+
+    c.bench_function("trace_get_coarse_mutex", |b| {
+        let tr = CoarseTrace::new();
+        let c_key = IterKey::new(NodeId(2), 0);
+        let id = tr.alloc(SimTime(0), NodeId(1), Timestamp(0), 1024, c_key);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            tr.get(SimTime(t), black_box(id), c_key);
+        })
+    });
+
+    c.bench_function("trace_get_sharded_local", |b| {
+        let tr = SharedTrace::new();
+        let mut local = tr.local();
+        let c_key = IterKey::new(NodeId(2), 0);
+        let id = local.alloc(SimTime(0), NodeId(1), Timestamp(0), 1024, c_key);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            local.get(SimTime(t), black_box(id), c_key);
+        })
     });
 
     // Reference scale: the items the feedback rides on are hundreds of kB;

@@ -1,0 +1,345 @@
+//! `hotpath` — tracing hot-path overhead bench, machine-readable.
+//!
+//! Measures the per-operation cost of trace recording under concurrent
+//! tasks, comparing the pre-sharding recorder (`CoarseTrace`: one global
+//! `Mutex<Vec>`) against the sharded `SharedTrace` the runtime uses, plus
+//! the one-time snapshot (k-way merge) cost. Three workloads mirror what
+//! the channel hot path records:
+//!
+//! * `put_path`  — one `alloc` per op (what `Channel::put` records)
+//! * `get_path`  — one `get` per op (what a channel get records)
+//! * `mixed`     — alloc + get + free per op (a full item lifetime)
+//!
+//! ```text
+//! hotpath [--threads N] [--ops N] [--reps N] [--out FILE]
+//! ```
+//!
+//! Each (implementation, workload) cell is measured `--reps` times and the
+//! minimum duration is reported — the best-observed cost, which filters
+//! scheduler interference on shared/single-core runners.
+//!
+//! Writes `BENCH_hotpath.json` (default) with the measured ns/op and a set
+//! of **shape checks** — event counts identical across implementations,
+//! snapshot time-ordered, no item ids lost or duplicated. The checks are
+//! what CI asserts; the timings are recorded for trend tracking but never
+//! gated on (wall-clock thresholds are flaky in shared runners). Exits
+//! non-zero iff a shape check fails.
+
+use aru_core::graph::NodeId;
+use aru_metrics::{CoarseTrace, ItemId, IterKey, SharedTrace, Trace, TraceEvent};
+use std::path::PathBuf;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+use vtime::{SimTime, Timestamp};
+
+#[derive(Clone, Copy)]
+enum Kind {
+    PutPath,
+    GetPath,
+    Mixed,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::PutPath => "put_path",
+            Kind::GetPath => "get_path",
+            Kind::Mixed => "mixed",
+        }
+    }
+
+    /// Events recorded per op.
+    fn events_per_op(self) -> u64 {
+        match self {
+            Kind::PutPath | Kind::GetPath => 1,
+            Kind::Mixed => 3,
+        }
+    }
+}
+
+/// Release all threads at once; each worker times its own loop. Returns
+/// the overall span (`max(end) - min(start)`) — robust even when the
+/// spawning thread is descheduled around the barrier (e.g. on a
+/// single-core runner, workers can finish before the spawner runs again).
+fn time_threads(threads: usize, f: impl Fn(usize) + Sync) -> Duration {
+    let barrier = Barrier::new(threads);
+    let spans: Vec<_> = (0..threads).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for (k, span) in spans.iter().enumerate() {
+            let f = &f;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                let t0 = Instant::now();
+                f(k);
+                *span.lock().unwrap() = Some((t0, Instant::now()));
+            });
+        }
+    });
+    let spans: Vec<(Instant, Instant)> =
+        spans.iter().map(|m| m.lock().unwrap().expect("worker finished")).collect();
+    let start = spans.iter().map(|s| s.0).min().expect("at least one thread");
+    let end = spans.iter().map(|s| s.1).max().expect("at least one thread");
+    end - start
+}
+
+fn drive_sharded(tr: &SharedTrace, thread: usize, ops: u64, kind: Kind) {
+    // One buffered writer per worker — exactly how a channel records: its
+    // `LocalTrace` lives inside the channel state lock, one owner at a
+    // time. Dropping at the end flushes the tail into the shard.
+    let mut local = tr.local();
+    let p = IterKey::new(NodeId(thread as u32), 0);
+    for j in 0..ops {
+        match kind {
+            Kind::PutPath => {
+                local.alloc(SimTime(j), NodeId(99), Timestamp(j), 64, p);
+            }
+            Kind::GetPath => local.get(SimTime(j), ItemId(j), p),
+            Kind::Mixed => {
+                let id = local.alloc(SimTime(j), NodeId(99), Timestamp(j), 64, p);
+                local.get(SimTime(j), id, p);
+                local.free(SimTime(j), id);
+            }
+        }
+    }
+}
+
+fn drive_coarse(tr: &CoarseTrace, thread: usize, ops: u64, kind: Kind) {
+    let p = IterKey::new(NodeId(thread as u32), 0);
+    for j in 0..ops {
+        match kind {
+            Kind::PutPath => {
+                tr.alloc(SimTime(j), NodeId(99), Timestamp(j), 64, p);
+            }
+            Kind::GetPath => tr.get(SimTime(j), ItemId(j), p),
+            Kind::Mixed => {
+                let id = tr.alloc(SimTime(j), NodeId(99), Timestamp(j), 64, p);
+                tr.get(SimTime(j), id, p);
+                tr.free(SimTime(j), id);
+            }
+        }
+    }
+}
+
+struct WorkloadRow {
+    name: &'static str,
+    coarse_ns_per_op: f64,
+    sharded_ns_per_op: f64,
+    coarse_events: usize,
+    sharded_events: usize,
+    expected_events: u64,
+}
+
+impl WorkloadRow {
+    fn speedup(&self) -> f64 {
+        self.coarse_ns_per_op / self.sharded_ns_per_op
+    }
+}
+
+struct Check {
+    name: String,
+    passed: bool,
+    detail: String,
+}
+
+fn is_time_sorted(tr: &Trace) -> bool {
+    tr.events().windows(2).all(|w| w[0].time() <= w[1].time())
+}
+
+fn main() {
+    let mut threads = 4usize;
+    let mut ops = 200_000u64;
+    let mut reps = 3usize;
+    let mut out = PathBuf::from("BENCH_hotpath.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => threads = it.next().expect("--threads N").parse().expect("numeric"),
+            "--ops" => ops = it.next().expect("--ops N").parse().expect("numeric"),
+            "--reps" => reps = it.next().expect("--reps N").parse().expect("numeric"),
+            "--out" => out = PathBuf::from(it.next().expect("--out FILE")),
+            "--help" | "-h" => {
+                println!("hotpath [--threads N] [--ops N] [--reps N] [--out FILE]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(threads >= 1 && ops >= 1 && reps >= 1);
+
+    let mut rows = Vec::new();
+    let mut checks = Vec::new();
+    let mut sharded_snapshot: Option<(Trace, Duration)> = None;
+    let mut coarse_snapshot_ms = 0.0f64;
+
+    // Warm-up: run the largest workload once, untimed, for both
+    // implementations. This primes the allocator's free pool so the first
+    // timed run doesn't pay first-touch page faults the later runs don't.
+    {
+        let coarse = CoarseTrace::new();
+        time_threads(threads, |k| drive_coarse(&coarse.clone(), k, ops, Kind::Mixed));
+        let sharded = SharedTrace::new();
+        time_threads(threads, |k| drive_sharded(&sharded, k, ops, Kind::Mixed));
+    }
+
+    for kind in [Kind::PutPath, Kind::GetPath, Kind::Mixed] {
+        let total_ops = threads as u64 * ops;
+        let expected_events = total_ops * kind.events_per_op();
+
+        // Best of `reps` runs per implementation; the last rep's traces
+        // feed the shape checks.
+        let mut d_coarse = Duration::MAX;
+        let mut d_sharded = Duration::MAX;
+        let mut coarse_state = None;
+        let mut sharded_state = None;
+        for _ in 0..reps {
+            let coarse = CoarseTrace::new();
+            d_coarse =
+                d_coarse.min(time_threads(threads, |k| drive_coarse(&coarse.clone(), k, ops, kind)));
+            let t0 = Instant::now();
+            let coarse_trace = coarse.snapshot();
+            coarse_state = Some((coarse_trace, t0.elapsed()));
+
+            // Sharded: one buffered LocalTrace writer per thread, like the
+            // runtime's channels.
+            let sharded = SharedTrace::new();
+            d_sharded = d_sharded.min(time_threads(threads, |k| drive_sharded(&sharded, k, ops, kind)));
+            let t0 = Instant::now();
+            let sharded_trace = sharded.snapshot();
+            sharded_state = Some((sharded_trace, t0.elapsed()));
+        }
+        let (coarse_trace, coarse_snap) = coarse_state.expect("reps >= 1");
+        let (sharded_trace, sharded_snap) = sharded_state.expect("reps >= 1");
+
+        let row = WorkloadRow {
+            name: kind.name(),
+            coarse_ns_per_op: d_coarse.as_nanos() as f64 / total_ops as f64,
+            sharded_ns_per_op: d_sharded.as_nanos() as f64 / total_ops as f64,
+            coarse_events: coarse_trace.len(),
+            sharded_events: sharded_trace.len(),
+            expected_events,
+        };
+
+        checks.push(Check {
+            name: format!("{}: event counts identical across trace impls", kind.name()),
+            passed: coarse_trace.len() as u64 == expected_events
+                && sharded_trace.len() as u64 == expected_events,
+            detail: format!(
+                "coarse {} / sharded {} / expected {}",
+                coarse_trace.len(),
+                sharded_trace.len(),
+                expected_events
+            ),
+        });
+        checks.push(Check {
+            name: format!("{}: sharded snapshot is time-ordered", kind.name()),
+            passed: is_time_sorted(&sharded_trace),
+            detail: format!("{} events", sharded_trace.len()),
+        });
+        if matches!(kind, Kind::PutPath) {
+            let mut ids: Vec<u64> = sharded_trace
+                .events()
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::Alloc { item, .. } => Some(item.0),
+                    _ => None,
+                })
+                .collect();
+            ids.sort_unstable();
+            let n_before = ids.len();
+            ids.dedup();
+            checks.push(Check {
+                name: "put_path: no item id lost or duplicated across shards".into(),
+                passed: ids.len() == n_before && ids.len() as u64 == total_ops,
+                detail: format!("{} unique of {} expected", ids.len(), total_ops),
+            });
+            sharded_snapshot = Some((sharded_trace, sharded_snap));
+            coarse_snapshot_ms = coarse_snap.as_secs_f64() * 1e3;
+        }
+        rows.push(row);
+    }
+
+    // Human-readable summary.
+    println!("tracing hot path — {threads} threads x {ops} ops");
+    println!(
+        "{:<10} {:>14} {:>14} {:>9}",
+        "workload", "coarse ns/op", "sharded ns/op", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>14.1} {:>14.1} {:>8.2}x",
+            r.name,
+            r.coarse_ns_per_op,
+            r.sharded_ns_per_op,
+            r.speedup()
+        );
+    }
+    let (snap_trace, snap_dur) = sharded_snapshot.expect("put_path ran");
+    println!(
+        "snapshot (k-way merge, {} events): {:.2} ms (coarse sort: {:.2} ms)",
+        snap_trace.len(),
+        snap_dur.as_secs_f64() * 1e3,
+        coarse_snapshot_ms
+    );
+    for c in &checks {
+        println!(
+            "[{}] {} — {}",
+            if c.passed { "ok" } else { "FAIL" },
+            c.name,
+            c.detail
+        );
+    }
+
+    // Machine-readable JSON (hand-rolled: no JSON crate in the container).
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"hotpath\",\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"ops_per_thread\": {ops},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"coarse_ns_per_op\": {:.2}, \
+             \"sharded_ns_per_op\": {:.2}, \"speedup\": {:.3}, \
+             \"coarse_events\": {}, \"sharded_events\": {}, \
+             \"expected_events\": {}}}{}\n",
+            r.name,
+            r.coarse_ns_per_op,
+            r.sharded_ns_per_op,
+            r.speedup(),
+            r.coarse_events,
+            r.sharded_events,
+            r.expected_events,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"snapshot\": {{\"sharded_merge_ms\": {:.3}, \"coarse_sort_ms\": {:.3}, \
+         \"events\": {}}},\n",
+        snap_dur.as_secs_f64() * 1e3,
+        coarse_snapshot_ms,
+        snap_trace.len()
+    ));
+    json.push_str("  \"checks\": [\n");
+    for (i, c) in checks.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"passed\": {}, \"detail\": \"{}\"}}{}\n",
+            c.name,
+            c.passed,
+            c.detail,
+            if i + 1 < checks.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write bench json");
+    println!("bench json written to {}", out.display());
+
+    let failed = checks.iter().filter(|c| !c.passed).count();
+    if failed > 0 {
+        eprintln!("{failed} shape check(s) FAILED");
+        std::process::exit(1);
+    }
+}

@@ -92,17 +92,13 @@ fn rate_per_sec(ends: &[u64], lo: u64, hi: u64) -> f64 {
     n as f64 / ((hi - lo) as f64 / 1e6)
 }
 
-/// Run both chaos scenarios (config 1, first seed).
-#[must_use]
-pub fn run(params: &ExpParams) -> Chaos {
-    let dur = params.duration.as_micros();
-    let seed = params.seeds[0];
-
-    // Scenario 1: crash change detection at the midpoint.
+/// Scenario 1: crash change detection at the midpoint.
+fn run_crash(seed: u64, duration: Micros) -> CrashRecovery {
+    let dur = duration.as_micros();
     let crash_at = dur / 2;
     let p = SimTrackerParams::new(AruConfig::aru_min(), TrackerConfigId::OneNode)
         .with_seed(seed)
-        .with_duration(params.duration)
+        .with_duration(duration)
         .with_faults(FaultPlan::none().crash("change-detection", Micros(crash_at)))
         .with_retry(RetryPolicy::default());
     let r = tracker::app_sim::run_sim(&p);
@@ -117,17 +113,20 @@ pub fn run(params: &ExpParams) -> Chaos {
         })
         .max()
         .unwrap_or(0);
-    let crash = CrashRecovery {
+    CrashRecovery {
         faults: r.analyze().faults,
         // steady window: second quarter (warm, pre-fault); tail: last quarter.
         period_before_us: mean_gap(&ends, dur / 4, crash_at),
         period_after_us: mean_gap(&ends, dur * 3 / 4, dur),
         last_output_us,
         duration_us: dur,
-    };
+    }
+}
 
-    // Scenario 2: drop every summary to the digitizer for the middle 40%
-    // of the run, with a 500 ms staleness horizon.
+/// Scenario 2: drop every summary to the digitizer for the middle 40% of
+/// the run, with a 500 ms staleness horizon.
+fn run_loss(seed: u64, duration: Micros) -> FeedbackLoss {
+    let dur = duration.as_micros();
     let from = dur * 3 / 10;
     let until = dur * 7 / 10;
     let p = SimTrackerParams::new(
@@ -135,18 +134,40 @@ pub fn run(params: &ExpParams) -> Chaos {
         TrackerConfigId::OneNode,
     )
     .with_seed(seed)
-    .with_duration(params.duration)
+    .with_duration(duration)
     .with_faults(FaultPlan::none().drop_summaries("digitizer", Micros(from), Micros(until)));
     let r = tracker::app_sim::run_sim(&p);
     let ends = digitizer_iter_ends(&r);
-    let loss = FeedbackLoss {
+    FeedbackLoss {
         faults: r.analyze().faults,
         rate_before: rate_per_sec(&ends, dur / 10, from),
         // skip the first second of the window (staleness horizon + decay)
         rate_during: rate_per_sec(&ends, from + 1_000_000, until),
         rate_after: rate_per_sec(&ends, until + 1_000_000, dur),
-    };
+    }
+}
 
+/// Run both chaos scenarios (config 1, first seed). The two scenarios are
+/// independent simulations and run concurrently.
+#[must_use]
+pub fn run(params: &ExpParams) -> Chaos {
+    enum Scenario {
+        Crash(CrashRecovery),
+        Loss(FeedbackLoss),
+    }
+    let seed = params.seeds[0];
+    let duration = params.duration;
+    let jobs: Vec<Box<dyn FnOnce() -> Scenario + Send>> = vec![
+        Box::new(move || Scenario::Crash(run_crash(seed, duration))),
+        Box::new(move || Scenario::Loss(run_loss(seed, duration))),
+    ];
+    let mut results = crate::driver::run_jobs(jobs);
+    let Some(Scenario::Loss(loss)) = results.pop() else {
+        unreachable!("second job is the loss scenario");
+    };
+    let Some(Scenario::Crash(crash)) = results.pop() else {
+        unreachable!("first job is the crash scenario");
+    };
     Chaos { crash, loss }
 }
 

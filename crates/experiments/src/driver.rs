@@ -1,0 +1,105 @@
+//! Parallel experiment driver.
+//!
+//! Every figure/table cell is an independent fixed-seed simulation, so the
+//! harness runs them concurrently on scoped worker threads. Determinism is
+//! preserved by construction:
+//!
+//! * each job is a pure function of its (mode, config, seed) cell — the
+//!   sharded traces give every simulation its own recording, so nothing is
+//!   shared between jobs;
+//! * results are returned **in input order**, whatever order jobs finish
+//!   in, and callers fold them sequentially in the exact order the old
+//!   serial loops used — the accumulated statistics are bit-identical to a
+//!   serial run.
+//!
+//! Worker count defaults to the machine's available parallelism (capped at
+//! the job count); set `ARU_EXP_THREADS` to override (1 = serial).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run all jobs, possibly concurrently; results are in input order.
+pub fn run_jobs<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n <= 1 || worker_count(n) <= 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+    let workers = worker_count(n);
+    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = slots[i]
+                    .lock()
+                    .expect("job slot lock")
+                    .take()
+                    .expect("each job is taken exactly once");
+                let out = job();
+                *results[i].lock().expect("result slot lock") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot lock")
+                .expect("every job ran")
+        })
+        .collect()
+}
+
+fn worker_count(jobs: usize) -> usize {
+    let hw = std::env::var("ARU_EXP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    hw.clamp(1, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        // Jobs finish in reverse order (later jobs sleep less); the result
+        // vector must still follow input order.
+        let jobs: Vec<_> = (0..8u64)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(std::time::Duration::from_millis(8 - i));
+                    i * 10
+                }
+            })
+            .collect();
+        let out = run_jobs(jobs);
+        assert_eq!(out, (0..8).map(|i| i * 10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let out = run_jobs(vec![|| 42]);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let out: Vec<u8> = run_jobs(Vec::<fn() -> u8>::new());
+        assert!(out.is_empty());
+    }
+}

@@ -26,20 +26,46 @@ pub struct Fig10 {
     pub rows: Vec<Fig10Row>,
 }
 
-/// Run the Figure-10 experiment.
+/// Run the Figure-10 experiment. Cells run concurrently; folding follows
+/// the serial loop order (see [`crate::driver`]).
 #[must_use]
 pub fn run(params: &ExpParams) -> Fig10 {
+    let duration = params.duration;
+    let mut spec = Vec::new();
+    for (config, _) in configs() {
+        for mode in modes() {
+            for &seed in &params.seeds {
+                spec.push((config, mode, seed));
+            }
+        }
+    }
+    let jobs: Vec<_> = spec
+        .iter()
+        .map(|&(config, mode, seed)| {
+            move || {
+                let a = crate::config::run_cell(mode, config, seed, duration).analyze();
+                (
+                    a.perf.throughput_fps,
+                    a.perf.latency.mean / 1000.0,
+                    a.perf.jitter_us / 1000.0,
+                )
+            }
+        })
+        .collect();
+    let results = crate::driver::run_jobs(jobs);
+
     let mut out = Fig10::default();
+    let mut it = results.iter();
     for (config, _) in configs() {
         for mode in modes() {
             let mut fps = OnlineStats::new();
             let mut lat = OnlineStats::new();
             let mut jit = OnlineStats::new();
-            for &seed in &params.seeds {
-                let a = crate::config::run_cell(mode, config, seed, params.duration).analyze();
-                fps.push(a.perf.throughput_fps);
-                lat.push(a.perf.latency.mean / 1000.0);
-                jit.push(a.perf.jitter_us / 1000.0);
+            for _ in &params.seeds {
+                let &(f, l, j) = it.next().expect("one result per cell");
+                fps.push(f);
+                lat.push(l);
+                jit.push(j);
             }
             out.rows.push(Fig10Row {
                 mode: mode.label(),

@@ -29,10 +29,40 @@ pub struct Fig6 {
 
 /// Run the Figure-6 experiment. The paper reports "average statistics over
 /// successive execution runs": every cell is averaged over all seeds.
+///
+/// All (config, seed, mode) cells run concurrently through the parallel
+/// driver; the fold below consumes results in the serial loop's order, so
+/// the accumulated statistics are bit-identical to a serial run.
 #[must_use]
 pub fn run(params: &ExpParams) -> Fig6 {
     use vtime::OnlineStats;
+    let duration = params.duration;
+    let mut spec = Vec::new();
+    for (config, _) in configs() {
+        for &seed in &params.seeds {
+            for mode in modes() {
+                spec.push((config, seed, mode));
+            }
+        }
+    }
+    let jobs: Vec<_> = spec
+        .iter()
+        .map(|&(config, seed, mode)| {
+            move || {
+                let analysis = crate::config::run_cell(mode, config, seed, duration).analyze();
+                let s = analysis.footprint.observed_summary();
+                let igc = (mode == Mode::NoAru).then(|| {
+                    let g = analysis.igc.summary();
+                    (g.mean / MB, g.std_dev / MB)
+                });
+                (s.mean / MB, s.std_dev / MB, igc)
+            }
+        })
+        .collect();
+    let results = crate::driver::run_jobs(jobs);
+
     let mut out = Fig6::default();
+    let mut it = spec.iter().zip(&results);
     for (config, _) in configs() {
         // IGC reference from the baseline (No-ARU) runs.
         let mut igc_mean = OnlineStats::new();
@@ -41,17 +71,15 @@ pub fn run(params: &ExpParams) -> Fig6 {
             .into_iter()
             .map(|m| (m, OnlineStats::new(), OnlineStats::new()))
             .collect();
-        for &seed in &params.seeds {
+        for _ in &params.seeds {
             for (mode, mean_acc, std_acc) in &mut cells {
-                let analysis =
-                    crate::config::run_cell(*mode, config, seed, params.duration).analyze();
-                let s = analysis.footprint.observed_summary();
-                mean_acc.push(s.mean / MB);
-                std_acc.push(s.std_dev / MB);
-                if *mode == Mode::NoAru {
-                    let igc = analysis.igc.summary();
-                    igc_mean.push(igc.mean / MB);
-                    igc_std.push(igc.std_dev / MB);
+                let (&(c, _, m), &(mean, std, igc)) = it.next().expect("one result per cell");
+                debug_assert!(c == config && m == *mode, "fold order mismatch");
+                mean_acc.push(mean);
+                std_acc.push(std);
+                if let Some((gm, gs)) = igc {
+                    igc_mean.push(gm);
+                    igc_std.push(gs);
                 }
             }
         }

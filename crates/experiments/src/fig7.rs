@@ -20,19 +20,42 @@ pub struct Fig7 {
     pub rows: Vec<Fig7Row>,
 }
 
-/// Run the Figure-7 experiment, averaging each cell over all seeds.
+/// Run the Figure-7 experiment, averaging each cell over all seeds. Cells
+/// run concurrently; folding follows the serial loop order (see
+/// [`crate::driver`]).
 #[must_use]
 pub fn run(params: &ExpParams) -> Fig7 {
     use vtime::OnlineStats;
+    let duration = params.duration;
+    let mut spec = Vec::new();
+    for (config, _) in configs() {
+        for mode in modes() {
+            for &seed in &params.seeds {
+                spec.push((config, mode, seed));
+            }
+        }
+    }
+    let jobs: Vec<_> = spec
+        .iter()
+        .map(|&(config, mode, seed)| {
+            move || {
+                let a = crate::config::run_cell(mode, config, seed, duration).analyze();
+                (a.waste.pct_memory_wasted(), a.waste.pct_computation_wasted())
+            }
+        })
+        .collect();
+    let results = crate::driver::run_jobs(jobs);
+
     let mut out = Fig7::default();
+    let mut it = results.iter();
     for (config, _) in configs() {
         for mode in modes() {
             let mut mem = OnlineStats::new();
             let mut comp = OnlineStats::new();
-            for &seed in &params.seeds {
-                let a = crate::config::run_cell(mode, config, seed, params.duration).analyze();
-                mem.push(a.waste.pct_memory_wasted());
-                comp.push(a.waste.pct_computation_wasted());
+            for _ in &params.seeds {
+                let &(m, c) = it.next().expect("one result per cell");
+                mem.push(m);
+                comp.push(c);
             }
             out.rows.push(Fig7Row {
                 mode: mode.label(),

@@ -21,23 +21,38 @@ pub struct FigSeries {
     pub t_end: SimTime,
 }
 
-/// Run Figure 8 (config 1) or Figure 9 (config 2).
+/// Run Figure 8 (config 1) or Figure 9 (config 2). The three runs (the
+/// No-ARU baseline — whose trace also yields the IGC panel — plus ARU-max
+/// and ARU-min) execute concurrently.
 #[must_use]
 pub fn run(config: TrackerConfigId, params: &ExpParams) -> FigSeries {
-    let mut panels = Vec::new();
-    // Baseline first: its trace also yields the IGC panel.
-    let base = crate::config::run_cell(Mode::NoAru, config, params.seeds[0], params.duration);
-    let base_analysis = base.analyze();
-    panels.push((IGC_LABEL.to_string(), base_analysis.igc.series.clone()));
-    for mode in [Mode::AruMax, Mode::AruMin] {
-        let a = crate::config::run_cell(mode, config, params.seeds[0], params.duration).analyze();
-        panels.push((mode.label().to_string(), a.footprint.observed.clone()));
-    }
-    panels.push((Mode::NoAru.label().to_string(), base_analysis.footprint.observed));
+    let seed = params.seeds[0];
+    let duration = params.duration;
+    let jobs: Vec<_> = [Mode::NoAru, Mode::AruMax, Mode::AruMin]
+        .into_iter()
+        .map(|mode| {
+            move || {
+                let r = crate::config::run_cell(mode, config, seed, duration);
+                let a = r.analyze();
+                let igc = (mode == Mode::NoAru).then(|| a.igc.series.clone());
+                (igc, a.footprint.observed, r.t_end)
+            }
+        })
+        .collect();
+    let mut results = crate::driver::run_jobs(jobs);
+    let (_, min_obs, _) = results.pop().expect("ARU-min result");
+    let (_, max_obs, _) = results.pop().expect("ARU-max result");
+    let (base_igc, base_obs, t_end) = results.pop().expect("baseline result");
+    let panels = vec![
+        (IGC_LABEL.to_string(), base_igc.expect("baseline yields IGC")),
+        (Mode::AruMax.label().to_string(), max_obs),
+        (Mode::AruMin.label().to_string(), min_obs),
+        (Mode::NoAru.label().to_string(), base_obs),
+    ];
     FigSeries {
         config,
         panels,
-        t_end: base.t_end,
+        t_end,
     }
 }
 

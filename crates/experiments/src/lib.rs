@@ -19,6 +19,7 @@
 
 pub mod chaos;
 pub mod config;
+pub mod driver;
 pub mod fig10;
 pub mod fig6;
 pub mod fig7;

@@ -9,6 +9,11 @@
 //! Figure 8/9 series are written as CSV into `--out` (default `results/`);
 //! a shape-check report summarizes whether the paper's qualitative
 //! orderings hold.
+//!
+//! Every (mode, config, seed) cell — including the `--seeds N` expansion —
+//! runs concurrently through [`experiments::driver`]; output ordering and
+//! the aggregated statistics are independent of completion order (set
+//! `ARU_EXP_THREADS=1` to force serial execution).
 
 use experiments::config::ExpParams;
 use experiments::tables::render_checks;
@@ -124,14 +129,27 @@ fn main() {
         all_checks.extend(fig.shape_checks());
     }
     if args.exp == "threads" {
-        // Per-stage execution view (not a paper figure; diagnostic).
-        for mode in experiments::config::modes() {
-            let report = experiments::config::run_cell(
-                mode,
-                TrackerConfigId::OneNode,
-                args.params.seeds[0],
-                args.params.duration,
-            );
+        // Per-stage execution view (not a paper figure; diagnostic). The
+        // three runs execute concurrently; output stays in mode order.
+        let seed = args.params.seeds[0];
+        let duration = args.params.duration;
+        let jobs: Vec<_> = experiments::config::modes()
+            .into_iter()
+            .map(|mode| {
+                move || {
+                    (
+                        mode,
+                        experiments::config::run_cell(
+                            mode,
+                            TrackerConfigId::OneNode,
+                            seed,
+                            duration,
+                        ),
+                    )
+                }
+            })
+            .collect();
+        for (mode, report) in experiments::driver::run_jobs(jobs) {
             println!("--- {} (config 1) ---", mode.label());
             println!(
                 "{}",

@@ -37,27 +37,42 @@ pub struct Sweep {
 /// Digitizer periods swept (ms).
 pub const PERIODS_MS: [u64; 5] = [10, 20, 40, 80, 160];
 
-/// Run the sweep (config 1, one seed).
+/// Run the sweep (config 1, one seed). The 2×N cells (baseline and
+/// ARU-min at each digitizer period) run concurrently.
 #[must_use]
 pub fn run(params: &ExpParams) -> Sweep {
-    let mut out = Sweep::default();
+    let seed = params.seeds[0];
+    let duration = params.duration;
+    let mut spec = Vec::new();
     for &ms in &PERIODS_MS {
-        let cell = |aru: AruConfig| {
-            let mut p = SimTrackerParams::new(aru, TrackerConfigId::OneNode)
-                .with_seed(params.seeds[0])
-                .with_duration(params.duration);
-            p.services = StageServices {
-                digitizer: Micros::from_millis(ms),
-                ..StageServices::default()
-            };
-            let a = tracker::app_sim::run_sim(&p).analyze();
-            (
-                a.waste.pct_memory_wasted(),
-                a.footprint.observed_summary().mean / 1e6,
-            )
-        };
-        let (bw, bf) = cell(AruConfig::disabled());
-        let (aw, af) = cell(AruConfig::aru_min());
+        spec.push((ms, AruConfig::disabled()));
+        spec.push((ms, AruConfig::aru_min()));
+    }
+    let jobs: Vec<_> = spec
+        .into_iter()
+        .map(|(ms, aru)| {
+            move || {
+                let mut p = SimTrackerParams::new(aru, TrackerConfigId::OneNode)
+                    .with_seed(seed)
+                    .with_duration(duration);
+                p.services = StageServices {
+                    digitizer: Micros::from_millis(ms),
+                    ..StageServices::default()
+                };
+                let a = tracker::app_sim::run_sim(&p).analyze();
+                (
+                    a.waste.pct_memory_wasted(),
+                    a.footprint.observed_summary().mean / 1e6,
+                )
+            }
+        })
+        .collect();
+    let results = crate::driver::run_jobs(jobs);
+
+    let mut out = Sweep::default();
+    for (i, &ms) in PERIODS_MS.iter().enumerate() {
+        let (bw, bf) = results[2 * i];
+        let (aw, af) = results[2 * i + 1];
         out.rows.push(SweepRow {
             digitizer_ms: ms,
             ratio: StageServices::default().target_detection.as_micros() as f64

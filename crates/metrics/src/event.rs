@@ -29,7 +29,11 @@ impl IterKey {
 }
 
 /// One recorded runtime event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Copy`: every variant is a handful of plain integers, and the hot-path
+/// recorders ([`crate::trace::SharedTrace`]) move events between chunk
+/// buffers with `extend_from_slice` — a memcpy, no per-event clone calls.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
     /// An item was allocated into a buffer (a `put`).
     Alloc {

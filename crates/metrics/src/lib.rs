@@ -44,5 +44,5 @@ pub use footprint::{FootprintReport, IGC_LABEL};
 pub use lineage::Lineage;
 pub use perf::PerfReport;
 pub use thread_stats::{thread_stats, ThreadStats};
-pub use trace::{SharedTrace, Trace};
+pub use trace::{CoarseTrace, LocalTrace, SharedTrace, Trace};
 pub use waste::WasteReport;

@@ -1,9 +1,46 @@
 //! Trace collection.
 //!
 //! [`Trace`] is a plain event log with typed append helpers (used directly
-//! by the single-threaded simulator); [`SharedTrace`] wraps it for the
-//! threaded runtime. Appends are kept trivially cheap — postmortem analysis
-//! does all the work after the run, exactly like the paper's infrastructure.
+//! by the single-threaded simulator); [`SharedTrace`] wraps the same event
+//! model for the threaded runtime. Appends are kept trivially cheap —
+//! postmortem analysis does all the work after the run, exactly like the
+//! paper's infrastructure.
+//!
+//! # Sharded recording
+//!
+//! The measurement layer must not serialize the pipeline it measures: a
+//! global `Mutex<Vec<TraceEvent>>` turns every `put`/`get`/`alloc`/`free`
+//! in the threaded runtime into a contention point and distorts the very
+//! waste/footprint numbers we reproduce. [`SharedTrace`] therefore shards:
+//!
+//! * every handle clone owns a private **shard** — a chunked append buffer
+//!   (fixed-capacity `Vec` chunks, sealed when full) behind its own mutex.
+//!   The runtime hands one clone to each task context, so a shard is only
+//!   ever locked by its owning thread and the lock is never contended on
+//!   the hot path; snapshotting is the only cross-thread reader.
+//! * the put/get hot path goes further: a [`LocalTrace`] (opened with
+//!   [`SharedTrace::local`]) is a buffered single-owner writer — channels
+//!   and queues keep one inside the state mutex they already hold, so
+//!   recording an event is a plain `Vec::push` and the shard lock is
+//!   taken once per `SHARD_CHUNK` events (flush), not once per event.
+//! * item ids come from one shared atomic, reserved in writer-private
+//!   blocks (`ID_BLOCK`) held under the writer's ambient exclusion, so
+//!   id generation adds no shared-cache-line traffic and no extra atomics
+//!   to the hot path.
+//! * [`SharedTrace::snapshot`] collects all shards once, sorts each
+//!   (already nearly sorted — per-shard times are nondecreasing) and
+//!   k-way merges them by time, so every postmortem report sees one
+//!   identical, time-ordered event stream.
+//!
+//! Merge ordering guarantee: events are ordered by time; ties are broken
+//! by shard registration order, then by append order within the shard.
+//! All analyses are insensitive to tie order (they key on `ItemId` /
+//! `IterKey` and integrate over time), which the trace-equivalence tests
+//! pin down.
+//!
+//! [`CoarseTrace`] preserves the previous single-mutex recorder as a
+//! baseline for the `micro_overhead`/`hotpath` benchmarks and the
+//! sharding-equivalence tests; runtimes should not use it.
 
 use crate::event::{ItemId, IterKey, TraceEvent};
 use aru_core::graph::NodeId;
@@ -17,12 +54,34 @@ use vtime::{Micros, SimTime, Timestamp};
 pub struct Trace {
     events: Vec<TraceEvent>,
     next_item: u64,
+    /// Max event time so far — kept incrementally so [`Trace::last_time`]
+    /// is O(1) instead of a full scan.
+    max_time: SimTime,
+    /// Are `events` nondecreasing in time? Runtimes append in time order so
+    /// this stays true; it only drops on an out-of-order append and lets
+    /// [`Trace::merge`] pick the cheap merge path without re-verifying.
+    sorted: bool,
 }
 
 impl Trace {
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Trace {
+            events: Vec::new(),
+            next_item: 0,
+            max_time: SimTime::ZERO,
+            sorted: true,
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        let t = ev.time();
+        if t < self.max_time {
+            self.sorted = false;
+        } else {
+            self.max_time = t;
+        }
+        self.events.push(ev);
     }
 
     /// Allocate a fresh [`ItemId`] and record the allocation.
@@ -36,7 +95,7 @@ impl Trace {
     ) -> ItemId {
         let item = ItemId(self.next_item);
         self.next_item += 1;
-        self.events.push(TraceEvent::Alloc {
+        self.push(TraceEvent::Alloc {
             t,
             item,
             buffer,
@@ -48,27 +107,27 @@ impl Trace {
     }
 
     pub fn free(&mut self, t: SimTime, item: ItemId) {
-        self.events.push(TraceEvent::Free { t, item });
+        self.push(TraceEvent::Free { t, item });
     }
 
     pub fn get(&mut self, t: SimTime, item: ItemId, consumer: IterKey) {
-        self.events.push(TraceEvent::Get { t, item, consumer });
+        self.push(TraceEvent::Get { t, item, consumer });
     }
 
     pub fn iter_end(&mut self, t: SimTime, iter: IterKey, busy: Micros) {
-        self.events.push(TraceEvent::IterEnd { t, iter, busy });
+        self.push(TraceEvent::IterEnd { t, iter, busy });
     }
 
     pub fn sink_output(&mut self, t: SimTime, iter: IterKey, ts: Timestamp) {
-        self.events.push(TraceEvent::SinkOutput { t, iter, ts });
+        self.push(TraceEvent::SinkOutput { t, iter, ts });
     }
 
     pub fn task_crash(&mut self, t: SimTime, node: NodeId, attempt: u32) {
-        self.events.push(TraceEvent::TaskCrash { t, node, attempt });
+        self.push(TraceEvent::TaskCrash { t, node, attempt });
     }
 
     pub fn task_restart(&mut self, t: SimTime, node: NodeId, attempt: u32, backoff: Micros) {
-        self.events.push(TraceEvent::TaskRestart {
+        self.push(TraceEvent::TaskRestart {
             t,
             node,
             attempt,
@@ -77,18 +136,19 @@ impl Trace {
     }
 
     pub fn op_timeout(&mut self, t: SimTime, node: NodeId) {
-        self.events.push(TraceEvent::OpTimeout { t, node });
+        self.push(TraceEvent::OpTimeout { t, node });
     }
 
     pub fn stale_summary(&mut self, t: SimTime, iter: IterKey) {
-        self.events.push(TraceEvent::StaleSummary { t, iter });
+        self.push(TraceEvent::StaleSummary { t, iter });
     }
 
     pub fn summary_dropped(&mut self, t: SimTime, node: NodeId) {
-        self.events.push(TraceEvent::SummaryDropped { t, node });
+        self.push(TraceEvent::SummaryDropped { t, node });
     }
 
-    /// All events in record order (runtimes record in nondecreasing time).
+    /// All events in record order (runtimes record in nondecreasing time;
+    /// merged traces are time-ordered).
     #[must_use]
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
@@ -104,37 +164,459 @@ impl Trace {
         self.events.is_empty()
     }
 
-    /// Time of the last event (end of run proxy when no explicit end is
-    /// supplied).
+    /// Time of the last event (end-of-run proxy when no explicit end is
+    /// supplied). O(1): the max is tracked on append.
     #[must_use]
     pub fn last_time(&self) -> SimTime {
-        self.events
-            .iter()
-            .map(TraceEvent::time)
-            .max()
-            .unwrap_or(SimTime::ZERO)
+        self.max_time
     }
 
     /// Merge another trace (e.g. per-thread shards). Events keep their
-    /// times; the result is re-sorted by time (stable).
+    /// times; the result is time-ordered with `self`'s events first on
+    /// ties.
+    ///
+    /// Cost: O(1) extra when `other` starts at or after `self`'s last
+    /// event (the common shard-collection case), O(n + m) when the runs
+    /// overlap, and one O((n+m) log(n+m)) sort only when either side was
+    /// itself recorded out of order — never a re-sort of everything on
+    /// every call.
     pub fn merge(&mut self, other: Trace) {
-        self.events.extend(other.events);
-        self.events.sort_by_key(TraceEvent::time);
         self.next_item = self.next_item.max(other.next_item);
+        if other.events.is_empty() {
+            return;
+        }
+        if self.events.is_empty() {
+            self.events = other.events;
+            self.max_time = other.max_time;
+            self.sorted = other.sorted;
+            return;
+        }
+        if self.sorted && other.sorted {
+            if other.events[0].time() >= self.max_time {
+                // Disjoint runs: plain append keeps global order.
+                self.events.extend_from_slice(&other.events);
+            } else {
+                // Overlapping sorted runs: single linear two-way merge.
+                let left = std::mem::take(&mut self.events);
+                self.events = merge_two_sorted(left, other.events);
+            }
+        } else {
+            self.events.extend_from_slice(&other.events);
+            self.events.sort_by_key(TraceEvent::time);
+            self.sorted = true;
+        }
+        self.max_time = self.max_time.max(other.max_time);
+    }
+
+    /// Build a trace from per-shard event runs by k-way merge.
+    ///
+    /// Each run is sorted individually first (runs recorded in time order —
+    /// the normal case — are detected in O(n) and not re-sorted), then all
+    /// runs are merged by time in a single pass. Ties are broken by run
+    /// index, then by position within the run, making the result
+    /// deterministic for a given set of runs.
+    #[must_use]
+    pub fn from_runs(mut runs: Vec<Vec<TraceEvent>>, next_item: u64) -> Trace {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        runs.retain(|r| !r.is_empty());
+        for run in &mut runs {
+            if !run.is_sorted_by_key(TraceEvent::time) {
+                // Stable: preserves append order within equal times.
+                run.sort_by_key(TraceEvent::time);
+            }
+        }
+        let events = match runs.len() {
+            0 => Vec::new(),
+            1 => runs.pop().expect("one run"),
+            _ => {
+                let total = runs.iter().map(Vec::len).sum();
+                let mut out = Vec::with_capacity(total);
+                // Heap holds (time, run index); position per run advances
+                // monotonically, so (time, run) is a sufficient tiebreak.
+                let mut pos = vec![0usize; runs.len()];
+                let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = runs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| Reverse((r[0].time(), i)))
+                    .collect();
+                while let Some(Reverse((_, i))) = heap.pop() {
+                    out.push(runs[i][pos[i]]);
+                    pos[i] += 1;
+                    if pos[i] < runs[i].len() {
+                        heap.push(Reverse((runs[i][pos[i]].time(), i)));
+                    }
+                }
+                out
+            }
+        };
+        let max_time = events.last().map_or(SimTime::ZERO, TraceEvent::time);
+        Trace {
+            events,
+            next_item,
+            max_time,
+            sorted: true,
+        }
     }
 }
 
-/// Thread-safe trace handle for the threaded runtime.
+/// Linear merge of two time-sorted runs, stable with `left` first on ties.
+fn merge_two_sorted(left: Vec<TraceEvent>, right: Vec<TraceEvent>) -> Vec<TraceEvent> {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let (mut i, mut j) = (0, 0);
+    while i < left.len() && j < right.len() {
+        if left[i].time() <= right[j].time() {
+            out.push(left[i]);
+            i += 1;
+        } else {
+            out.push(right[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&left[i..]);
+    out.extend_from_slice(&right[j..]);
+    out
+}
+
+/// Events per sealed shard chunk. Large enough that sealing (a pointer
+/// swap) is rare; small enough that a mostly-idle task doesn't hold
+/// megabytes of slack.
+const SHARD_CHUNK: usize = 1024;
+
+/// Item ids are reserved from the shared counter in blocks of this size,
+/// one block at a time per shard: the `alloc` hot path then bumps a
+/// shard-private counter instead of contending on one shared cache line
+/// (measured ~8× slower under 4 producers). Ids stay globally unique —
+/// blocks never overlap — but are not globally dense; analyses key on
+/// identity, never on density.
+const ID_BLOCK: u64 = 256;
+
+#[derive(Debug, Default)]
+struct ShardBuf {
+    /// Sealed, full chunks in append order.
+    full: Vec<Vec<TraceEvent>>,
+    /// The chunk currently being filled.
+    cur: Vec<TraceEvent>,
+    /// Shard-private id block `[id_next, id_end)`, refilled from the
+    /// shared counter when exhausted (see `ID_BLOCK`). Plain integers:
+    /// they live under the shard mutex that `alloc` already takes to
+    /// record the event, so id generation adds no atomics to the hot
+    /// path.
+    id_next: u64,
+    id_end: u64,
+}
+
+/// One clone-private append buffer of a [`SharedTrace`].
 ///
-/// Item ids are allocated from an atomic so `alloc` never serializes two
-/// producers on id generation; the event append takes a short mutex.
-#[derive(Debug, Clone, Default)]
+/// The mutex is for the snapshotting reader only: the owning handle is the
+/// single writer, so hot-path locking is always uncontended.
+#[derive(Debug, Default)]
+struct Shard {
+    buf: Mutex<ShardBuf>,
+}
+
+impl Shard {
+    fn push(&self, ev: TraceEvent) {
+        let mut b = self.buf.lock();
+        Self::push_locked(&mut b, ev);
+    }
+
+    fn push_locked(b: &mut ShardBuf, ev: TraceEvent) {
+        b.cur.push(ev);
+        if b.cur.len() == SHARD_CHUNK {
+            let sealed = std::mem::replace(&mut b.cur, Vec::with_capacity(SHARD_CHUNK));
+            b.full.push(sealed);
+        }
+    }
+
+    /// Take the next item id and record `make_event(id)`, under one lock
+    /// acquisition.
+    ///
+    /// Uniqueness across shards: a refill's `start` comes from the shared
+    /// counter, which is always past every block ever reserved — blocks
+    /// are disjoint, and within a block the mutex serializes the bump.
+    fn alloc(&self, core: &TraceCore, make_event: impl FnOnce(u64) -> TraceEvent) -> u64 {
+        let mut b = self.buf.lock();
+        if b.id_next == b.id_end {
+            let start = core.next_item.fetch_add(ID_BLOCK, Ordering::Relaxed);
+            b.id_next = start;
+            b.id_end = start + ID_BLOCK;
+        }
+        let id = b.id_next;
+        b.id_next += 1;
+        Self::push_locked(&mut b, make_event(id));
+        id
+    }
+
+    /// Hand over a whole pre-filled chunk (a [`LocalTrace`] flush). The
+    /// flushing writer is the shard's only event writer, so `cur` is
+    /// always empty here and append order is preserved.
+    fn push_chunk(&self, chunk: Vec<TraceEvent>) {
+        if chunk.is_empty() {
+            return;
+        }
+        let mut b = self.buf.lock();
+        debug_assert!(b.cur.is_empty(), "push_chunk on a directly-written shard");
+        b.full.push(chunk);
+    }
+
+    /// Copy out everything recorded so far, in append order.
+    fn collect(&self) -> Vec<TraceEvent> {
+        let b = self.buf.lock();
+        let mut out = Vec::with_capacity(b.full.len() * SHARD_CHUNK + b.cur.len());
+        for chunk in &b.full {
+            out.extend_from_slice(chunk);
+        }
+        out.extend_from_slice(&b.cur);
+        out
+    }
+}
+
+#[derive(Debug)]
+struct TraceCore {
+    next_item: AtomicU64,
+    /// Registry of every shard ever created for this trace, in
+    /// registration order (= clone order; the merge tiebreak).
+    shards: Mutex<Vec<Arc<Shard>>>,
+}
+
+/// Thread-safe sharded trace handle for the threaded runtime.
+///
+/// Cloning registers a fresh shard: give each task context and each buffer
+/// its own clone and appends never contend (see the module docs). Item ids
+/// are unique across all handles but handed out from per-shard blocks
+/// under the shard's own lock, so `alloc` never serializes two producers
+/// on id generation either.
+#[derive(Debug)]
 pub struct SharedTrace {
+    core: Arc<TraceCore>,
+    shard: Arc<Shard>,
+}
+
+impl Default for SharedTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for SharedTrace {
+    /// The clone shares the id counter and snapshot registry but writes to
+    /// its own newly registered shard.
+    fn clone(&self) -> Self {
+        let shard = Arc::new(Shard::default());
+        self.core.shards.lock().push(Arc::clone(&shard));
+        SharedTrace {
+            core: Arc::clone(&self.core),
+            shard,
+        }
+    }
+}
+
+impl SharedTrace {
+    #[must_use]
+    pub fn new() -> Self {
+        let shard = Arc::new(Shard::default());
+        let core = Arc::new(TraceCore {
+            next_item: AtomicU64::new(0),
+            shards: Mutex::new(vec![Arc::clone(&shard)]),
+        });
+        SharedTrace { core, shard }
+    }
+
+    pub fn alloc(
+        &self,
+        t: SimTime,
+        buffer: NodeId,
+        ts: Timestamp,
+        bytes: u64,
+        producer: IterKey,
+    ) -> ItemId {
+        ItemId(self.shard.alloc(&self.core, |id| TraceEvent::Alloc {
+            t,
+            item: ItemId(id),
+            buffer,
+            ts,
+            bytes,
+            producer,
+        }))
+    }
+
+    pub fn free(&self, t: SimTime, item: ItemId) {
+        self.shard.push(TraceEvent::Free { t, item });
+    }
+
+    pub fn get(&self, t: SimTime, item: ItemId, consumer: IterKey) {
+        self.shard.push(TraceEvent::Get { t, item, consumer });
+    }
+
+    pub fn iter_end(&self, t: SimTime, iter: IterKey, busy: Micros) {
+        self.shard.push(TraceEvent::IterEnd { t, iter, busy });
+    }
+
+    pub fn sink_output(&self, t: SimTime, iter: IterKey, ts: Timestamp) {
+        self.shard.push(TraceEvent::SinkOutput { t, iter, ts });
+    }
+
+    pub fn task_crash(&self, t: SimTime, node: NodeId, attempt: u32) {
+        self.shard.push(TraceEvent::TaskCrash { t, node, attempt });
+    }
+
+    pub fn task_restart(&self, t: SimTime, node: NodeId, attempt: u32, backoff: Micros) {
+        self.shard.push(TraceEvent::TaskRestart {
+            t,
+            node,
+            attempt,
+            backoff,
+        });
+    }
+
+    pub fn op_timeout(&self, t: SimTime, node: NodeId) {
+        self.shard.push(TraceEvent::OpTimeout { t, node });
+    }
+
+    pub fn stale_summary(&self, t: SimTime, iter: IterKey) {
+        self.shard.push(TraceEvent::StaleSummary { t, iter });
+    }
+
+    pub fn summary_dropped(&self, t: SimTime, node: NodeId) {
+        self.shard.push(TraceEvent::SummaryDropped { t, node });
+    }
+
+    /// Snapshot into an owned [`Trace`] for postmortem analysis: all shards
+    /// are collected and k-way merged by time, once (concurrent appends may
+    /// interleave slightly out of order within a shard; each shard is
+    /// re-sorted stably before the merge when that happened).
+    ///
+    /// Non-destructive — shards keep recording; a later snapshot sees a
+    /// superset. Events sitting in an unflushed [`LocalTrace`] buffer are
+    /// *not* visible yet — flush (or drop) the writer first.
+    #[must_use]
+    pub fn snapshot(&self) -> Trace {
+        let shards: Vec<Arc<Shard>> = self.core.shards.lock().clone();
+        let runs: Vec<Vec<TraceEvent>> = shards.iter().map(|s| s.collect()).collect();
+        Trace::from_runs(runs, self.core.next_item.load(Ordering::Relaxed))
+    }
+
+    /// Open a buffered single-owner writer on a fresh shard of this trace.
+    /// This is the hot-path recorder: see [`LocalTrace`].
+    #[must_use]
+    pub fn local(&self) -> LocalTrace {
+        let shard = Arc::new(Shard::default());
+        self.core.shards.lock().push(Arc::clone(&shard));
+        LocalTrace {
+            core: Arc::clone(&self.core),
+            shard,
+            buf: Vec::with_capacity(SHARD_CHUNK),
+            id_next: 0,
+            id_end: 0,
+        }
+    }
+}
+
+/// Buffered single-owner trace writer — the zero-synchronization hot path.
+///
+/// A `LocalTrace` owns a pending-event buffer written through `&mut self`:
+/// recording an event is a plain `Vec::push` (no lock, no atomics), and
+/// item ids come from a plain-integer block refilled from the shared
+/// counter once every `ID_BLOCK` allocs. The buffer is handed to the
+/// writer's shard as one sealed chunk every `SHARD_CHUNK` events — one
+/// lock acquisition per 1024 events instead of one per event.
+///
+/// The owner provides the mutual exclusion: channels and queues keep their
+/// `LocalTrace` inside the state mutex they already hold on every buffer
+/// operation, so recording adds no second lock to the hot path.
+///
+/// **Visibility**: buffered events reach [`SharedTrace::snapshot`] only
+/// after a flush — automatic every `SHARD_CHUNK` events and on drop, or
+/// explicit via [`LocalTrace::flush`]. The runtime flushes every buffer
+/// after joining the task threads, before it snapshots.
+#[derive(Debug)]
+pub struct LocalTrace {
+    core: Arc<TraceCore>,
+    shard: Arc<Shard>,
+    /// Pending events, not yet visible to snapshots.
+    buf: Vec<TraceEvent>,
+    /// Private id block `[id_next, id_end)`; plain integers — the owner's
+    /// `&mut` access is the synchronization.
+    id_next: u64,
+    id_end: u64,
+}
+
+impl LocalTrace {
+    fn push(&mut self, ev: TraceEvent) {
+        self.buf.push(ev);
+        if self.buf.len() >= SHARD_CHUNK {
+            self.flush();
+        }
+    }
+
+    /// Publish all buffered events to the shard (one lock acquisition).
+    pub fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let chunk = std::mem::replace(&mut self.buf, Vec::with_capacity(SHARD_CHUNK));
+        self.shard.push_chunk(chunk);
+    }
+
+    pub fn alloc(
+        &mut self,
+        t: SimTime,
+        buffer: NodeId,
+        ts: Timestamp,
+        bytes: u64,
+        producer: IterKey,
+    ) -> ItemId {
+        if self.id_next == self.id_end {
+            let start = self.core.next_item.fetch_add(ID_BLOCK, Ordering::Relaxed);
+            self.id_next = start;
+            self.id_end = start + ID_BLOCK;
+        }
+        let item = ItemId(self.id_next);
+        self.id_next += 1;
+        self.push(TraceEvent::Alloc {
+            t,
+            item,
+            buffer,
+            ts,
+            bytes,
+            producer,
+        });
+        item
+    }
+
+    pub fn free(&mut self, t: SimTime, item: ItemId) {
+        self.push(TraceEvent::Free { t, item });
+    }
+
+    pub fn get(&mut self, t: SimTime, item: ItemId, consumer: IterKey) {
+        self.push(TraceEvent::Get { t, item, consumer });
+    }
+
+    pub fn op_timeout(&mut self, t: SimTime, node: NodeId) {
+        self.push(TraceEvent::OpTimeout { t, node });
+    }
+}
+
+impl Drop for LocalTrace {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// The pre-sharding recorder: one global `Mutex<Vec<TraceEvent>>`.
+///
+/// Kept only as the contention baseline for the overhead benchmarks
+/// (`hotpath`, `micro_overhead`) and the sharding-equivalence tests.
+/// Runtimes must use [`SharedTrace`].
+#[derive(Debug, Clone, Default)]
+pub struct CoarseTrace {
     inner: Arc<Mutex<Vec<TraceEvent>>>,
     next_item: Arc<AtomicU64>,
 }
 
-impl SharedTrace {
+impl CoarseTrace {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
@@ -176,43 +658,18 @@ impl SharedTrace {
         self.inner.lock().push(TraceEvent::SinkOutput { t, iter, ts });
     }
 
-    pub fn task_crash(&self, t: SimTime, node: NodeId, attempt: u32) {
-        self.inner
-            .lock()
-            .push(TraceEvent::TaskCrash { t, node, attempt });
-    }
-
-    pub fn task_restart(&self, t: SimTime, node: NodeId, attempt: u32, backoff: Micros) {
-        self.inner.lock().push(TraceEvent::TaskRestart {
-            t,
-            node,
-            attempt,
-            backoff,
-        });
-    }
-
-    pub fn op_timeout(&self, t: SimTime, node: NodeId) {
-        self.inner.lock().push(TraceEvent::OpTimeout { t, node });
-    }
-
-    pub fn stale_summary(&self, t: SimTime, iter: IterKey) {
-        self.inner.lock().push(TraceEvent::StaleSummary { t, iter });
-    }
-
-    pub fn summary_dropped(&self, t: SimTime, node: NodeId) {
-        self.inner.lock().push(TraceEvent::SummaryDropped { t, node });
-    }
-
-    /// Snapshot into an owned [`Trace`] for postmortem analysis. Events are
-    /// sorted by time (concurrent appends may interleave slightly out of
-    /// order).
+    /// Snapshot into an owned [`Trace`]: one stable sort by time (the
+    /// pre-sharding behavior — global append order breaks ties).
     #[must_use]
     pub fn snapshot(&self) -> Trace {
         let mut events = self.inner.lock().clone();
         events.sort_by_key(TraceEvent::time);
+        let max_time = events.last().map_or(SimTime::ZERO, TraceEvent::time);
         Trace {
             events,
             next_item: self.next_item.load(Ordering::Relaxed),
+            max_time,
+            sorted: true,
         }
     }
 }
@@ -242,6 +699,87 @@ mod tests {
         a.merge(b);
         assert_eq!(a.events()[0].time(), SimTime(5));
         assert_eq!(a.events()[1].time(), SimTime(10));
+        assert_eq!(a.last_time(), SimTime(10));
+    }
+
+    #[test]
+    fn merge_appends_disjoint_runs_and_tracks_last_time() {
+        let p = IterKey::new(NodeId(0), 0);
+        let mut a = Trace::new();
+        a.alloc(SimTime(1), NodeId(1), Timestamp(0), 1, p);
+        let mut b = Trace::new();
+        b.free(SimTime(1), ItemId(0)); // tie with a's last: a first
+        b.free(SimTime(9), ItemId(0));
+        a.merge(b);
+        let times: Vec<SimTime> = a.events().iter().map(TraceEvent::time).collect();
+        assert_eq!(times, vec![SimTime(1), SimTime(1), SimTime(9)]);
+        assert!(matches!(a.events()[0], TraceEvent::Alloc { .. }));
+        assert_eq!(a.last_time(), SimTime(9));
+    }
+
+    #[test]
+    fn merge_of_unsorted_trace_sorts_once() {
+        let p = IterKey::new(NodeId(0), 0);
+        let mut a = Trace::new();
+        a.free(SimTime(30), ItemId(7));
+        a.free(SimTime(10), ItemId(8)); // out of order: marks unsorted
+        let mut b = Trace::new();
+        b.alloc(SimTime(20), NodeId(1), Timestamp(0), 1, p);
+        a.merge(b);
+        let times: Vec<SimTime> = a.events().iter().map(TraceEvent::time).collect();
+        assert_eq!(times, vec![SimTime(10), SimTime(20), SimTime(30)]);
+        assert_eq!(a.last_time(), SimTime(30));
+    }
+
+    #[test]
+    fn repeated_merge_stays_sorted() {
+        // The old implementation re-sorted the whole vector per merge; the
+        // new one must still end fully ordered after many small merges.
+        let p = IterKey::new(NodeId(0), 0);
+        let mut acc = Trace::new();
+        for k in 0..50u64 {
+            let mut shard = Trace::new();
+            // interleaved time ranges so merges genuinely overlap
+            shard.alloc(SimTime(1000 - k * 7), NodeId(1), Timestamp(k), 1, p);
+            shard.free(SimTime(1000 - k * 7 + 3), ItemId(k));
+            acc.merge(shard);
+        }
+        let times: Vec<SimTime> = acc.events().iter().map(TraceEvent::time).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+        assert_eq!(acc.len(), 100);
+        assert_eq!(acc.last_time(), SimTime(1003));
+    }
+
+    #[test]
+    fn from_runs_merges_and_tiebreaks_by_run_index() {
+        let p = IterKey::new(NodeId(0), 0);
+        let run0 = vec![
+            TraceEvent::Free {
+                t: SimTime(5),
+                item: ItemId(0),
+            },
+            TraceEvent::Free {
+                t: SimTime(9),
+                item: ItemId(1),
+            },
+        ];
+        let run1 = vec![TraceEvent::Alloc {
+            t: SimTime(5),
+            item: ItemId(2),
+            buffer: NodeId(1),
+            ts: Timestamp(0),
+            bytes: 1,
+            producer: p,
+        }];
+        let tr = Trace::from_runs(vec![run0, run1], 3);
+        assert_eq!(tr.len(), 3);
+        // tie at t=5: run 0 first
+        assert!(matches!(tr.events()[0], TraceEvent::Free { .. }));
+        assert!(matches!(tr.events()[1], TraceEvent::Alloc { .. }));
+        assert_eq!(tr.last_time(), SimTime(9));
+        assert_eq!(tr.next_item, 3);
     }
 
     #[test]
@@ -274,7 +812,113 @@ mod tests {
     }
 
     #[test]
+    fn shard_chunk_sealing_loses_nothing() {
+        // Cross several chunk boundaries on one handle.
+        let tr = SharedTrace::new();
+        let n = (SHARD_CHUNK * 3 + 17) as u64;
+        for j in 0..n {
+            tr.free(SimTime(j), ItemId(j));
+        }
+        let snap = tr.snapshot();
+        assert_eq!(snap.len(), n as usize);
+        assert_eq!(snap.last_time(), SimTime(n - 1));
+        // a later snapshot still sees everything plus newer events
+        tr.free(SimTime(n), ItemId(n));
+        assert_eq!(tr.snapshot().len(), n as usize + 1);
+    }
+
+    #[test]
     fn empty_trace_last_time_is_zero() {
         assert_eq!(Trace::new().last_time(), SimTime::ZERO);
+        assert_eq!(SharedTrace::new().snapshot().last_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn coarse_and_sharded_agree_on_event_multiset() {
+        let coarse = CoarseTrace::new();
+        let sharded = SharedTrace::new();
+        let p = IterKey::new(NodeId(0), 0);
+        for j in 0..10u64 {
+            coarse.alloc(SimTime(j), NodeId(1), Timestamp(j), 5, p);
+            sharded.alloc(SimTime(j), NodeId(1), Timestamp(j), 5, p);
+        }
+        let (a, b) = (coarse.snapshot(), sharded.snapshot());
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.last_time(), b.last_time());
+    }
+
+    #[test]
+    fn local_trace_flushes_on_chunk_boundary_and_drop() {
+        let tr = SharedTrace::new();
+        let mut local = tr.local();
+        let n = SHARD_CHUNK as u64 + 7;
+        for j in 0..n {
+            local.free(SimTime(j), ItemId(j));
+        }
+        // The full chunk is visible; the 7-event tail is still buffered.
+        assert_eq!(tr.snapshot().len(), SHARD_CHUNK);
+        local.flush();
+        assert_eq!(tr.snapshot().len(), n as usize);
+        local.get(SimTime(n), ItemId(0), IterKey::new(NodeId(0), 0));
+        drop(local);
+        assert_eq!(tr.snapshot().len(), n as usize + 1);
+    }
+
+    #[test]
+    fn local_trace_ids_unique_across_writers() {
+        // Mixed writers — two buffered locals plus the shared handle —
+        // must never hand out the same item id.
+        let tr = SharedTrace::new();
+        let p = IterKey::new(NodeId(0), 0);
+        let mut a = tr.local();
+        let mut b = tr.local();
+        let mut ids = Vec::new();
+        for j in 0..(ID_BLOCK + 10) {
+            ids.push(a.alloc(SimTime(j), NodeId(1), Timestamp(j), 1, p));
+            ids.push(b.alloc(SimTime(j), NodeId(1), Timestamp(j), 1, p));
+            ids.push(tr.alloc(SimTime(j), NodeId(1), Timestamp(j), 1, p));
+        }
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "item ids collided across writers");
+        drop(a);
+        drop(b);
+        assert_eq!(tr.snapshot().len(), n);
+    }
+
+    #[test]
+    fn local_trace_concurrent_writers_lose_nothing() {
+        let tr = SharedTrace::new();
+        let n_threads = 4u64;
+        let per = SHARD_CHUNK as u64 * 2 + 31;
+        std::thread::scope(|s| {
+            for i in 0..n_threads {
+                let tr = &tr;
+                s.spawn(move || {
+                    let mut local = tr.local();
+                    let p = IterKey::new(NodeId(i as u32), 0);
+                    for j in 0..per {
+                        let id = local.alloc(SimTime(j), NodeId(9), Timestamp(j), 1, p);
+                        local.get(SimTime(j), id, p);
+                    }
+                });
+            }
+        });
+        let snap = tr.snapshot();
+        assert_eq!(snap.len() as u64, n_threads * per * 2);
+        let mut ids: Vec<u64> = snap
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Alloc { item, .. } => Some(item.0),
+                _ => None,
+            })
+            .collect();
+        let n_allocs = ids.len() as u64;
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(n_allocs, n_threads * per);
+        assert_eq!(ids.len() as u64, n_allocs, "duplicated item id");
     }
 }

@@ -14,16 +14,27 @@
 //! * on `put`, the channel's compressed summary-STP is handed back to the
 //!   producer as the operation's return value.
 //!
-//! Reclamation: every operation purges items below the channel's current
-//! dead-before bound — the REF consumption floor, raised further by the
-//! periodic DGC pass via [`Channel::apply_dead_before`].
+//! Reclamation: items below the channel's dead-before bound — the REF
+//! consumption floor, raised further by the periodic DGC pass via
+//! [`Channel::apply_dead_before`] — are purged when the bound *moves*
+//! ([`Channel::release`] / [`Channel::apply_dead_before`], the only two
+//! movers). Every other operation checks a purge watermark instead of
+//! scanning: a `put`/`get` pays one timestamp compare, not a map walk.
+//!
+//! Hot-path notes: producer and consumer waiters sit on separate condvars,
+//! so a `put` wakes only consumers and reclamation wakes only producers
+//! blocked on a full bounded channel — no broadcast storms through
+//! unrelated waiters. The summary-STP a `put` returns is the controller's
+//! cached compression ([`AruController::summary`] is a field read;
+//! recompression happens only when a consumer deposits feedback), so the
+//! put path never recomputes the backward-vector compression.
 
 use crate::error::StampedeError;
 use crate::item::{ItemData, StampedItem};
 use crate::task::TaskCtx;
 use aru_core::{AruConfig, AruController, NodeKind, Stp};
 use aru_gc::{ref_dead_before, ConsumerMarks, GcMode};
-use aru_metrics::{ItemId, IterKey, SharedTrace};
+use aru_metrics::{ItemId, IterKey, LocalTrace, SharedTrace};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -44,10 +55,19 @@ struct Stored<T> {
 
 struct ChannelState<T> {
     items: BTreeMap<Timestamp, Stored<T>>,
+    /// Buffered trace writer. Living inside the state mutex, it is written
+    /// with `&mut` access on every op the channel already serializes —
+    /// recording an event is a plain `Vec::push`, no second lock.
+    trace: LocalTrace,
     marks: ConsumerMarks,
     aru: AruController,
     /// Highest dead-before bound received from the cross-graph DGC pass.
     dgc_dead_before: Timestamp,
+    /// Purge watermark: everything below this is already reclaimed. The
+    /// dead-before bound only moves in `release`/`apply_dead_before`, which
+    /// purge immediately — so any op whose bound is at the watermark skips
+    /// the purge with one compare.
+    purged_before: Timestamp,
     /// Optional item-count bound: puts block while the channel is full
     /// (classic backpressure — the alternative to ARU this runtime lets
     /// you compare against; `None` reproduces Stampede's unbounded
@@ -63,9 +83,11 @@ pub struct Channel<T: ItemData> {
     name: String,
     gc_mode: GcMode,
     clock: Arc<dyn Clock>,
-    trace: SharedTrace,
     state: Mutex<ChannelState<T>>,
-    cond: Condvar,
+    /// Consumers blocked in a get, waiting for data.
+    cons: Condvar,
+    /// Producers blocked in a bounded put, waiting for capacity.
+    prod: Condvar,
 }
 
 impl<T: ItemData> Channel<T> {
@@ -86,17 +108,19 @@ impl<T: ItemData> Channel<T> {
             name,
             gc_mode,
             clock,
-            trace,
             state: Mutex::new(ChannelState {
                 items: BTreeMap::new(),
+                trace: trace.local(),
                 marks: ConsumerMarks::new(0),
                 aru: AruController::new(NodeKind::Channel, 0, false, config),
                 dgc_dead_before: Timestamp::ZERO,
+                purged_before: Timestamp::ZERO,
                 capacity,
                 closed: false,
                 live_bytes: 0,
             }),
-            cond: Condvar::new(),
+            cons: Condvar::new(),
+            prod: Condvar::new(),
         }
     }
 
@@ -107,6 +131,7 @@ impl<T: ItemData> Channel<T> {
     pub(crate) fn configure_consumers(&self, n: usize) {
         let mut st = self.state.lock();
         st.marks = ConsumerMarks::new(n);
+        st.purged_before = Timestamp::ZERO;
         st.aru.ensure_outputs(n);
     }
 
@@ -141,7 +166,7 @@ impl<T: ItemData> Channel<T> {
             return Err(StampedeError::Closed);
         }
         let bytes = value.size_bytes();
-        let id = self.trace.alloc(now, self.node, ts, bytes, producer);
+        let id = st.trace.alloc(now, self.node, ts, bytes, producer);
         if let Some(old) = st.items.insert(
             ts,
             Stored {
@@ -151,13 +176,15 @@ impl<T: ItemData> Channel<T> {
             },
         ) {
             st.live_bytes -= old.bytes;
-            self.trace.free(now, old.id);
+            st.trace.free(now, old.id);
         }
         st.live_bytes += bytes;
-        self.purge_locked(&mut st);
+        self.reclaim_if_below_floor(&mut st, ts, now);
+        // Cached compression: a field read, recomputed only on feedback.
         let summary = st.aru.summary();
         drop(st);
-        self.cond.notify_all();
+        // New data helps consumers only — a put never opens capacity.
+        self.cons.notify_all();
         Ok(summary)
     }
 
@@ -190,7 +217,7 @@ impl<T: ItemData> Channel<T> {
                 }
                 let now = self.clock.now();
                 let bytes = value.size_bytes();
-                let id = self.trace.alloc(now, self.node, ts, bytes, ctx.iter_key());
+                let id = st.trace.alloc(now, self.node, ts, bytes, ctx.iter_key());
                 if let Some(old) = st.items.insert(
                     ts,
                     Stored {
@@ -200,21 +227,21 @@ impl<T: ItemData> Channel<T> {
                     },
                 ) {
                     st.live_bytes -= old.bytes;
-                    self.trace.free(now, old.id);
+                    st.trace.free(now, old.id);
                 }
                 st.live_bytes += bytes;
-                self.purge_locked(&mut st);
+                self.reclaim_if_below_floor(&mut st, ts, now);
                 let summary = st.aru.summary();
                 drop(st);
-                self.cond.notify_all();
+                self.cons.notify_all();
                 return Ok(summary);
             }
             if !blocked {
                 blocked = true;
                 ctx.block_begin(self.clock.now());
             }
-            if self.wait_step(&mut st, deadline) {
-                return Err(self.timed_out(ctx, blocked));
+            if self.wait_step(&self.prod, &mut st, deadline) {
+                return Err(self.timed_out(&mut st, ctx, blocked));
             }
         }
     }
@@ -253,7 +280,7 @@ impl<T: ItemData> Channel<T> {
                     st.aru.receive_feedback(chan_out_index, summary);
                 }
                 let now = self.clock.now();
-                self.trace.get(now, id, ctx.iter_key());
+                st.trace.get(now, id, ctx.iter_key());
                 return Ok(StampedItem { ts, value });
             }
             if st.closed {
@@ -266,8 +293,8 @@ impl<T: ItemData> Channel<T> {
                 blocked = true;
                 ctx.block_begin(self.clock.now());
             }
-            if self.wait_step(&mut st, deadline) {
-                return Err(self.timed_out(ctx, blocked));
+            if self.wait_step(&self.cons, &mut st, deadline) {
+                return Err(self.timed_out(&mut st, ctx, blocked));
             }
         }
     }
@@ -278,10 +305,13 @@ impl<T: ItemData> Channel<T> {
     pub fn release(&self, chan_out_index: usize, ts: Timestamp) {
         let mut st = self.state.lock();
         st.marks.advance(chan_out_index, ts);
-        self.purge_locked(&mut st);
+        let removed = self.purge_locked(&mut st);
         drop(st);
-        // reclamation may have opened capacity for a blocked producer
-        self.cond.notify_all();
+        // Reclamation may have opened capacity for a blocked producer;
+        // nothing new arrived, so consumers stay asleep.
+        if removed > 0 {
+            self.prod.notify_all();
+        }
     }
 
     /// Join get: block until the item with exactly timestamp `ts` exists.
@@ -307,7 +337,7 @@ impl<T: ItemData> Channel<T> {
                     st.aru.receive_feedback(chan_out_index, summary);
                 }
                 let now = self.clock.now();
-                self.trace.get(now, id, ctx.iter_key());
+                st.trace.get(now, id, ctx.iter_key());
                 return Ok(Some(StampedItem { ts, value }));
             }
             let newer_exists = st
@@ -328,8 +358,8 @@ impl<T: ItemData> Channel<T> {
                 blocked = true;
                 ctx.block_begin(self.clock.now());
             }
-            if self.wait_step(&mut st, deadline) {
-                return Err(self.timed_out(ctx, blocked));
+            if self.wait_step(&self.cons, &mut st, deadline) {
+                return Err(self.timed_out(&mut st, ctx, blocked));
             }
         }
     }
@@ -362,7 +392,7 @@ impl<T: ItemData> Channel<T> {
                     st.aru.receive_feedback(chan_out_index, summary);
                 }
                 let now = self.clock.now();
-                self.trace.get(now, id, ctx.iter_key());
+                st.trace.get(now, id, ctx.iter_key());
                 return Ok(StampedItem { ts: its, value });
             }
             if st.closed {
@@ -375,8 +405,8 @@ impl<T: ItemData> Channel<T> {
                 blocked = true;
                 ctx.block_begin(self.clock.now());
             }
-            if self.wait_step(&mut st, deadline) {
-                return Err(self.timed_out(ctx, blocked));
+            if self.wait_step(&self.cons, &mut st, deadline) {
+                return Err(self.timed_out(&mut st, ctx, blocked));
             }
         }
     }
@@ -409,19 +439,18 @@ impl<T: ItemData> Channel<T> {
                     st.aru.receive_feedback(chan_out_index, summary);
                 }
                 let now = self.clock.now();
-                let mut window: Vec<StampedItem<T>> = st
+                let picked: Vec<(Timestamp, Arc<T>, ItemId)> = st
                     .items
                     .iter()
                     .rev()
                     .take(n)
-                    .map(|(&ts, stored)| {
-                        self.trace.get(now, stored.id, ctx.iter_key());
-                        StampedItem {
-                            ts,
-                            value: Arc::clone(&stored.value),
-                        }
-                    })
+                    .map(|(&ts, stored)| (ts, Arc::clone(&stored.value), stored.id))
                     .collect();
+                let mut window = Vec::with_capacity(picked.len());
+                for (ts, value, id) in picked {
+                    st.trace.get(now, id, ctx.iter_key());
+                    window.push(StampedItem { ts, value });
+                }
                 window.reverse();
                 return Ok(window);
             }
@@ -435,8 +464,8 @@ impl<T: ItemData> Channel<T> {
                 blocked = true;
                 ctx.block_begin(self.clock.now());
             }
-            if self.wait_step(&mut st, deadline) {
-                return Err(self.timed_out(ctx, blocked));
+            if self.wait_step(&self.cons, &mut st, deadline) {
+                return Err(self.timed_out(&mut st, ctx, blocked));
             }
         }
     }
@@ -461,7 +490,7 @@ impl<T: ItemData> Channel<T> {
                     st.aru.receive_feedback(chan_out_index, summary);
                 }
                 let now = self.clock.now();
-                self.trace.get(now, id, ctx.iter_key());
+                st.trace.get(now, id, ctx.iter_key());
                 Ok(Some(StampedItem { ts, value }))
             }
             None if st.closed => Err(StampedeError::Closed),
@@ -476,7 +505,7 @@ impl<T: ItemData> Channel<T> {
         let now = self.clock.now();
         let mut st = self.state.lock();
         if st.closed {
-            self.trace.free(now, id);
+            st.trace.free(now, id);
             return;
         }
         if let Some(old) = st.items.insert(
@@ -488,12 +517,12 @@ impl<T: ItemData> Channel<T> {
             },
         ) {
             st.live_bytes -= old.bytes;
-            self.trace.free(now, old.id);
+            st.trace.free(now, old.id);
         }
         st.live_bytes += bytes;
-        self.purge_locked(&mut st);
+        self.reclaim_if_below_floor(&mut st, ts, now);
         drop(st);
-        self.cond.notify_all();
+        self.cons.notify_all();
     }
 
     fn dead_bound_locked(&self, st: &ChannelState<T>) -> Timestamp {
@@ -504,34 +533,60 @@ impl<T: ItemData> Channel<T> {
         }
     }
 
-    fn purge_locked(&self, st: &mut ChannelState<T>) {
-        if !self.gc_mode.reclaims() {
-            return;
-        }
-        let bound = self.dead_bound_locked(st);
-        if bound == Timestamp::ZERO {
-            return;
-        }
-        let now = self.clock.now();
-        let dead: Vec<Timestamp> = st.items.range(..bound).map(|(&ts, _)| ts).collect();
-        for ts in dead {
+    /// Dead-on-arrival check for the put paths: a put below the reclaimed
+    /// floor (adversarial timestamps only — sources are monotone) is freed
+    /// immediately, matching the eager per-op purge this watermark scheme
+    /// replaced. One compare in the common case.
+    fn reclaim_if_below_floor(&self, st: &mut ChannelState<T>, ts: Timestamp, now: vtime::SimTime) {
+        if self.gc_mode.reclaims() && ts < st.purged_before {
             if let Some(stored) = st.items.remove(&ts) {
                 st.live_bytes -= stored.bytes;
-                self.trace.free(now, stored.id);
+                st.trace.free(now, stored.id);
             }
         }
     }
 
-    /// One bounded wait on the condvar; `true` means the op deadline passed
-    /// before anything woke us.
+    /// Reclaim everything below the dead-before bound. Returns how many
+    /// items were freed.
+    ///
+    /// Amortized by the purge watermark: the bound moves only in
+    /// [`Channel::release`] / [`Channel::apply_dead_before`] (which purge
+    /// right away), so every put/get-path call lands on the one-compare
+    /// fast path. When the bound did move, the dead prefix is detached
+    /// with a single `split_off` — O(log n + dead) instead of
+    /// collect-keys-then-remove-each.
+    fn purge_locked(&self, st: &mut ChannelState<T>) -> usize {
+        if !self.gc_mode.reclaims() {
+            return 0;
+        }
+        let bound = self.dead_bound_locked(st);
+        if bound <= st.purged_before {
+            return 0;
+        }
+        st.purged_before = bound;
+        let now = self.clock.now();
+        let live = st.items.split_off(&bound);
+        let dead = std::mem::replace(&mut st.items, live);
+        let removed = dead.len();
+        for stored in dead.into_values() {
+            st.live_bytes -= stored.bytes;
+            st.trace.free(now, stored.id);
+        }
+        removed
+    }
+
+    /// One bounded wait on the given wait set (consumers wait on `cons`,
+    /// producers on `prod`); `true` means the op deadline passed before
+    /// anything woke us.
     fn wait_step(
         &self,
+        cond: &Condvar,
         st: &mut MutexGuard<'_, ChannelState<T>>,
         deadline: Option<Instant>,
     ) -> bool {
         match deadline {
             None => {
-                self.cond.wait(st);
+                cond.wait(st);
                 false
             }
             Some(dl) => {
@@ -539,7 +594,7 @@ impl<T: ItemData> Channel<T> {
                 if now >= dl {
                     return true;
                 }
-                self.cond.wait_for(st, dl - now);
+                cond.wait_for(st, dl - now);
                 false
             }
         }
@@ -547,11 +602,16 @@ impl<T: ItemData> Channel<T> {
 
     /// Shared exit path for a blocking op that hit its deadline: end the
     /// blocking interval, record the timeout, hand back the error.
-    fn timed_out(&self, ctx: &mut TaskCtx, blocked: bool) -> StampedeError {
+    fn timed_out(
+        &self,
+        st: &mut ChannelState<T>,
+        ctx: &mut TaskCtx,
+        blocked: bool,
+    ) -> StampedeError {
         if blocked {
             ctx.block_end(self.clock.now());
         }
-        self.trace.op_timeout(self.clock.now(), ctx.node());
+        st.trace.op_timeout(self.clock.now(), ctx.node());
         StampedeError::Timeout
     }
 
@@ -568,9 +628,11 @@ impl<T: ItemData> Channel<T> {
         let mut st = self.state.lock();
         if bound > st.dgc_dead_before {
             st.dgc_dead_before = bound;
-            self.purge_locked(&mut st);
+            let removed = self.purge_locked(&mut st);
             drop(st);
-            self.cond.notify_all();
+            if removed > 0 {
+                self.prod.notify_all();
+            }
         }
     }
 
@@ -587,10 +649,12 @@ impl<T: ItemData> Channel<T> {
         st.items.clear();
         st.live_bytes = 0;
         for id in ids {
-            self.trace.free(now, id);
+            st.trace.free(now, id);
         }
         drop(st);
-        self.cond.notify_all();
+        // Close unblocks everyone, whichever side they wait on.
+        self.cons.notify_all();
+        self.prod.notify_all();
     }
 
     /// The channel's current summary-STP (the value a put would return).
@@ -625,6 +689,9 @@ pub(crate) trait BufferAdmin: Send + Sync {
     fn apply_dead_before(&self, bound: Timestamp);
     fn close(&self);
     fn live_bytes(&self) -> u64;
+    /// Publish any buffered trace events (the runtime calls this after
+    /// joining the task threads, before it snapshots the trace).
+    fn flush_trace(&self);
 }
 
 impl<T: ItemData> BufferAdmin for Channel<T> {
@@ -645,6 +712,9 @@ impl<T: ItemData> BufferAdmin for Channel<T> {
     }
     fn live_bytes(&self) -> u64 {
         Channel::live_bytes(self)
+    }
+    fn flush_trace(&self) {
+        self.state.lock().trace.flush();
     }
 }
 

@@ -16,7 +16,7 @@ use crate::item::{ItemData, StampedItem};
 use crate::task::TaskCtx;
 use aru_core::{AruConfig, AruController, NodeId, NodeKind};
 use aru_gc::ConsumerMarks;
-use aru_metrics::{ItemId, IterKey, SharedTrace};
+use aru_metrics::{ItemId, IterKey, LocalTrace, SharedTrace};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -31,6 +31,9 @@ struct QStored<T> {
 
 struct QueueState<T> {
     items: VecDeque<QStored<T>>,
+    /// Buffered trace writer, `&mut`-accessed under the state mutex every
+    /// queue op already holds — recording is a plain `Vec::push`.
+    trace: LocalTrace,
     marks: ConsumerMarks,
     aru: AruController,
     closed: bool,
@@ -42,8 +45,11 @@ pub struct Queue<T: ItemData> {
     node: NodeId,
     name: String,
     clock: Arc<dyn Clock>,
-    trace: SharedTrace,
     state: Mutex<QueueState<T>>,
+    /// Consumers blocked in `get`. Queues are unbounded so producers never
+    /// wait — one wait set suffices, and `put` wakes exactly one getter
+    /// (`notify_one`): an item is consumed destructively by one consumer,
+    /// so waking more would just stampede them back to sleep.
     cond: Condvar,
 }
 
@@ -59,9 +65,9 @@ impl<T: ItemData> Queue<T> {
             node,
             name,
             clock,
-            trace,
             state: Mutex::new(QueueState {
                 items: VecDeque::new(),
+                trace: trace.local(),
                 marks: ConsumerMarks::new(0),
                 aru: AruController::new(NodeKind::Queue, 0, false, config),
                 closed: false,
@@ -100,7 +106,7 @@ impl<T: ItemData> Queue<T> {
             return Err(StampedeError::Closed);
         }
         let bytes = value.size_bytes();
-        let id = self.trace.alloc(now, self.node, ts, bytes, producer);
+        let id = st.trace.alloc(now, self.node, ts, bytes, producer);
         st.items.push_back(QStored {
             ts,
             value: Arc::new(value),
@@ -135,8 +141,8 @@ impl<T: ItemData> Queue<T> {
                     st.aru.receive_feedback(chan_out_index, summary);
                 }
                 let now = self.clock.now();
-                self.trace.get(now, stored.id, ctx.iter_key());
-                self.trace.free(now, stored.id);
+                st.trace.get(now, stored.id, ctx.iter_key());
+                st.trace.free(now, stored.id);
                 return Ok(StampedItem {
                     ts: stored.ts,
                     value: stored.value,
@@ -158,7 +164,7 @@ impl<T: ItemData> Queue<T> {
                     let now = std::time::Instant::now();
                     if now >= dl {
                         ctx.block_end(self.clock.now());
-                        self.trace.op_timeout(self.clock.now(), ctx.node());
+                        st.trace.op_timeout(self.clock.now(), ctx.node());
                         return Err(StampedeError::Timeout);
                     }
                     self.cond.wait_for(&mut st, dl - now);
@@ -182,8 +188,8 @@ impl<T: ItemData> Queue<T> {
                     st.aru.receive_feedback(chan_out_index, summary);
                 }
                 let now = self.clock.now();
-                self.trace.get(now, stored.id, ctx.iter_key());
-                self.trace.free(now, stored.id);
+                st.trace.get(now, stored.id, ctx.iter_key());
+                st.trace.free(now, stored.id);
                 Ok(Some(StampedItem {
                     ts: stored.ts,
                     value: stored.value,
@@ -218,13 +224,21 @@ impl<T: ItemData> Queue<T> {
     /// Drop queued items with `ts < bound` (their downstream outputs are
     /// provably dead).
     pub fn apply_dead_before(&self, bound: Timestamp) {
+        if bound == Timestamp::ZERO {
+            return;
+        }
         let mut st = self.state.lock();
+        // Common case: the DGC bound trails the consumption frontier and
+        // nothing queued is dead — skip the rebuild entirely.
+        if !st.items.iter().any(|s| s.ts < bound) {
+            return;
+        }
         let now = self.clock.now();
         let mut kept = VecDeque::with_capacity(st.items.len());
         while let Some(stored) = st.items.pop_front() {
             if stored.ts < bound {
                 st.live_bytes -= stored.bytes;
-                self.trace.free(now, stored.id);
+                st.trace.free(now, stored.id);
             } else {
                 kept.push_back(stored);
             }
@@ -241,7 +255,7 @@ impl<T: ItemData> Queue<T> {
         st.closed = true;
         let now = self.clock.now();
         while let Some(stored) = st.items.pop_front() {
-            self.trace.free(now, stored.id);
+            st.trace.free(now, stored.id);
         }
         st.live_bytes = 0;
         drop(st);
@@ -267,6 +281,9 @@ impl<T: ItemData> BufferAdmin for Queue<T> {
     }
     fn live_bytes(&self) -> u64 {
         Queue::live_bytes(self)
+    }
+    fn flush_trace(&self) {
+        self.state.lock().trace.flush();
     }
 }
 

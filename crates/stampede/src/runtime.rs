@@ -270,6 +270,11 @@ impl Running {
             })?;
         }
         let t_end = self.clock.now();
+        // Task threads are joined; publish each buffer's pending trace
+        // events before the snapshot.
+        for a in &self.admins {
+            a.flush_trace();
+        }
         Ok(RunReport {
             trace: self.trace.snapshot(),
             topo: self.topo,
