@@ -31,8 +31,11 @@ pub mod event;
 pub mod fault;
 pub mod footprint;
 pub mod lineage;
+#[cfg(all(loom, test))]
+mod loom_tests;
 pub mod perf;
 pub mod report;
+pub mod sync;
 pub mod thread_stats;
 pub mod trace;
 pub mod waste;

@@ -1,0 +1,84 @@
+//! Synchronization shim for the trace recorder — the mirror of
+//! `stampede::sync`.
+//!
+//! `SharedTrace`/`LocalTrace` take their shard mutex and item-id atomic
+//! from here. Normally that resolves to `parking_lot` and `std` atomics;
+//! under `RUSTFLAGS="--cfg loom"` it resolves to loom's model-checked
+//! primitives, so the id-block refill and chunk-seal protocols can be
+//! exhaustively explored (`RUSTFLAGS="--cfg loom" cargo test -p
+//! aru-metrics --lib loom_`). See DESIGN.md §10.
+
+#[cfg(not(loom))]
+pub use parking_lot::{Mutex, MutexGuard};
+
+#[cfg(loom)]
+pub use self::loom_shim::{Mutex, MutexGuard};
+
+pub mod atomic {
+    //! `AtomicU64`/`Ordering` from std, or from loom under `--cfg loom`.
+
+    #[cfg(not(loom))]
+    pub use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[cfg(loom)]
+    pub use loom::sync::atomic::{AtomicU64, Ordering};
+}
+
+#[cfg(loom)]
+mod loom_shim {
+    //! parking_lot-shaped `Mutex` over `loom::sync::Mutex` (same Option
+    //! trick as the vendored parking_lot shim; see `stampede::sync`).
+
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::PoisonError;
+
+    /// Model-checked mutex with the parking_lot API.
+    pub struct Mutex<T> {
+        inner: loom::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex {
+                inner: loom::sync::Mutex::new(value),
+            }
+        }
+
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            MutexGuard {
+                inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            }
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Mutex")
+        }
+    }
+
+    /// Guard for [`Mutex`].
+    pub struct MutexGuard<'a, T> {
+        inner: loom::sync::MutexGuard<'a, T>,
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+}

@@ -44,8 +44,8 @@
 
 use crate::event::{ItemId, IterKey, TraceEvent};
 use aru_core::graph::NodeId;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
 use std::sync::Arc;
 use vtime::{Micros, SimTime, Timestamp};
 
@@ -290,7 +290,10 @@ const SHARD_CHUNK: usize = 1024;
 /// (measured ~8× slower under 4 producers). Ids stay globally unique —
 /// blocks never overlap — but are not globally dense; analyses key on
 /// identity, never on density.
-const ID_BLOCK: u64 = 256;
+/// Under loom the block shrinks to 2 so a model-checked test crosses the
+/// refill boundary (the interesting interleaving) within the model's
+/// preemption budget instead of after 256 uncontended bumps.
+const ID_BLOCK: u64 = if cfg!(loom) { 2 } else { 256 };
 
 #[derive(Debug, Default)]
 struct ShardBuf {

@@ -35,7 +35,7 @@ use crate::task::TaskCtx;
 use aru_core::{AruConfig, AruController, NodeKind, Stp};
 use aru_gc::{ref_dead_before, ConsumerMarks, GcMode};
 use aru_metrics::{ItemId, IterKey, LocalTrace, SharedTrace};
-use parking_lot::{Condvar, Mutex, MutexGuard};
+use crate::sync::{Condvar, Mutex, MutexGuard};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};

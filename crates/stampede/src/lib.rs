@@ -62,7 +62,11 @@ pub mod net;
 pub mod queue;
 pub mod runtime;
 pub mod shutdown;
+pub mod sync;
 pub mod task;
+
+#[cfg(all(loom, test))]
+mod loom_tests;
 
 pub use builder::{BuildError, ChannelRef, QueueRef, RuntimeBuilder, ThreadRef};
 pub use channel::{Channel, Input, Output};

@@ -14,13 +14,31 @@
 use crate::channel::Channel;
 use crate::error::StampedeError;
 use crate::item::ItemData;
+use crate::sync::{Condvar, Mutex};
 use crate::task::TaskCtx;
-use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Instant;
 use vtime::{Micros, Timestamp};
+
+#[cfg(loom)]
+use loom::thread::JoinHandle;
+#[cfg(not(loom))]
+use std::thread::JoinHandle;
+
+#[cfg(not(loom))]
+fn spawn_worker(f: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("network-sim".into())
+        .spawn(f)
+        .expect("spawn network sim")
+}
+
+#[cfg(loom)]
+fn spawn_worker(f: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
+    loom::thread::spawn(f)
+}
 
 /// Link parameters (mirror of `desim::NetModel`, kept dependency-free).
 #[derive(Debug, Clone, Copy)]
@@ -43,11 +61,17 @@ impl Default for LinkModel {
 
 impl LinkModel {
     /// Transfer time for `bytes`.
+    ///
+    /// Serialization time rounds *up* to the next microsecond: any non-empty
+    /// payload occupies the wire for at least 1 µs. Truncating instead would
+    /// bill 0 µs for every payload smaller than the per-µs bandwidth
+    /// (< ~125 bytes on GbE), letting small-message workloads transfer for
+    /// free.
     #[must_use]
     pub fn transfer(&self, bytes: u64) -> Micros {
         let ser = if self.bandwidth_bytes_per_us.is_finite() && self.bandwidth_bytes_per_us > 0.0
         {
-            Micros((bytes as f64 / self.bandwidth_bytes_per_us) as u64)
+            Micros((bytes as f64 / self.bandwidth_bytes_per_us).ceil() as u64)
         } else {
             Micros::ZERO
         };
@@ -86,34 +110,16 @@ struct NetState {
     stopped: bool,
 }
 
-/// A delivery thread emulating network transfer delays.
-pub struct NetworkSim {
+/// Shared between the public handle and the delivery thread. The worker only
+/// ever holds an `Arc<NetInner>` — never the `NetworkSim` itself — so
+/// dropping the last `NetworkSim` handle can never happen on the worker
+/// thread (which would make the `Drop`-triggered join a self-join).
+struct NetInner {
     state: Mutex<NetState>,
     cond: Condvar,
 }
 
-impl NetworkSim {
-    /// Start the delivery thread. Returns the handle applications pass to
-    /// [`RemoteOutput`]s; the thread stops when the handle is dropped or
-    /// [`NetworkSim::stop`] is called.
-    #[must_use]
-    pub fn start() -> Arc<NetworkSim> {
-        let net = Arc::new(NetworkSim {
-            state: Mutex::new(NetState {
-                queue: BinaryHeap::new(),
-                seq: 0,
-                stopped: false,
-            }),
-            cond: Condvar::new(),
-        });
-        let worker = Arc::clone(&net);
-        std::thread::Builder::new()
-            .name("network-sim".into())
-            .spawn(move || worker.run())
-            .expect("spawn network sim");
-        net
-    }
-
+impl NetInner {
     fn run(&self) {
         let mut st = self.state.lock();
         loop {
@@ -130,6 +136,9 @@ impl NetworkSim {
                     drop(st);
                     (p.deliver)();
                     st = self.state.lock();
+                    if st.stopped {
+                        return;
+                    }
                 } else {
                     break;
                 }
@@ -148,10 +157,46 @@ impl NetworkSim {
             }
         }
     }
+}
+
+/// A delivery thread emulating network transfer delays.
+///
+/// Shutdown semantics: [`NetworkSim::stop`] marks the simulator stopped,
+/// drops every *pending* (not yet due) delivery, and then **joins the
+/// delivery thread**. When `stop()` returns, no delivery closure is running
+/// or will ever run — callers may tear down channels the closures reference
+/// without racing a late insert. Dropping the last handle stops the thread
+/// the same way.
+pub struct NetworkSim {
+    inner: Arc<NetInner>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl NetworkSim {
+    /// Start the delivery thread. Returns the handle applications pass to
+    /// [`RemoteOutput`]s; the thread stops when the handle is dropped or
+    /// [`NetworkSim::stop`] is called.
+    #[must_use]
+    pub fn start() -> Arc<NetworkSim> {
+        let inner = Arc::new(NetInner {
+            state: Mutex::new(NetState {
+                queue: BinaryHeap::new(),
+                seq: 0,
+                stopped: false,
+            }),
+            cond: Condvar::new(),
+        });
+        let worker_inner = Arc::clone(&inner);
+        let handle = spawn_worker(move || worker_inner.run());
+        Arc::new(NetworkSim {
+            inner,
+            worker: Mutex::new(Some(handle)),
+        })
+    }
 
     /// Schedule a delivery after `delay`.
     pub(crate) fn schedule(&self, delay: Micros, deliver: Delivery) {
-        let mut st = self.state.lock();
+        let mut st = self.inner.state.lock();
         if st.stopped {
             return;
         }
@@ -163,23 +208,46 @@ impl NetworkSim {
             deliver,
         }));
         drop(st);
-        self.cond.notify_all();
+        self.inner.cond.notify_all();
     }
 
     /// Number of in-flight deliveries.
     #[must_use]
     pub fn in_flight(&self) -> usize {
-        self.state.lock().queue.len()
+        self.inner.state.lock().queue.len()
     }
 
     /// Stop the delivery thread; pending deliveries are dropped (the run is
-    /// over).
+    /// over), then the thread is joined. A delivery that was already popped
+    /// from the queue (i.e. running) completes before `stop()` returns.
+    /// Idempotent; concurrent callers all observe the joined guarantee.
     pub fn stop(&self) {
-        let mut st = self.state.lock();
-        st.stopped = true;
-        st.queue.clear();
-        drop(st);
-        self.cond.notify_all();
+        {
+            let mut st = self.inner.state.lock();
+            st.stopped = true;
+            st.queue.clear();
+        }
+        self.inner.cond.notify_all();
+        // Drain-then-join: take the handle under the worker lock so
+        // concurrent stop() callers serialize here and every caller returns
+        // only after the worker has exited.
+        let handle = self.worker.lock().take();
+        if let Some(h) = handle {
+            #[cfg(not(loom))]
+            if h.thread().id() == std::thread::current().id() {
+                // Called from a delivery closure on the worker itself; the
+                // stop flag is set, so the worker exits right after the
+                // closure returns. Joining here would deadlock.
+                return;
+            }
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetworkSim {
+    fn drop(&mut self) {
+        self.stop();
     }
 }
 
@@ -228,11 +296,14 @@ impl<T: ItemData> RemoteOutput<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::mpsc;
     use std::time::Duration;
+
+    const RECV_DEADLINE: Duration = Duration::from_secs(10);
 
     #[test]
     fn link_transfer_times() {
@@ -243,18 +314,35 @@ mod tests {
     }
 
     #[test]
+    fn sub_bandwidth_payloads_bill_at_least_one_microsecond() {
+        let l = LinkModel::default(); // 125 bytes/µs
+        assert_eq!(l.transfer(0), Micros(100)); // empty payload: latency only
+        assert_eq!(l.transfer(1), Micros(101)); // not free
+        assert_eq!(l.transfer(124), Micros(101)); // still under one µs of wire
+        assert_eq!(l.transfer(125), Micros(101)); // exactly one µs
+        assert_eq!(l.transfer(126), Micros(102)); // rounds up, not half-down
+    }
+
+    #[test]
     fn deliveries_happen_in_deadline_order() {
+        // All three are enqueued (µs) long before the earliest deadline (ms),
+        // so the heap alone dictates delivery order; the channel just tells
+        // us when all three have fired. No sleeps, no timing assumptions.
         let net = NetworkSim::start();
-        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
-        for (delay_ms, tag) in [(30u64, 3), (10, 1), (20, 2)] {
-            let order = Arc::clone(&order);
+        let (tx, rx) = mpsc::channel();
+        for (delay_ms, tag) in [(6u64, 3), (2, 1), (4, 2)] {
+            let tx = tx.clone();
             net.schedule(
                 Micros::from_millis(delay_ms),
-                Box::new(move || order.lock().push(tag)),
+                Box::new(move || {
+                    let _ = tx.send(tag);
+                }),
             );
         }
-        std::thread::sleep(Duration::from_millis(80));
-        assert_eq!(*order.lock(), vec![1, 2, 3]);
+        let order: Vec<i32> = (0..3)
+            .map(|_| rx.recv_timeout(RECV_DEADLINE).expect("delivery fired"))
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
         net.stop();
     }
 
@@ -270,25 +358,60 @@ mod tests {
             }),
         );
         assert_eq!(net.in_flight(), 1);
+        // stop() joins the worker, so after it returns the dropped delivery
+        // can never fire — no grace-period sleep needed.
         net.stop();
         assert_eq!(net.in_flight(), 0);
-        std::thread::sleep(Duration::from_millis(20));
         assert_eq!(hits.load(Ordering::Relaxed), 0);
     }
 
     #[test]
     fn immediate_delivery_with_zero_delay() {
         let net = NetworkSim::start();
-        let hits = Arc::new(AtomicU64::new(0));
-        let h = Arc::clone(&hits);
+        let (tx, rx) = mpsc::channel();
         net.schedule(
             Micros::ZERO,
             Box::new(move || {
-                h.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(());
             }),
         );
-        std::thread::sleep(Duration::from_millis(30));
-        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        rx.recv_timeout(RECV_DEADLINE)
+            .expect("zero-delay delivery fired");
         net.stop();
+    }
+
+    /// Regression test for the detached-thread shutdown race: the old
+    /// `stop()` flipped the flag and returned without joining, so a delivery
+    /// closure already popped from the queue could still be running (or
+    /// about to run) while the caller tore down the channels it referenced.
+    /// With drain-then-join this assertion is deterministic; against the old
+    /// code it fails because `stop()` returns while the closure is mid-sleep.
+    #[test]
+    fn stop_waits_for_in_flight_delivery() {
+        let net = NetworkSim::start();
+        let (started_tx, started_rx) = mpsc::channel();
+        let done = Arc::new(AtomicU64::new(0));
+        let d = Arc::clone(&done);
+        net.schedule(
+            Micros::ZERO,
+            Box::new(move || {
+                let _ = started_tx.send(());
+                std::thread::sleep(Duration::from_millis(50));
+                d.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        // Wait until the closure is definitely running (popped, lock
+        // released), then stop. stop() must not return before it finishes.
+        started_rx.recv_timeout(RECV_DEADLINE).expect("delivery started");
+        net.stop();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_drop_safe() {
+        let net = NetworkSim::start();
+        net.stop();
+        net.stop(); // second call finds no handle; must not hang or panic
+        drop(net); // Drop calls stop() again
     }
 }

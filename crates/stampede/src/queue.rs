@@ -17,7 +17,7 @@ use crate::task::TaskCtx;
 use aru_core::{AruConfig, AruController, NodeId, NodeKind};
 use aru_gc::ConsumerMarks;
 use aru_metrics::{ItemId, IterKey, LocalTrace, SharedTrace};
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use vtime::{Clock, Timestamp};

@@ -10,7 +10,7 @@ use aru_gc::{ConsumerMarks, DgcEngine, DgcResult, GcMode, IdealGc};
 use aru_metrics::{
     FaultReport, FootprintReport, Lineage, PerfReport, SharedTrace, Trace, TraceEvent, WasteReport,
 };
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 use std::any::Any;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};

@@ -1,6 +1,6 @@
 //! Cooperative shutdown signal with interruptible sleeping.
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::Duration;
 use vtime::Micros;
@@ -39,18 +39,23 @@ impl Shutdown {
 
     /// Sleep for `d`, waking early on shutdown. Returns `true` if shutdown
     /// was requested (before or during the sleep).
+    ///
+    /// Spurious condvar wakeups re-enter the wait for the remaining time
+    /// rather than cutting the pacing sleep short.
     pub fn sleep(&self, d: Micros) -> bool {
         if d.is_zero() {
             return self.is_set();
         }
+        let deadline = std::time::Instant::now() + Duration::from(d);
         let mut g = self.inner.flag.lock();
-        if *g {
-            return true;
+        while !*g {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.inner.cond.wait_for(&mut g, deadline - now);
         }
-        self.inner
-            .cond
-            .wait_for(&mut g, Duration::from(d));
-        *g
+        true
     }
 }
 

@@ -21,7 +21,7 @@ use crate::shutdown::Shutdown;
 use aru_core::{AruConfig, AruController, NodeId, NodeKind, Stp};
 use aru_gc::DgcResult;
 use aru_metrics::{IterKey, SharedTrace};
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 use std::sync::Arc;
 use vtime::{Clock, Micros, SimTime, Timestamp};
 

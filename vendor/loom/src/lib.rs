@@ -1,0 +1,566 @@
+//! Offline stand-in for the `loom` permutation-testing / model-checking
+//! crate.
+//!
+//! This workspace builds with no crates.io access, so — like the sibling
+//! `parking_lot`/`proptest` shims — the external crate is replaced by a
+//! self-contained implementation with the same API surface:
+//!
+//! * [`model`] runs a closure repeatedly under a **bounded exhaustive
+//!   scheduler**: only one modeled thread runs at a time, every visible
+//!   synchronization operation is a scheduling point, and the driver
+//!   explores every reachable interleaving (within the preemption bound)
+//!   depth-first. A panic, assertion failure, deadlock, or lost wakeup on
+//!   *any* explored schedule fails the test, with the offending choice
+//!   sequence printed.
+//! * [`sync`] provides `Mutex` / `Condvar` / `RwLock` / atomics with the
+//!   `std::sync` API, backed by the scheduler inside a model and falling
+//!   back to plain `std::sync` outside one.
+//! * [`thread`] provides `spawn` / `JoinHandle` / `yield_now`.
+//!
+//! Differences from the real loom (documented, deliberate):
+//!
+//! * Memory model is **sequential consistency only** — weak-memory
+//!   reorderings are not explored. Lock/condvar protocol bugs (lost
+//!   wakeups, deadlocks, ordering races) are fully visible at this level;
+//!   relaxed-atomic publication bugs are the ThreadSanitizer lane's job.
+//! * `RwLock` is modeled as an exclusive lock (readers serialize). This
+//!   explores a superset of writer interleavings and never hides a
+//!   deadlock that real shared-read execution could hit, because no code
+//!   path in this workspace blocks while holding a read guard.
+//! * Exceeding `LOOM_MAX_ITERATIONS` stops exploration with a warning
+//!   instead of failing: the schedules already checked still checked.
+//!
+//! Environment knobs: `LOOM_MAX_PREEMPTIONS` (default 2),
+//! `LOOM_MAX_ITERATIONS` (default 100 000).
+
+mod rt;
+
+pub use rt::model;
+
+pub mod thread {
+    //! Modeled threads (std fallback outside a model).
+
+    use crate::rt;
+    use std::sync::{Arc, Mutex as OsMutex};
+
+    enum Inner<T> {
+        Model {
+            tid: usize,
+            result: Arc<OsMutex<Option<T>>>,
+        },
+        Std(std::thread::JoinHandle<T>),
+    }
+
+    /// Handle to a spawned (possibly modeled) thread.
+    pub struct JoinHandle<T> {
+        inner: Inner<T>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish. A modeled thread that panicked
+        /// aborts the whole execution before `join` can observe it, so the
+        /// modeled arm always returns `Ok`.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.inner {
+                Inner::Model { tid, result } => {
+                    rt::with_current(|exec, me| exec.join_thread(me, tid));
+                    let v = result
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .take()
+                        .expect("joined thread left no result");
+                    Ok(v)
+                }
+                Inner::Std(h) => h.join(),
+            }
+        }
+    }
+
+    /// Spawn a thread. Inside a model the thread is scheduler-controlled;
+    /// outside one this is `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if rt::in_model() {
+            rt::yield_point();
+            let result: Arc<OsMutex<Option<T>>> = Arc::new(OsMutex::new(None));
+            let slot = Arc::clone(&result);
+            let tid = rt::with_current(|exec, _| {
+                exec.spawn_thread(move || {
+                    let v = f();
+                    *slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(v);
+                })
+            });
+            JoinHandle {
+                inner: Inner::Model { tid, result },
+            }
+        } else {
+            JoinHandle {
+                inner: Inner::Std(std::thread::spawn(f)),
+            }
+        }
+    }
+
+    /// A pure scheduling point (no-op outside a model).
+    pub fn yield_now() {
+        if rt::in_model() {
+            rt::yield_point();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+pub mod sync {
+    //! Scheduler-aware synchronization primitives, `std::sync`-shaped.
+
+    use crate::rt;
+    use std::cell::UnsafeCell;
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+    use std::time::Duration;
+
+    pub use std::sync::Arc;
+
+    // ---- Mutex -------------------------------------------------------------
+
+    enum MutexRepr<T> {
+        /// Registered with the current execution's scheduler.
+        Model { id: usize, data: UnsafeCell<T> },
+        /// Created outside a model: plain std.
+        Std(std::sync::Mutex<T>),
+    }
+
+    /// Mutex whose lock/unlock are scheduling points inside a model.
+    pub struct Mutex<T> {
+        repr: MutexRepr<T>,
+    }
+
+    // The Model arm hands out `&T`/`&mut T` from the UnsafeCell only while
+    // the scheduler has granted this thread exclusive ownership.
+    unsafe impl<T: Send> Send for Mutex<T> {}
+    unsafe impl<T: Send> Sync for Mutex<T> {}
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            let repr = match rt::try_with_current(|exec, _| exec.register_mutex()) {
+                Some(id) => MutexRepr::Model {
+                    id,
+                    data: UnsafeCell::new(value),
+                },
+                None => MutexRepr::Std(std::sync::Mutex::new(value)),
+            };
+            Mutex { repr }
+        }
+
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            match &self.repr {
+                MutexRepr::Model { id, .. } => {
+                    rt::yield_point();
+                    rt::with_current(|exec, me| exec.mutex_lock(me, *id));
+                    Ok(MutexGuard {
+                        inner: GuardRepr::Model { mx: self, id: *id },
+                    })
+                }
+                MutexRepr::Std(m) => Ok(MutexGuard {
+                    inner: GuardRepr::Std(m.lock().unwrap_or_else(PoisonError::into_inner)),
+                }),
+            }
+        }
+
+        pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+            match &self.repr {
+                MutexRepr::Model { id, .. } => {
+                    rt::yield_point();
+                    if rt::with_current(|exec, me| exec.mutex_try_lock(me, *id)) {
+                        Ok(MutexGuard {
+                            inner: GuardRepr::Model { mx: self, id: *id },
+                        })
+                    } else {
+                        Err(TryLockError::WouldBlock)
+                    }
+                }
+                MutexRepr::Std(m) => match m.try_lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        inner: GuardRepr::Std(g),
+                    }),
+                    Err(TryLockError::Poisoned(p)) => Ok(MutexGuard {
+                        inner: GuardRepr::Std(p.into_inner()),
+                    }),
+                    Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+                },
+            }
+        }
+
+        pub fn into_inner(self) -> LockResult<T> {
+            match self.repr {
+                MutexRepr::Model { data, .. } => Ok(data.into_inner()),
+                MutexRepr::Std(m) => Ok(m.into_inner().unwrap_or_else(PoisonError::into_inner)),
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("loom::sync::Mutex")
+        }
+    }
+
+    enum GuardRepr<'a, T> {
+        Model { mx: &'a Mutex<T>, id: usize },
+        Std(std::sync::MutexGuard<'a, T>),
+    }
+
+    /// Guard for [`Mutex`].
+    pub struct MutexGuard<'a, T> {
+        inner: GuardRepr<'a, T>,
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            match &self.inner {
+                GuardRepr::Model { mx, .. } => match &mx.repr {
+                    // Safety: the scheduler granted exclusive ownership.
+                    MutexRepr::Model { data, .. } => unsafe { &*data.get() },
+                    MutexRepr::Std(_) => unreachable!(),
+                },
+                GuardRepr::Std(g) => g,
+            }
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            match &mut self.inner {
+                GuardRepr::Model { mx, .. } => match &mx.repr {
+                    // Safety: the scheduler granted exclusive ownership.
+                    MutexRepr::Model { data, .. } => unsafe { &mut *data.get() },
+                    MutexRepr::Std(_) => unreachable!(),
+                },
+                GuardRepr::Std(g) => g,
+            }
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if let GuardRepr::Model { id, .. } = self.inner {
+                rt::with_current(|exec, me| exec.mutex_unlock(me, id));
+            }
+        }
+    }
+
+    // ---- Condvar -----------------------------------------------------------
+
+    /// Result of [`Condvar::wait_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct WaitTimeoutResult {
+        timed_out: bool,
+    }
+
+    impl WaitTimeoutResult {
+        #[must_use]
+        pub fn timed_out(&self) -> bool {
+            self.timed_out
+        }
+    }
+
+    enum CondvarRepr {
+        Model { id: usize },
+        Std(std::sync::Condvar),
+    }
+
+    /// Condvar whose wait/notify are scheduling points inside a model. A
+    /// modeled timed wait has no real clock: the scheduler may *choose* to
+    /// fire the timeout at any point (and must, when nothing else can run),
+    /// which explores both the notified and the timed-out path.
+    pub struct Condvar {
+        repr: CondvarRepr,
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Condvar {
+        pub fn new() -> Self {
+            let repr = match rt::try_with_current(|exec, _| exec.register_condvar()) {
+                Some(id) => CondvarRepr::Model { id },
+                None => CondvarRepr::Std(std::sync::Condvar::new()),
+            };
+            Condvar { repr }
+        }
+
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            match &self.repr {
+                CondvarRepr::Model { id } => {
+                    let (mx, mid) = match &guard.inner {
+                        GuardRepr::Model { mx, id } => (*mx, *id),
+                        GuardRepr::Std(_) => panic!("modeled Condvar waiting on a std Mutex"),
+                    };
+                    // The scheduler releases and reacquires the mutex; the
+                    // old guard must not run its unlocking Drop.
+                    std::mem::forget(guard);
+                    rt::yield_point();
+                    rt::with_current(|exec, me| exec.cond_wait(me, *id, mid, false));
+                    Ok(MutexGuard {
+                        inner: GuardRepr::Model { mx, id: mid },
+                    })
+                }
+                CondvarRepr::Std(cv) => {
+                    let g = guard
+                        .inner_into_std()
+                        .unwrap_or_else(|_| panic!("std Condvar waiting on a modeled Mutex"));
+                    let g = cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+                    Ok(MutexGuard {
+                        inner: GuardRepr::Std(g),
+                    })
+                }
+            }
+        }
+
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            match &self.repr {
+                CondvarRepr::Model { id } => {
+                    let (mx, mid) = match &guard.inner {
+                        GuardRepr::Model { mx, id } => (*mx, *id),
+                        GuardRepr::Std(_) => panic!("modeled Condvar waiting on a std Mutex"),
+                    };
+                    std::mem::forget(guard);
+                    rt::yield_point();
+                    let timed_out =
+                        rt::with_current(|exec, me| exec.cond_wait(me, *id, mid, true));
+                    Ok((
+                        MutexGuard {
+                            inner: GuardRepr::Model { mx, id: mid },
+                        },
+                        WaitTimeoutResult { timed_out },
+                    ))
+                }
+                CondvarRepr::Std(cv) => {
+                    let g = guard
+                        .inner_into_std()
+                        .unwrap_or_else(|_| panic!("std Condvar waiting on a modeled Mutex"));
+                    let (g, r) = match cv.wait_timeout(g, dur) {
+                        Ok((g, r)) => (g, r.timed_out()),
+                        Err(p) => {
+                            let (g, r) = p.into_inner();
+                            (g, r.timed_out())
+                        }
+                    };
+                    Ok((
+                        MutexGuard {
+                            inner: GuardRepr::Std(g),
+                        },
+                        WaitTimeoutResult { timed_out: r },
+                    ))
+                }
+            }
+        }
+
+        pub fn notify_one(&self) {
+            match &self.repr {
+                CondvarRepr::Model { id } => {
+                    rt::with_current(|exec, me| exec.cond_notify_one(me, *id));
+                }
+                CondvarRepr::Std(cv) => cv.notify_one(),
+            }
+        }
+
+        pub fn notify_all(&self) {
+            match &self.repr {
+                CondvarRepr::Model { id } => {
+                    rt::with_current(|exec, me| exec.cond_notify_all(me, *id));
+                }
+                CondvarRepr::Std(cv) => cv.notify_all(),
+            }
+        }
+    }
+
+    impl fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("loom::sync::Condvar")
+        }
+    }
+
+    impl<'a, T> MutexGuard<'a, T> {
+        /// Extract the std guard (Std repr only) without running Drop.
+        fn inner_into_std(self) -> Result<std::sync::MutexGuard<'a, T>, Self> {
+            // Model guards unlock in Drop, so only the Std arm can be
+            // dismantled; a Model guard is handed back untouched.
+            match self.inner {
+                GuardRepr::Std(_) => {
+                    let md = std::mem::ManuallyDrop::new(self);
+                    // Safety: `md` is never dropped, so the guard inside is
+                    // moved out exactly once.
+                    let inner = unsafe { std::ptr::read(&md.inner) };
+                    match inner {
+                        GuardRepr::Std(g) => Ok(g),
+                        GuardRepr::Model { .. } => unreachable!(),
+                    }
+                }
+                GuardRepr::Model { .. } => Err(self),
+            }
+        }
+    }
+
+    // ---- RwLock (modeled as exclusive — see crate docs) --------------------
+
+    /// Reader-writer lock. Inside a model both `read` and `write` take the
+    /// exclusive lock (see the crate docs for why that is sound here).
+    pub struct RwLock<T> {
+        inner: Mutex<T>,
+    }
+
+    /// Shared-read guard for [`RwLock`] (exclusive inside a model).
+    pub struct RwLockReadGuard<'a, T> {
+        inner: MutexGuard<'a, T>,
+    }
+
+    /// Exclusive-write guard for [`RwLock`].
+    pub struct RwLockWriteGuard<'a, T> {
+        inner: MutexGuard<'a, T>,
+    }
+
+    impl<T> RwLock<T> {
+        pub fn new(value: T) -> Self {
+            RwLock {
+                inner: Mutex::new(value),
+            }
+        }
+
+        pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+            Ok(RwLockReadGuard {
+                inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            })
+        }
+
+        pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+            Ok(RwLockWriteGuard {
+                inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            })
+        }
+
+        pub fn into_inner(self) -> LockResult<T> {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    pub mod atomic {
+        //! Atomics with a scheduling point before every access.
+        //!
+        //! Storage is a real `std` atomic accessed while exactly one modeled
+        //! thread runs, so values are always coherent; the scheduling point
+        //! is what lets the model checker interleave accesses from
+        //! different threads. All orderings execute as `SeqCst` (the
+        //! stand-in's memory model — see the crate docs).
+
+        use crate::rt;
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! modeled_atomic {
+            ($name:ident, $std:ty, $prim:ty) => {
+                /// Scheduler-aware atomic (std fallback outside a model).
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    pub const fn new(v: $prim) -> Self {
+                        Self {
+                            inner: <$std>::new(v),
+                        }
+                    }
+
+                    fn touch(&self) {
+                        if rt::in_model() {
+                            rt::yield_point();
+                        }
+                    }
+
+                    pub fn load(&self, _order: Ordering) -> $prim {
+                        self.touch();
+                        self.inner.load(Ordering::SeqCst)
+                    }
+
+                    pub fn store(&self, v: $prim, _order: Ordering) {
+                        self.touch();
+                        self.inner.store(v, Ordering::SeqCst)
+                    }
+
+                    pub fn swap(&self, v: $prim, _order: Ordering) -> $prim {
+                        self.touch();
+                        self.inner.swap(v, Ordering::SeqCst)
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $prim,
+                        new: $prim,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        self.touch();
+                        self.inner
+                            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        macro_rules! modeled_atomic_int {
+            ($name:ident, $std:ty, $prim:ty) => {
+                impl $name {
+                    pub fn fetch_add(&self, v: $prim, _order: Ordering) -> $prim {
+                        self.touch();
+                        self.inner.fetch_add(v, Ordering::SeqCst)
+                    }
+
+                    pub fn fetch_sub(&self, v: $prim, _order: Ordering) -> $prim {
+                        self.touch();
+                        self.inner.fetch_sub(v, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        modeled_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        modeled_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+        modeled_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        modeled_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        modeled_atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+        modeled_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        modeled_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    }
+}

@@ -1,0 +1,564 @@
+//! The bounded exhaustive scheduler behind [`crate::model`].
+//!
+//! One *execution* runs the model closure with every modeled thread mapped
+//! onto a real OS thread, but only one thread is ever allowed to run: each
+//! visible operation (mutex acquire/release, condvar wait/notify, atomic
+//! access, spawn/join) first passes through a *scheduling point* where the
+//! scheduler picks which thread runs next. Every such pick — and every
+//! `notify_one` victim pick — is a recorded **choice point**; the driver
+//! re-runs the closure, depth-first, until every reachable combination of
+//! choices (under the preemption bound) has been explored.
+//!
+//! Soundness model: sequential consistency only. Atomics are executed on
+//! real `SeqCst` std atomics while a single thread runs, so weak-memory
+//! reorderings are *not* explored (the real loom models them; this
+//! stand-in trades that for zero dependencies). Lost wakeups, lock-order
+//! deadlocks, ordering races and non-atomic protocol bugs are all visible
+//! at this level, which is what the runtime's condvar protocols need.
+//!
+//! Bounding:
+//! * `LOOM_MAX_PREEMPTIONS` (default 2) — an execution may switch away
+//!   from a thread that could have continued (or fire a condvar timeout)
+//!   at most this many times. Exhaustive within the bound; empirically
+//!   almost all protocol bugs need ≤2 preemptions.
+//! * `LOOM_MAX_ITERATIONS` (default 100 000) — cap on explored schedules.
+//!   Exceeding it stops exploration with a warning rather than failing:
+//!   the test still checked that many schedules.
+//! * `MAX_STEPS` — per-execution step cap; hitting it means the schedule
+//!   livelocked (e.g. a timeout-retry spin) and fails the model.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex};
+
+/// Marker payload used to unwind modeled threads when an execution aborts
+/// (another thread panicked or a deadlock was detected).
+struct AbortExecution;
+
+const MAX_STEPS: usize = 1_000_000;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Choice {
+    chosen: usize,
+    options: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Run {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Waiting to acquire a mutex (re-checks on wake: barging allowed).
+    BlockedMutex(usize),
+    /// Waiting on a condvar; `timeoutable` waits may be woken by the
+    /// scheduler "firing the timeout" (spending one preemption credit).
+    BlockedCond { timeoutable: bool },
+    /// Waiting for another modeled thread to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Default)]
+struct MutexState {
+    held_by: Option<usize>,
+    waiters: Vec<usize>,
+}
+
+#[derive(Default)]
+struct CondvarState {
+    waiters: VecDeque<usize>,
+}
+
+struct SchedState {
+    threads: Vec<Run>,
+    /// `true` when the thread was woken from a `BlockedCond { timeoutable }`
+    /// wait by the scheduler firing the timeout rather than by a notify.
+    wake_timed_out: Vec<bool>,
+    active: usize,
+    preemptions_left: usize,
+    steps: usize,
+    mutexes: Vec<MutexState>,
+    condvars: Vec<CondvarState>,
+    /// DFS replay/record state for this execution.
+    path: Vec<Choice>,
+    depth: usize,
+    /// First panic payload from a modeled thread (aborts the execution).
+    panic: Option<Box<dyn Any + Send>>,
+    aborting: bool,
+    os_running: usize,
+    /// OS handles of every modeled thread, joined by the driver.
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Execution {
+    sched: OsMutex<SchedState>,
+    cv: OsCondvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> (Arc<Execution>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom primitive used on a thread outside the model")
+    })
+}
+
+/// Is the calling thread a modeled thread of an active execution?
+pub(crate) fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+impl Execution {
+    fn new(max_preemptions: usize, path: Vec<Choice>) -> Arc<Execution> {
+        Arc::new(Execution {
+            sched: OsMutex::new(SchedState {
+                threads: Vec::new(),
+                wake_timed_out: Vec::new(),
+                active: 0,
+                preemptions_left: max_preemptions,
+                steps: 0,
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                path,
+                depth: 0,
+                panic: None,
+                aborting: false,
+                os_running: 0,
+                os_handles: Vec::new(),
+            }),
+            cv: OsCondvar::new(),
+        })
+    }
+
+    /// Record or replay one choice among `options` alternatives.
+    fn choose(st: &mut SchedState, options: usize) -> usize {
+        debug_assert!(options > 0);
+        if st.depth < st.path.len() {
+            let c = st.path[st.depth];
+            assert_eq!(
+                c.options, options,
+                "non-deterministic model: replay diverged at choice {}",
+                st.depth
+            );
+            st.depth += 1;
+            c.chosen
+        } else {
+            st.path.push(Choice { chosen: 0, options });
+            st.depth += 1;
+            0
+        }
+    }
+
+    /// Pick the next active thread. Called with the scheduler lock held by
+    /// the thread that just finished a visible operation (or blocked).
+    fn pick_next(&self, st: &mut SchedState, me: usize) {
+        st.steps += 1;
+        assert!(
+            st.steps < MAX_STEPS,
+            "loom: execution exceeded {MAX_STEPS} steps — livelock in the model"
+        );
+        let runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t] == Run::Runnable)
+            .collect();
+        let timeoutable: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| matches!(st.threads[t], Run::BlockedCond { timeoutable: true }))
+            .collect();
+
+        if runnable.is_empty() {
+            if !timeoutable.is_empty() {
+                // Every thread is blocked but a timed wait exists: the
+                // timeout is *forced* (real time would deliver it). Take
+                // the lowest id — no branching, so timeout-retry loops
+                // cannot blow up the schedule space.
+                let t = timeoutable[0];
+                self.fire_timeout(st, t);
+                st.active = t;
+                self.cv.notify_all();
+                return;
+            }
+            if st.threads.iter().all(|&t| t == Run::Finished) {
+                self.cv.notify_all();
+                return; // execution complete
+            }
+            let dump: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| format!("thread {i}: {t:?}"))
+                .collect();
+            st.panic = Some(Box::new(format!(
+                "loom: DEADLOCK — every thread is blocked and no timeout can fire\n{}",
+                dump.join("\n")
+            )));
+            st.aborting = true;
+            self.cv.notify_all();
+            return;
+        }
+
+        let i_am_runnable = st.threads.get(me) == Some(&Run::Runnable);
+        if i_am_runnable && st.preemptions_left == 0 {
+            // Out of preemption budget: keep running the current thread.
+            st.active = me;
+            return;
+        }
+        // Options: every runnable thread, plus (budget permitting) firing
+        // the timeout of any timed condvar wait.
+        let mut options = runnable.clone();
+        let n_runnable = options.len();
+        if st.preemptions_left > 0 {
+            options.extend(&timeoutable);
+        }
+        let idx = Self::choose(st, options.len());
+        let next = options[idx];
+        if idx >= n_runnable {
+            // Timeout fire: inherently a "spurious" switch — spend budget.
+            self.fire_timeout(st, next);
+            st.preemptions_left -= 1;
+        } else if i_am_runnable && next != me {
+            st.preemptions_left -= 1;
+        }
+        st.active = next;
+        if next != me {
+            self.cv.notify_all();
+        }
+    }
+
+    fn fire_timeout(&self, st: &mut SchedState, t: usize) {
+        st.threads[t] = Run::Runnable;
+        st.wake_timed_out[t] = true;
+        for cv in &mut st.condvars {
+            cv.waiters.retain(|&w| w != t);
+        }
+    }
+
+    /// Block the calling OS thread until this modeled thread is scheduled.
+    /// Must be called with the scheduler lock held; returns with it held.
+    fn wait_my_turn<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, SchedState>,
+        me: usize,
+    ) -> std::sync::MutexGuard<'a, SchedState> {
+        loop {
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(AbortExecution);
+            }
+            if st.active == me && st.threads[me] == Run::Runnable {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// One scheduling point: give the scheduler the chance to run another
+    /// thread before the caller's next visible operation.
+    pub(crate) fn sched_point(self: &Arc<Self>, me: usize) {
+        let mut st = self.sched.lock().unwrap_or_else(|p| p.into_inner());
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(AbortExecution);
+        }
+        self.pick_next(&mut st, me);
+        let _st = self.wait_my_turn(st, me);
+    }
+
+    // ---- objects -----------------------------------------------------------
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.sched.lock().unwrap_or_else(|p| p.into_inner());
+        st.mutexes.push(MutexState::default());
+        st.mutexes.len() - 1
+    }
+
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut st = self.sched.lock().unwrap_or_else(|p| p.into_inner());
+        st.condvars.push(CondvarState::default());
+        st.condvars.len() - 1
+    }
+
+    // ---- mutex -------------------------------------------------------------
+
+    /// Acquire (the scheduling point already happened). Blocks — i.e.
+    /// schedules away — while the mutex is held by another thread.
+    pub(crate) fn mutex_lock(self: &Arc<Self>, me: usize, mid: usize) {
+        let mut st = self.sched.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(AbortExecution);
+            }
+            if st.mutexes[mid].held_by.is_none() {
+                st.mutexes[mid].held_by = Some(me);
+                return;
+            }
+            assert_ne!(
+                st.mutexes[mid].held_by,
+                Some(me),
+                "loom: thread {me} re-locked a mutex it already holds"
+            );
+            st.threads[me] = Run::BlockedMutex(mid);
+            st.mutexes[mid].waiters.push(me);
+            self.pick_next(&mut st, me);
+            st = self.wait_my_turn(st, me);
+            // Woken because the holder released; retry (another waiter may
+            // have barged in first — both orders are explored).
+        }
+    }
+
+    /// Non-blocking acquire attempt (the scheduling point already
+    /// happened). Returns whether the mutex was taken.
+    pub(crate) fn mutex_try_lock(self: &Arc<Self>, me: usize, mid: usize) -> bool {
+        let mut st = self.sched.lock().unwrap_or_else(|p| p.into_inner());
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(AbortExecution);
+        }
+        if st.mutexes[mid].held_by.is_none() {
+            st.mutexes[mid].held_by = Some(me);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn mutex_unlock(self: &Arc<Self>, me: usize, mid: usize) {
+        let mut st = self.sched.lock().unwrap_or_else(|p| p.into_inner());
+        debug_assert_eq!(st.mutexes[mid].held_by, Some(me));
+        st.mutexes[mid].held_by = None;
+        // Wake every waiter; the scheduler explores acquisition orders.
+        let waiters = std::mem::take(&mut st.mutexes[mid].waiters);
+        for w in waiters {
+            if st.threads[w] == Run::BlockedMutex(mid) {
+                st.threads[w] = Run::Runnable;
+            }
+        }
+        if st.aborting || std::thread::panicking() {
+            // Unwinding guard drop: release without scheduling (a scheduling
+            // panic here would double-panic and abort the process).
+            return;
+        }
+        self.pick_next(&mut st, me);
+        drop(self.wait_my_turn(st, me));
+    }
+
+    // ---- condvar -----------------------------------------------------------
+
+    /// Atomically release `mid` and wait on `cvid`. Returns `true` when the
+    /// wake was a (modeled) timeout rather than a notify. Reacquires `mid`
+    /// before returning.
+    pub(crate) fn cond_wait(
+        self: &Arc<Self>,
+        me: usize,
+        cvid: usize,
+        mid: usize,
+        timeoutable: bool,
+    ) -> bool {
+        let mut st = self.sched.lock().unwrap_or_else(|p| p.into_inner());
+        // Release the mutex (wake its waiters)…
+        debug_assert_eq!(st.mutexes[mid].held_by, Some(me));
+        st.mutexes[mid].held_by = None;
+        let waiters = std::mem::take(&mut st.mutexes[mid].waiters);
+        for w in waiters {
+            if st.threads[w] == Run::BlockedMutex(mid) {
+                st.threads[w] = Run::Runnable;
+            }
+        }
+        // …and wait on the condvar in the same atomic step.
+        st.threads[me] = Run::BlockedCond { timeoutable };
+        st.wake_timed_out[me] = false;
+        st.condvars[cvid].waiters.push_back(me);
+        self.pick_next(&mut st, me);
+        st = self.wait_my_turn(st, me);
+        let timed_out = st.wake_timed_out[me];
+        st.wake_timed_out[me] = false;
+        drop(st);
+        // Reacquire the mutex (may block again; both orders explored).
+        self.mutex_lock(me, mid);
+        timed_out
+    }
+
+    pub(crate) fn cond_notify_one(self: &Arc<Self>, me: usize, cvid: usize) {
+        let mut st = self.sched.lock().unwrap_or_else(|p| p.into_inner());
+        if !st.condvars[cvid].waiters.is_empty() {
+            // Which waiter wakes is a real nondeterminism: explore it.
+            let n_waiters = st.condvars[cvid].waiters.len();
+            let idx = Self::choose(&mut st, n_waiters);
+            let w = st.condvars[cvid].waiters.remove(idx).expect("index valid");
+            st.threads[w] = Run::Runnable;
+        }
+        self.pick_next(&mut st, me);
+        drop(self.wait_my_turn(st, me));
+    }
+
+    pub(crate) fn cond_notify_all(self: &Arc<Self>, me: usize, cvid: usize) {
+        let mut st = self.sched.lock().unwrap_or_else(|p| p.into_inner());
+        while let Some(w) = st.condvars[cvid].waiters.pop_front() {
+            st.threads[w] = Run::Runnable;
+        }
+        self.pick_next(&mut st, me);
+        drop(self.wait_my_turn(st, me));
+    }
+
+    // ---- threads -----------------------------------------------------------
+
+    /// Register a new modeled thread and start its OS thread. The new
+    /// thread runs only when scheduled.
+    pub(crate) fn spawn_thread(
+        self: &Arc<Self>,
+        f: impl FnOnce() + Send + 'static,
+    ) -> usize {
+        let mut st = self.sched.lock().unwrap_or_else(|p| p.into_inner());
+        st.threads.push(Run::Runnable);
+        st.wake_timed_out.push(false);
+        st.os_running += 1;
+        let tid = st.threads.len() - 1;
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("loom-{tid}"))
+            .spawn(move || exec.thread_main(tid, f))
+            .expect("spawn loom thread");
+        st.os_handles.push(handle);
+        drop(st);
+        tid
+    }
+
+    fn thread_main(self: Arc<Self>, me: usize, f: impl FnOnce()) {
+        CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&self), me)));
+        {
+            let st = self.sched.lock().unwrap_or_else(|p| p.into_inner());
+            drop(self.wait_my_turn(st, me));
+        }
+        let result = catch_unwind(AssertUnwindSafe(f));
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        let mut st = self.sched.lock().unwrap_or_else(|p| p.into_inner());
+        st.threads[me] = Run::Finished;
+        st.os_running -= 1;
+        if let Err(payload) = result {
+            if !payload.is::<AbortExecution>() && st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+            st.aborting = true;
+            self.cv.notify_all();
+            return;
+        }
+        // Joiners of this thread become runnable.
+        for t in 0..st.threads.len() {
+            if st.threads[t] == Run::BlockedJoin(me) {
+                st.threads[t] = Run::Runnable;
+            }
+        }
+        if !st.aborting {
+            self.pick_next(&mut st, me);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Block until modeled thread `target` finishes.
+    pub(crate) fn join_thread(self: &Arc<Self>, me: usize, target: usize) {
+        let mut st = self.sched.lock().unwrap_or_else(|p| p.into_inner());
+        if st.threads[target] != Run::Finished {
+            st.threads[me] = Run::BlockedJoin(target);
+            self.pick_next(&mut st, me);
+            st = self.wait_my_turn(st, me);
+        }
+        debug_assert_eq!(st.threads[target], Run::Finished);
+    }
+}
+
+// ---- public entry points used by the sync/thread facades -------------------
+
+/// Scheduling point before a visible operation on the calling thread.
+pub(crate) fn yield_point() {
+    let (exec, me) = current();
+    exec.sched_point(me);
+}
+
+pub(crate) fn with_current<R>(f: impl FnOnce(&Arc<Execution>, usize) -> R) -> R {
+    let (exec, me) = current();
+    f(&exec, me)
+}
+
+pub(crate) fn try_with_current<R>(f: impl FnOnce(&Arc<Execution>, usize) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow().clone()).map(|(exec, me)| f(&exec, me))
+}
+
+/// Run `f` under the bounded exhaustive scheduler until every schedule
+/// (within the preemption bound) has been explored.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 100_000);
+    let f = Arc::new(f);
+    let mut path: Vec<Choice> = Vec::new();
+    let mut iterations: usize = 0;
+    loop {
+        iterations += 1;
+        let exec = Execution::new(max_preemptions, std::mem::take(&mut path));
+        let body = Arc::clone(&f);
+        exec.spawn_thread(move || body());
+        // Drive: wait for every OS thread to exit, then join them.
+        let (panic, mut explored_path) = {
+            let mut st = exec.sched.lock().unwrap_or_else(|p| p.into_inner());
+            while st.os_running > 0 {
+                st = exec.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+            let handles = std::mem::take(&mut st.os_handles);
+            let panic = st.panic.take();
+            let p = std::mem::take(&mut st.path);
+            drop(st);
+            for h in handles {
+                let _ = h.join();
+            }
+            (panic, p)
+        };
+        if let Some(payload) = panic {
+            eprintln!(
+                "loom: model failed on schedule {iterations} \
+                 (choices: {:?})",
+                explored_path
+                    .iter()
+                    .map(|c| (c.chosen, c.options))
+                    .collect::<Vec<_>>()
+            );
+            resume_unwind(payload);
+        }
+        // Depth-first advance to the next unexplored schedule.
+        loop {
+            match explored_path.last_mut() {
+                None => {
+                    // Every schedule explored.
+                    return;
+                }
+                Some(c) if c.chosen + 1 < c.options => {
+                    c.chosen += 1;
+                    break;
+                }
+                Some(_) => {
+                    explored_path.pop();
+                }
+            }
+        }
+        path = explored_path;
+        if iterations >= max_iterations {
+            eprintln!(
+                "loom: stopping after {iterations} schedules \
+                 (LOOM_MAX_ITERATIONS) — exploration incomplete"
+            );
+            return;
+        }
+    }
+}
