@@ -4,3 +4,10 @@
 //! `ablation_filters`, `ablation_pacing`, and `micro_overhead`). Each
 //! figure bench first regenerates its artifact and asserts the paper-shape
 //! invariants, then measures the code that produces it.
+//!
+//! [`json`] is the shared machine-readable output writer for bench
+//! binaries; it is std-only so workspace binaries can `#[path]`-include it
+//! without depending on this (workspace-excluded, criterion-carrying)
+//! crate.
+
+pub mod json;

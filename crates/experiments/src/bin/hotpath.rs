@@ -1,36 +1,70 @@
-//! `hotpath` — tracing hot-path overhead bench, machine-readable.
+//! `hotpath` — put/get hot-path overhead bench, machine-readable.
 //!
-//! Measures the per-operation cost of trace recording under concurrent
-//! tasks, comparing the pre-sharding recorder (`CoarseTrace`: one global
-//! `Mutex<Vec>`) against the sharded `SharedTrace` the runtime uses, plus
-//! the one-time snapshot (k-way merge) cost. Three workloads mirror what
-//! the channel hot path records:
+//! Two families of workloads:
+//!
+//! **Trace layer** (regression guard for the sharded recorder): per-op cost
+//! of trace recording under concurrent tasks, comparing the pre-sharding
+//! recorder (`CoarseTrace`: one global `Mutex<Vec>`) against the sharded
+//! `SharedTrace` the runtime uses, plus the one-time snapshot (k-way merge)
+//! cost.
 //!
 //! * `put_path`  — one `alloc` per op (what `Channel::put` records)
 //! * `get_path`  — one `get` per op (what a channel get records)
 //! * `mixed`     — alloc + get + free per op (a full item lifetime)
 //!
+//! **Batch layer** (the amortized fast path): full channel/queue operations,
+//! comparing a per-item loop against the batched equivalent.
+//!
+//! * `put_batch` — `Channel::put` loop vs `Channel::put_batch` (one lock /
+//!   clock read / trace append / wakeup per batch; ring-store appends)
+//! * `get_batch` — `Queue::get` loop vs `Queue::get_batch` (drain)
+//! * `fanout`    — frame to 3 channels: 3 puts with deep clones vs
+//!   `FanOut::put` (one `Arc`, one clock read)
+//!
 //! ```text
 //! hotpath [--threads N] [--ops N] [--reps N] [--out FILE]
+//!         [--baseline FILE] [--max-regress F]
 //! ```
 //!
-//! Each (implementation, workload) cell is measured `--reps` times and the
-//! minimum duration is reported — the best-observed cost, which filters
-//! scheduler interference on shared/single-core runners.
+//! Each cell is measured `--reps` times and the minimum duration is
+//! reported — the best-observed cost, which filters scheduler interference
+//! on shared/single-core runners.
 //!
 //! Writes `BENCH_hotpath.json` (default) with the measured ns/op and a set
 //! of **shape checks** — event counts identical across implementations,
-//! snapshot time-ordered, no item ids lost or duplicated. The checks are
-//! what CI asserts; the timings are recorded for trend tracking but never
-//! gated on (wall-clock thresholds are flaky in shared runners). Exits
-//! non-zero iff a shape check fails.
+//! batch results identical to the single-op loop (counts, occupancy,
+//! ordering), snapshot time-ordered, no item ids lost or duplicated. The
+//! checks are what CI asserts; timings are recorded for trend tracking and
+//! only gated when `--baseline` is given: each workload's ns/op must then
+//! be within `--max-regress` (default 0.35 = +35%) of the baseline file.
+//! Exits non-zero iff a check fails.
+
+#[path = "../../../bench/src/json.rs"]
+mod json;
 
 use aru_core::graph::NodeId;
+use aru_core::{AruConfig, Stp};
+use aru_gc::GcMode;
 use aru_metrics::{CoarseTrace, ItemId, IterKey, SharedTrace, Trace, TraceEvent};
+use json::{find_number_after, pretty, Fixed, JsonArr, JsonObj};
+use stampede::{bench_api, Channel, FanOut, Queue};
 use std::path::PathBuf;
-use std::sync::Barrier;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
-use vtime::{SimTime, Timestamp};
+use vtime::{Clock, Micros, SimTime, Timestamp, WallClock};
+
+/// Items per batched call in the batch workloads.
+const BATCH: usize = 64;
+/// Payload bytes for put_batch/get_batch items.
+const ITEM_BYTES: usize = 64;
+/// Payload bytes for fan-out frames (clone elimination is the point, so
+/// use a frame-sized payload).
+const FRAME_BYTES: usize = 16 * 1024;
+/// Fan-out timestamps cycle through this window so the (consumer-less)
+/// bench channels hold a bounded working set; a put at an existing
+/// timestamp replaces the item on both sides of the comparison.
+const FANOUT_WINDOW: u64 = 256;
 
 #[derive(Clone, Copy)]
 enum Kind {
@@ -81,6 +115,26 @@ fn time_threads(threads: usize, f: impl Fn(usize) + Sync) -> Duration {
     let start = spans.iter().map(|s| s.0).min().expect("at least one thread");
     let end = spans.iter().map(|s| s.1).max().expect("at least one thread");
     end - start
+}
+
+/// Like [`time_threads`], but each worker returns its own accumulated
+/// duration (letting it exclude untimed setup between rounds) and the
+/// slowest thread's total is reported — the same "slowest participant
+/// dominates" semantics as the wall span.
+fn time_threads_accum(threads: usize, f: impl Fn(usize) -> Duration + Sync) -> Duration {
+    let barrier = Barrier::new(threads);
+    let accs: Vec<_> = (0..threads).map(|_| std::sync::Mutex::new(Duration::ZERO)).collect();
+    std::thread::scope(|s| {
+        for (k, acc) in accs.iter().enumerate() {
+            let f = &f;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                *acc.lock().unwrap() = f(k);
+            });
+        }
+    });
+    accs.iter().map(|m| *m.lock().unwrap()).max().expect("at least one thread")
 }
 
 fn drive_sharded(tr: &SharedTrace, thread: usize, ops: u64, kind: Kind) {
@@ -136,6 +190,20 @@ impl WorkloadRow {
     }
 }
 
+struct BatchRow {
+    name: &'static str,
+    singles_ns_per_op: f64,
+    batched_ns_per_op: f64,
+    /// Per-thread op count (items for put/get, frames for fanout).
+    ops: u64,
+}
+
+impl BatchRow {
+    fn speedup(&self) -> f64 {
+        self.singles_ns_per_op / self.batched_ns_per_op
+    }
+}
+
 struct Check {
     name: String,
     passed: bool,
@@ -146,11 +214,442 @@ fn is_time_sorted(tr: &Trace) -> bool {
     tr.events().windows(2).all(|w| w[0].time() <= w[1].time())
 }
 
+fn alloc_count(tr: &Trace) -> usize {
+    tr.events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Alloc { .. }))
+        .count()
+}
+
+fn unique_alloc_ids(tr: &Trace) -> (usize, usize) {
+    let mut ids: Vec<u64> = tr
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Alloc { item, .. } => Some(item.0),
+            _ => None,
+        })
+        .collect();
+    let n = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    (ids.len(), n)
+}
+
+fn aru_min() -> AruConfig {
+    AruConfig::aru_min()
+}
+
+fn bench_channels(
+    threads: usize,
+    trace: &SharedTrace,
+    clock: &Arc<dyn Clock>,
+    per_thread: usize,
+) -> Vec<Arc<Channel<Vec<u8>>>> {
+    (0..threads * per_thread)
+        .map(|i| {
+            bench_api::channel::<Vec<u8>>(
+                NodeId(1000 + i as u32),
+                "bench-ch",
+                &aru_min(),
+                GcMode::Ref,
+                None,
+                Arc::clone(clock),
+                trace.clone(),
+                1,
+            )
+        })
+        .collect()
+}
+
+/// `put_batch`: per-item `Channel::put` loop vs `Channel::put_batch`.
+/// Payloads are pre-built outside the timed region on both sides so the
+/// comparison isolates the channel-op cost (lock, clock, trace, insert,
+/// wakeup) the batch path amortizes.
+fn bench_put_batch(threads: usize, ops: u64, reps: usize, checks: &mut Vec<Check>) -> BatchRow {
+    let total_ops = threads as u64 * ops;
+    let mut d_singles = Duration::MAX;
+    let mut d_batched = Duration::MAX;
+    let mut final_state = None;
+    for _ in 0..reps {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+
+        let singles_trace = SharedTrace::new();
+        let chans = bench_channels(threads, &singles_trace, &clock, 1);
+        let vals: Vec<std::sync::Mutex<Vec<Vec<u8>>>> = (0..threads)
+            .map(|_| std::sync::Mutex::new((0..ops).map(|_| vec![0u8; ITEM_BYTES]).collect()))
+            .collect();
+        d_singles = d_singles.min(time_threads(threads, |k| {
+            let ch = &chans[k];
+            let p = IterKey::new(NodeId(k as u32), 0);
+            let vals = std::mem::take(&mut *vals[k].lock().unwrap());
+            for (j, v) in vals.into_iter().enumerate() {
+                ch.put(Timestamp(j as u64), v, p).unwrap();
+            }
+        }));
+
+        let batched_trace = SharedTrace::new();
+        let bchans = bench_channels(threads, &batched_trace, &clock, 1);
+        let bvals: Vec<std::sync::Mutex<Vec<Vec<u8>>>> = (0..threads)
+            .map(|_| std::sync::Mutex::new((0..ops).map(|_| vec![0u8; ITEM_BYTES]).collect()))
+            .collect();
+        d_batched = d_batched.min(time_threads(threads, |k| {
+            let ch = &bchans[k];
+            let p = IterKey::new(NodeId(k as u32), 0);
+            let vals = std::mem::take(&mut *bvals[k].lock().unwrap());
+            let mut it = vals.into_iter();
+            let mut j = 0u64;
+            loop {
+                let batch: Vec<(Timestamp, Vec<u8>)> = it
+                    .by_ref()
+                    .take(BATCH)
+                    .enumerate()
+                    .map(|(i, v)| (Timestamp(j + i as u64), v))
+                    .collect();
+                if batch.is_empty() {
+                    break;
+                }
+                j += batch.len() as u64;
+                ch.put_batch(p, batch).unwrap();
+            }
+        }));
+        final_state = Some((singles_trace, chans, batched_trace, bchans));
+    }
+
+    let (singles_trace, chans, batched_trace, bchans) = final_state.expect("reps >= 1");
+    for ch in chans.iter().chain(bchans.iter()) {
+        bench_api::flush_channel_trace(ch);
+    }
+    let s_snap = singles_trace.snapshot();
+    let b_snap = batched_trace.snapshot();
+    checks.push(Check {
+        name: "put_batch: alloc events identical to single-put loop".into(),
+        passed: alloc_count(&s_snap) as u64 == total_ops && alloc_count(&b_snap) as u64 == total_ops,
+        detail: format!(
+            "singles {} / batched {} / expected {}",
+            alloc_count(&s_snap),
+            alloc_count(&b_snap),
+            total_ops
+        ),
+    });
+    let (uniq, n) = unique_alloc_ids(&b_snap);
+    checks.push(Check {
+        name: "put_batch: no item id lost or duplicated".into(),
+        passed: uniq == n && uniq as u64 == total_ops,
+        detail: format!("{uniq} unique of {total_ops} expected"),
+    });
+    let occ_equal = chans
+        .iter()
+        .zip(&bchans)
+        .all(|(a, b)| a.len() == b.len() && a.live_bytes() == b.live_bytes());
+    checks.push(Check {
+        name: "put_batch: channel occupancy identical to single-put loop".into(),
+        passed: occ_equal && chans.iter().all(|c| c.len() as u64 == ops),
+        detail: format!(
+            "singles len {:?} / batched len {:?}",
+            chans.iter().map(|c| c.len()).collect::<Vec<_>>(),
+            bchans.iter().map(|c| c.len()).collect::<Vec<_>>()
+        ),
+    });
+    let spill_free = bchans.iter().all(|c| c.store_depths().1 == 0);
+    checks.push(Check {
+        name: "put_batch: dense in-order stream stays in the ring store".into(),
+        passed: spill_free,
+        detail: format!(
+            "(ring, spill) {:?}",
+            bchans.iter().map(|c| c.store_depths()).collect::<Vec<_>>()
+        ),
+    });
+
+    BatchRow {
+        name: "put_batch",
+        singles_ns_per_op: d_singles.as_nanos() as f64 / total_ops as f64,
+        batched_ns_per_op: d_batched.as_nanos() as f64 / total_ops as f64,
+        ops,
+    }
+}
+
+/// `get_batch`: per-item `Queue::get` loop vs drain-style
+/// `Queue::get_batch` (one consumer per queue, warm summary so every get
+/// exercises the feedback deposit). Steady-state measurement: the queue
+/// is refilled in cache-resident rounds and only the drains are timed, so
+/// the number is the dequeue-op cost, not memory streaming over a
+/// many-megabyte backlog.
+fn bench_get_batch(threads: usize, ops: u64, reps: usize, checks: &mut Vec<Check>) -> BatchRow {
+    /// Items per refill round (~a few hundred kB of queue + payloads).
+    const ROUND: u64 = 4096;
+    let ops = ops.max(ROUND);
+    let total_ops = threads as u64 * ops;
+    let mut d_singles = Duration::MAX;
+    let mut d_batched = Duration::MAX;
+    let mut final_state = None;
+    let order_violations = AtomicUsize::new(0);
+
+    let make_queues = |trace: &SharedTrace, clock: &Arc<dyn Clock>| -> Vec<Arc<Queue<Vec<u8>>>> {
+        (0..threads)
+            .map(|k| {
+                bench_api::queue::<Vec<u8>>(
+                    NodeId(2000 + k as u32),
+                    "bench-q",
+                    &aru_min(),
+                    Arc::clone(clock),
+                    trace.clone(),
+                    1,
+                )
+            })
+            .collect()
+    };
+    let refill = |q: &Queue<Vec<u8>>, k: usize, base: u64, n: u64| {
+        let p = IterKey::new(NodeId(k as u32), 0);
+        let mut j = 0u64;
+        while j < n {
+            let take = 512.min(n - j) as usize;
+            q.put_batch(
+                p,
+                (0..take).map(|i| (Timestamp(base + j + i as u64), vec![0u8; ITEM_BYTES])),
+            )
+            .unwrap();
+            j += take as u64;
+        }
+    };
+    let make_ctx = |k: usize, trace: &SharedTrace, clock: &Arc<dyn Clock>| {
+        let mut ctx = bench_api::task_ctx(
+            NodeId(3000 + k as u32),
+            "bench-getter",
+            1,
+            false,
+            &aru_min(),
+            Arc::clone(clock),
+            trace.clone(),
+        );
+        // Give the consumer a summary-STP to piggyback and an op timeout,
+        // as a supervised mid-pipeline task would have.
+        bench_api::warm_summary(&mut ctx, Stp(Micros(1_000)));
+        bench_api::set_op_timeout(&mut ctx, Micros(30_000_000));
+        ctx
+    };
+
+    for _ in 0..reps {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+
+        let singles_trace = SharedTrace::new();
+        let queues = make_queues(&singles_trace, &clock);
+        d_singles = d_singles.min(time_threads_accum(threads, |k| {
+            let q = &queues[k];
+            let mut ctx = make_ctx(k, &singles_trace, &clock);
+            let mut last = None;
+            let mut acc = Duration::ZERO;
+            let mut done = 0u64;
+            while done < ops {
+                let n = ROUND.min(ops - done);
+                refill(q, k, done, n);
+                let t0 = Instant::now();
+                for _ in 0..n {
+                    let item = q.get(0, &mut ctx).unwrap();
+                    if last.is_some_and(|l| item.ts <= l) {
+                        order_violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    last = Some(item.ts);
+                }
+                acc += t0.elapsed();
+                done += n;
+            }
+            acc
+        }));
+
+        let batched_trace = SharedTrace::new();
+        let bqueues = make_queues(&batched_trace, &clock);
+        d_batched = d_batched.min(time_threads_accum(threads, |k| {
+            let q = &bqueues[k];
+            let mut ctx = make_ctx(k, &batched_trace, &clock);
+            let mut last = None;
+            let mut acc = Duration::ZERO;
+            let mut done = 0u64;
+            while done < ops {
+                let n = ROUND.min(ops - done);
+                refill(q, k, done, n);
+                let t0 = Instant::now();
+                let mut taken = 0u64;
+                while taken < n {
+                    let batch = q.get_batch(0, &mut ctx, BATCH).unwrap();
+                    for item in &batch {
+                        if last.is_some_and(|l| item.ts <= l) {
+                            order_violations.fetch_add(1, Ordering::Relaxed);
+                        }
+                        last = Some(item.ts);
+                    }
+                    taken += batch.len() as u64;
+                }
+                acc += t0.elapsed();
+                assert_eq!(taken, n, "drained more than enqueued");
+                done += n;
+            }
+            acc
+        }));
+        final_state = Some((singles_trace, queues, batched_trace, bqueues));
+    }
+
+    let (singles_trace, queues, batched_trace, bqueues) = final_state.expect("reps >= 1");
+    for q in queues.iter().chain(bqueues.iter()) {
+        bench_api::flush_queue_trace(q);
+    }
+    let s_snap = singles_trace.snapshot();
+    let b_snap = batched_trace.snapshot();
+    checks.push(Check {
+        name: "get_batch: queues fully drained on both sides".into(),
+        passed: queues.iter().all(|q| q.is_empty()) && bqueues.iter().all(|q| q.is_empty()),
+        detail: format!(
+            "singles left {:?} / batched left {:?}",
+            queues.iter().map(|q| q.len()).collect::<Vec<_>>(),
+            bqueues.iter().map(|q| q.len()).collect::<Vec<_>>()
+        ),
+    });
+    // alloc + get + free per item on both sides.
+    let expected_events = total_ops * 3;
+    checks.push(Check {
+        name: "get_batch: event counts identical to single-get loop".into(),
+        passed: s_snap.len() as u64 == expected_events && b_snap.len() as u64 == expected_events,
+        detail: format!(
+            "singles {} / batched {} / expected {}",
+            s_snap.len(),
+            b_snap.len(),
+            expected_events
+        ),
+    });
+    checks.push(Check {
+        name: "get_batch: FIFO timestamp order preserved".into(),
+        passed: order_violations.load(Ordering::Relaxed) == 0,
+        detail: format!("{} violations", order_violations.load(Ordering::Relaxed)),
+    });
+
+    BatchRow {
+        name: "get_batch",
+        singles_ns_per_op: d_singles.as_nanos() as f64 / total_ops as f64,
+        batched_ns_per_op: d_batched.as_nanos() as f64 / total_ops as f64,
+        ops,
+    }
+}
+
+/// `fanout`: one frame to 3 channels — a loop of 3 puts with deep clones
+/// vs `FanOut::put` (one `Arc`, one clock read). Timestamps cycle through
+/// a fixed window so the consumer-less channels hold a bounded working
+/// set; a put at an existing timestamp replaces the item on both sides.
+fn bench_fanout(threads: usize, ops: u64, reps: usize, checks: &mut Vec<Check>) -> BatchRow {
+    const WIDTH: usize = 3;
+    let total_frames = threads as u64 * ops;
+    let mut d_singles = Duration::MAX;
+    let mut d_batched = Duration::MAX;
+    let mut final_state = None;
+
+    for _ in 0..reps {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+
+        let singles_trace = SharedTrace::new();
+        let chans = bench_channels(threads, &singles_trace, &clock, WIDTH);
+        d_singles = d_singles.min(time_threads(threads, |k| {
+            let outs: Vec<_> = (0..WIDTH)
+                .map(|i| bench_api::output(&chans[k * WIDTH + i], i))
+                .collect();
+            let mut ctx = bench_api::task_ctx(
+                NodeId(4000 + k as u32),
+                "bench-fan",
+                WIDTH,
+                true,
+                &aru_min(),
+                Arc::clone(&clock),
+                singles_trace.clone(),
+            );
+            for j in 0..ops {
+                let ts = Timestamp(j % FANOUT_WINDOW);
+                let frame = vec![0u8; FRAME_BYTES];
+                outs[0].put(&mut ctx, ts, frame.clone()).unwrap();
+                outs[1].put(&mut ctx, ts, frame.clone()).unwrap();
+                outs[2].put(&mut ctx, ts, frame).unwrap();
+            }
+        }));
+
+        let batched_trace = SharedTrace::new();
+        let bchans = bench_channels(threads, &batched_trace, &clock, WIDTH);
+        d_batched = d_batched.min(time_threads(threads, |k| {
+            let fan = FanOut::new(
+                (0..WIDTH)
+                    .map(|i| bench_api::output(&bchans[k * WIDTH + i], i))
+                    .collect(),
+            );
+            let mut ctx = bench_api::task_ctx(
+                NodeId(5000 + k as u32),
+                "bench-fan",
+                WIDTH,
+                true,
+                &aru_min(),
+                Arc::clone(&clock),
+                batched_trace.clone(),
+            );
+            for j in 0..ops {
+                let frame = vec![0u8; FRAME_BYTES];
+                fan.put(&mut ctx, Timestamp(j % FANOUT_WINDOW), frame).unwrap();
+            }
+        }));
+        final_state = Some((singles_trace, chans, batched_trace, bchans));
+    }
+
+    let (singles_trace, chans, batched_trace, bchans) = final_state.expect("reps >= 1");
+    for ch in chans.iter().chain(bchans.iter()) {
+        bench_api::flush_channel_trace(ch);
+    }
+    let s_snap = singles_trace.snapshot();
+    let b_snap = batched_trace.snapshot();
+    let expected_allocs = total_frames * WIDTH as u64;
+    checks.push(Check {
+        name: "fanout: alloc events identical to per-channel put loop".into(),
+        passed: alloc_count(&s_snap) as u64 == expected_allocs
+            && alloc_count(&b_snap) as u64 == expected_allocs,
+        detail: format!(
+            "singles {} / batched {} / expected {}",
+            alloc_count(&s_snap),
+            alloc_count(&b_snap),
+            expected_allocs
+        ),
+    });
+    let expected_len = ops.min(FANOUT_WINDOW) as usize;
+    let occ_ok = chans
+        .iter()
+        .zip(&bchans)
+        .all(|(a, b)| a.len() == expected_len && b.len() == expected_len);
+    checks.push(Check {
+        name: "fanout: every channel holds the window, no frame lost".into(),
+        passed: occ_ok,
+        detail: format!(
+            "expected {} / singles {:?} / batched {:?}",
+            expected_len,
+            chans.iter().map(|c| c.len()).collect::<Vec<_>>(),
+            bchans.iter().map(|c| c.len()).collect::<Vec<_>>()
+        ),
+    });
+    checks.push(Check {
+        name: "fanout: cycling window stays in the ring store".into(),
+        passed: bchans.iter().all(|c| c.store_depths().1 == 0),
+        detail: format!(
+            "(ring, spill) {:?}",
+            bchans.iter().map(|c| c.store_depths()).collect::<Vec<_>>()
+        ),
+    });
+
+    BatchRow {
+        name: "fanout",
+        singles_ns_per_op: d_singles.as_nanos() as f64 / total_frames as f64,
+        batched_ns_per_op: d_batched.as_nanos() as f64 / total_frames as f64,
+        ops,
+    }
+}
+
 fn main() {
     let mut threads = 4usize;
     let mut ops = 200_000u64;
     let mut reps = 3usize;
     let mut out = PathBuf::from("BENCH_hotpath.json");
+    let mut baseline: Option<PathBuf> = None;
+    let mut max_regress = 0.35f64;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -158,8 +657,15 @@ fn main() {
             "--ops" => ops = it.next().expect("--ops N").parse().expect("numeric"),
             "--reps" => reps = it.next().expect("--reps N").parse().expect("numeric"),
             "--out" => out = PathBuf::from(it.next().expect("--out FILE")),
+            "--baseline" => baseline = Some(PathBuf::from(it.next().expect("--baseline FILE"))),
+            "--max-regress" => {
+                max_regress = it.next().expect("--max-regress F").parse().expect("numeric");
+            }
             "--help" | "-h" => {
-                println!("hotpath [--threads N] [--ops N] [--reps N] [--out FILE]");
+                println!(
+                    "hotpath [--threads N] [--ops N] [--reps N] [--out FILE] \
+                     [--baseline FILE] [--max-regress F]"
+                );
                 return;
             }
             other => {
@@ -240,26 +746,53 @@ fn main() {
             detail: format!("{} events", sharded_trace.len()),
         });
         if matches!(kind, Kind::PutPath) {
-            let mut ids: Vec<u64> = sharded_trace
-                .events()
-                .iter()
-                .filter_map(|e| match e {
-                    TraceEvent::Alloc { item, .. } => Some(item.0),
-                    _ => None,
-                })
-                .collect();
-            ids.sort_unstable();
-            let n_before = ids.len();
-            ids.dedup();
+            let (uniq, n) = unique_alloc_ids(&sharded_trace);
             checks.push(Check {
                 name: "put_path: no item id lost or duplicated across shards".into(),
-                passed: ids.len() == n_before && ids.len() as u64 == total_ops,
-                detail: format!("{} unique of {} expected", ids.len(), total_ops),
+                passed: uniq == n && uniq as u64 == total_ops,
+                detail: format!("{uniq} unique of {total_ops} expected"),
             });
             sharded_snapshot = Some((sharded_trace, sharded_snap));
             coarse_snapshot_ms = coarse_snap.as_secs_f64() * 1e3;
         }
         rows.push(row);
+    }
+
+    // Batch-layer workloads: full channel/queue ops, per-item loop vs the
+    // amortized batch path. Fan-out frames are heavyweight, so run fewer.
+    let batch_rows = vec![
+        bench_put_batch(threads, ops, reps, &mut checks),
+        bench_get_batch(threads, ops, reps, &mut checks),
+        bench_fanout(threads, (ops / 8).max(1), reps, &mut checks),
+    ];
+
+    // Baseline regression gate (CI): every workload's ns/op must be within
+    // (1 + max_regress) of the committed baseline. Workloads missing from
+    // the baseline are skipped, so the gate survives adding workloads.
+    if let Some(bl) = &baseline {
+        let doc = std::fs::read_to_string(bl)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", bl.display()));
+        let mut gates: Vec<(&str, &str, f64)> = Vec::new();
+        for r in &rows {
+            gates.push((r.name, "sharded_ns_per_op", r.sharded_ns_per_op));
+        }
+        for r in &batch_rows {
+            gates.push((r.name, "batched_ns_per_op", r.batched_ns_per_op));
+        }
+        for (name, key, new_val) in gates {
+            let anchor = format!("\"{name}\"");
+            match find_number_after(&doc, Some(&anchor), key) {
+                Some(old) if old > 0.0 => {
+                    let ratio = new_val / old;
+                    checks.push(Check {
+                        name: format!("{name}: {key} within +{:.0}% of baseline", max_regress * 100.0),
+                        passed: ratio <= 1.0 + max_regress,
+                        detail: format!("baseline {old:.2} / now {new_val:.2} / ratio {ratio:.2}"),
+                    });
+                }
+                _ => println!("baseline has no {name}/{key}; skipping gate"),
+            }
+        }
     }
 
     // Human-readable summary.
@@ -274,6 +807,19 @@ fn main() {
             r.name,
             r.coarse_ns_per_op,
             r.sharded_ns_per_op,
+            r.speedup()
+        );
+    }
+    println!(
+        "{:<10} {:>14} {:>14} {:>9}",
+        "batch", "singles ns/op", "batched ns/op", "speedup"
+    );
+    for r in &batch_rows {
+        println!(
+            "{:<10} {:>14.1} {:>14.1} {:>8.2}x",
+            r.name,
+            r.singles_ns_per_op,
+            r.batched_ns_per_op,
             r.speedup()
         );
     }
@@ -293,48 +839,67 @@ fn main() {
         );
     }
 
-    // Machine-readable JSON (hand-rolled: no JSON crate in the container).
-    let mut json = String::from("{\n");
-    json.push_str("  \"bench\": \"hotpath\",\n");
-    json.push_str(&format!("  \"threads\": {threads},\n"));
-    json.push_str(&format!("  \"ops_per_thread\": {ops},\n"));
-    json.push_str("  \"workloads\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"coarse_ns_per_op\": {:.2}, \
-             \"sharded_ns_per_op\": {:.2}, \"speedup\": {:.3}, \
-             \"coarse_events\": {}, \"sharded_events\": {}, \
-             \"expected_events\": {}}}{}\n",
-            r.name,
-            r.coarse_ns_per_op,
-            r.sharded_ns_per_op,
-            r.speedup(),
-            r.coarse_events,
-            r.sharded_events,
-            r.expected_events,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"snapshot\": {{\"sharded_merge_ms\": {:.3}, \"coarse_sort_ms\": {:.3}, \
-         \"events\": {}}},\n",
-        snap_dur.as_secs_f64() * 1e3,
-        coarse_snapshot_ms,
-        snap_trace.len()
-    ));
-    json.push_str("  \"checks\": [\n");
-    for (i, c) in checks.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"passed\": {}, \"detail\": \"{}\"}}{}\n",
-            c.name,
-            c.passed,
-            c.detail,
-            if i + 1 < checks.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&out, json).expect("write bench json");
+    // Machine-readable JSON via the shared escaped writer.
+    let workloads = rows
+        .iter()
+        .fold(JsonArr::new(), |arr, r| {
+            arr.item(
+                JsonObj::new()
+                    .field("name", r.name)
+                    .field("coarse_ns_per_op", Fixed(r.coarse_ns_per_op, 2))
+                    .field("sharded_ns_per_op", Fixed(r.sharded_ns_per_op, 2))
+                    .field("speedup", Fixed(r.speedup(), 3))
+                    .field("coarse_events", r.coarse_events)
+                    .field("sharded_events", r.sharded_events)
+                    .field("expected_events", r.expected_events)
+                    .raw(),
+            )
+        })
+        .raw();
+    let batch_workloads = batch_rows
+        .iter()
+        .fold(JsonArr::new(), |arr, r| {
+            arr.item(
+                JsonObj::new()
+                    .field("name", r.name)
+                    .field("singles_ns_per_op", Fixed(r.singles_ns_per_op, 2))
+                    .field("batched_ns_per_op", Fixed(r.batched_ns_per_op, 2))
+                    .field("speedup", Fixed(r.speedup(), 3))
+                    .field("items_per_batch", BATCH)
+                    .field("ops_per_thread", r.ops)
+                    .raw(),
+            )
+        })
+        .raw();
+    let check_arr = checks
+        .iter()
+        .fold(JsonArr::new(), |arr, c| {
+            arr.item(
+                JsonObj::new()
+                    .field("name", c.name.as_str())
+                    .field("passed", c.passed)
+                    .field("detail", c.detail.as_str())
+                    .raw(),
+            )
+        })
+        .raw();
+    let doc = JsonObj::new()
+        .field("bench", "hotpath")
+        .field("threads", threads)
+        .field("ops_per_thread", ops)
+        .field("workloads", workloads)
+        .field("batch_workloads", batch_workloads)
+        .field(
+            "snapshot",
+            JsonObj::new()
+                .field("sharded_merge_ms", Fixed(snap_dur.as_secs_f64() * 1e3, 3))
+                .field("coarse_sort_ms", Fixed(coarse_snapshot_ms, 3))
+                .field("events", snap_trace.len())
+                .raw(),
+        )
+        .field("checks", check_arr)
+        .finish();
+    std::fs::write(&out, pretty(&doc)).expect("write bench json");
     println!("bench json written to {}", out.display());
 
     let failed = checks.iter().filter(|c| !c.passed).count();

@@ -571,13 +571,7 @@ impl LocalTrace {
         bytes: u64,
         producer: IterKey,
     ) -> ItemId {
-        if self.id_next == self.id_end {
-            let start = self.core.next_item.fetch_add(ID_BLOCK, Ordering::Relaxed);
-            self.id_next = start;
-            self.id_end = start + ID_BLOCK;
-        }
-        let item = ItemId(self.id_next);
-        self.id_next += 1;
+        let item = self.next_id();
         self.push(TraceEvent::Alloc {
             t,
             item,
@@ -599,6 +593,100 @@ impl LocalTrace {
 
     pub fn op_timeout(&mut self, t: SimTime, node: NodeId) {
         self.push(TraceEvent::OpTimeout { t, node });
+    }
+
+    /// Next item id; identical assignment to [`alloc`](Self::alloc) —
+    /// batch and single ops interleave without id gaps or reuse.
+    fn next_id(&mut self) -> ItemId {
+        if self.id_next == self.id_end {
+            let start = self.core.next_item.fetch_add(ID_BLOCK, Ordering::Relaxed);
+            self.id_next = start;
+            self.id_end = start + ID_BLOCK;
+        }
+        let item = ItemId(self.id_next);
+        self.id_next += 1;
+        item
+    }
+
+    /// Flush check hoisted out of the per-event loop for batch appends.
+    /// The buffer may overshoot `SHARD_CHUNK` by one batch; chunk size is
+    /// a flush cadence, not a correctness bound.
+    fn maybe_flush(&mut self) {
+        if self.buf.len() >= SHARD_CHUNK {
+            self.flush();
+        }
+    }
+
+    /// Batch `alloc`: record one `Alloc` event per `(ts, bytes)` spec with
+    /// a single flush check at the end. Ids are assigned exactly as a loop
+    /// of [`alloc`](Self::alloc) calls would assign them; each is handed to
+    /// `with_id` in order.
+    pub fn put_n(
+        &mut self,
+        t: SimTime,
+        buffer: NodeId,
+        producer: IterKey,
+        specs: impl IntoIterator<Item = (Timestamp, u64)>,
+        mut with_id: impl FnMut(ItemId),
+    ) {
+        let specs = specs.into_iter();
+        self.buf.reserve(specs.size_hint().0);
+        for (ts, bytes) in specs {
+            let item = self.next_id();
+            self.buf.push(TraceEvent::Alloc {
+                t,
+                item,
+                buffer,
+                ts,
+                bytes,
+                producer,
+            });
+            with_id(item);
+        }
+        self.maybe_flush();
+    }
+
+    /// Batch `get`: one `Get` event per item, one flush check.
+    pub fn get_n(
+        &mut self,
+        t: SimTime,
+        consumer: IterKey,
+        items: impl IntoIterator<Item = ItemId>,
+    ) {
+        let items = items.into_iter();
+        self.buf.reserve(items.size_hint().0);
+        for item in items {
+            self.buf.push(TraceEvent::Get { t, item, consumer });
+        }
+        self.maybe_flush();
+    }
+
+    /// Batched destructive consume: `Get` then `Free` per item in one
+    /// append pass — the exact event order a loop of single `get`/`free`
+    /// pairs records, with one flush check for the whole batch.
+    pub fn get_free_n(
+        &mut self,
+        t: SimTime,
+        consumer: IterKey,
+        items: impl IntoIterator<Item = ItemId>,
+    ) {
+        let items = items.into_iter();
+        self.buf.reserve(items.size_hint().0.saturating_mul(2));
+        for item in items {
+            self.buf.push(TraceEvent::Get { t, item, consumer });
+            self.buf.push(TraceEvent::Free { t, item });
+        }
+        self.maybe_flush();
+    }
+
+    /// Batch `free`: one `Free` event per item, one flush check.
+    pub fn free_n(&mut self, t: SimTime, items: impl IntoIterator<Item = ItemId>) {
+        let items = items.into_iter();
+        self.buf.reserve(items.size_hint().0);
+        for item in items {
+            self.buf.push(TraceEvent::Free { t, item });
+        }
+        self.maybe_flush();
     }
 }
 
@@ -923,5 +1011,75 @@ mod tests {
         ids.dedup();
         assert_eq!(n_allocs, n_threads * per);
         assert_eq!(ids.len() as u64, n_allocs, "duplicated item id");
+    }
+
+    #[test]
+    fn put_n_matches_alloc_loop() {
+        // Same events, same ids, whether appended one-by-one or as a
+        // batch — including across an id-block refill boundary.
+        let n = ID_BLOCK + 5;
+        let p = IterKey::new(NodeId(0), 0);
+        let singles = SharedTrace::new();
+        let mut s = singles.local();
+        let mut ids_s = Vec::new();
+        for j in 0..n {
+            ids_s.push(s.alloc(SimTime(7), NodeId(1), Timestamp(j), j + 1, p));
+        }
+        drop(s);
+        let batched = SharedTrace::new();
+        let mut b = batched.local();
+        let mut ids_b = Vec::new();
+        b.put_n(
+            SimTime(7),
+            NodeId(1),
+            p,
+            (0..n).map(|j| (Timestamp(j), j + 1)),
+            |id| ids_b.push(id),
+        );
+        drop(b);
+        assert_eq!(ids_s, ids_b);
+        assert_eq!(singles.snapshot().events(), batched.snapshot().events());
+    }
+
+    #[test]
+    fn get_n_and_free_n_match_loops_and_flush_on_chunk() {
+        let tr = SharedTrace::new();
+        let mut local = tr.local();
+        let p = IterKey::new(NodeId(2), 1);
+        let n = SHARD_CHUNK as u64 + 3;
+        local.get_n(SimTime(1), p, (0..n).map(ItemId));
+        // Batch crossed the chunk threshold: one flush happened at the end.
+        assert_eq!(tr.snapshot().len(), n as usize);
+        local.free_n(SimTime(2), (0..5).map(ItemId));
+        local.flush();
+        let snap = tr.snapshot();
+        let loop_shared = SharedTrace::new();
+        let mut loop_tr = loop_shared.local();
+        for j in 0..n {
+            loop_tr.get(SimTime(1), ItemId(j), p);
+        }
+        for j in 0..5 {
+            loop_tr.free(SimTime(2), ItemId(j));
+        }
+        drop(loop_tr);
+        assert_eq!(snap.events(), loop_shared.snapshot().events());
+    }
+
+    #[test]
+    fn get_free_n_matches_interleaved_loop() {
+        let tr = SharedTrace::new();
+        let mut local = tr.local();
+        let p = IterKey::new(NodeId(2), 1);
+        local.get_free_n(SimTime(4), p, (0..9).map(ItemId));
+        local.flush();
+
+        let loop_shared = SharedTrace::new();
+        let mut loop_tr = loop_shared.local();
+        for j in 0..9 {
+            loop_tr.get(SimTime(4), ItemId(j), p);
+            loop_tr.free(SimTime(4), ItemId(j));
+        }
+        drop(loop_tr);
+        assert_eq!(tr.snapshot().events(), loop_shared.snapshot().events());
     }
 }

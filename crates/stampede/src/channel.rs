@@ -31,15 +31,15 @@
 
 use crate::error::StampedeError;
 use crate::item::{ItemData, StampedItem};
+use crate::store::{ItemStore, Stored};
 use crate::task::TaskCtx;
 use aru_core::{AruConfig, AruController, NodeKind, Stp};
 use aru_gc::{ref_dead_before, ConsumerMarks, GcMode};
 use aru_metrics::{ItemId, IterKey, LocalTrace, SharedTrace};
 use crate::sync::{Condvar, Mutex, MutexGuard};
-use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use vtime::{Clock, Timestamp};
+use vtime::{Clock, SimTime, Timestamp};
 
 /// Wall-clock deadline for one blocking buffer operation, from the task's
 /// configured op timeout (`None` = block forever).
@@ -47,14 +47,8 @@ pub(crate) fn op_deadline(ctx: &TaskCtx) -> Option<Instant> {
     ctx.op_timeout().map(|d| Instant::now() + Duration::from(d))
 }
 
-struct Stored<T> {
-    value: Arc<T>,
-    id: ItemId,
-    bytes: u64,
-}
-
 struct ChannelState<T> {
-    items: BTreeMap<Timestamp, Stored<T>>,
+    items: ItemStore<T>,
     /// Buffered trace writer. Living inside the state mutex, it is written
     /// with `&mut` access on every op the channel already serializes —
     /// recording an event is a plain `Vec::push`, no second lock.
@@ -109,7 +103,7 @@ impl<T: ItemData> Channel<T> {
             gc_mode,
             clock,
             state: Mutex::new(ChannelState {
-                items: BTreeMap::new(),
+                items: ItemStore::new(),
                 trace: trace.local(),
                 marks: ConsumerMarks::new(0),
                 aru: AruController::new(NodeKind::Channel, 0, false, config),
@@ -140,6 +134,12 @@ impl<T: ItemData> Channel<T> {
         self.node
     }
 
+    /// One reading of the channel's clock (the fan-out path shares it
+    /// across every channel in the bundle).
+    pub(crate) fn clock_now(&self) -> SimTime {
+        self.clock.now()
+    }
+
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
@@ -160,32 +160,249 @@ impl<T: ItemData> Channel<T> {
         value: T,
         producer: IterKey,
     ) -> Result<Option<Stp>, StampedeError> {
+        let bytes = value.size_bytes();
+        let value = Arc::new(value);
         let now = self.clock.now();
         let mut st = self.state.lock();
         if st.closed {
             return Err(StampedeError::Closed);
         }
-        let bytes = value.size_bytes();
-        let id = st.trace.alloc(now, self.node, ts, bytes, producer);
-        if let Some(old) = st.items.insert(
-            ts,
-            Stored {
-                value: Arc::new(value),
-                id,
-                bytes,
-            },
-        ) {
-            st.live_bytes -= old.bytes;
-            st.trace.free(now, old.id);
-        }
-        st.live_bytes += bytes;
-        self.reclaim_if_below_floor(&mut st, ts, now);
+        self.insert_stored_locked(&mut st, now, producer, ts, value, bytes);
         // Cached compression: a field read, recomputed only on feedback.
         let summary = st.aru.summary();
         drop(st);
         // New data helps consumers only — a put never opens capacity.
         self.cons.notify_all();
         Ok(summary)
+    }
+
+    /// Record the alloc, insert (freeing any displaced item at the same
+    /// timestamp), and apply the dead-on-arrival check. Shared by every
+    /// put path; caller holds the state lock.
+    fn insert_stored_locked(
+        &self,
+        st: &mut ChannelState<T>,
+        now: SimTime,
+        producer: IterKey,
+        ts: Timestamp,
+        value: Arc<T>,
+        bytes: u64,
+    ) {
+        let id = st.trace.alloc(now, self.node, ts, bytes, producer);
+        if let Some(old) = st.items.insert(ts, Stored { value, id, bytes }) {
+            st.live_bytes -= old.bytes;
+            st.trace.free(now, old.id);
+        }
+        st.live_bytes += bytes;
+        self.reclaim_if_below_floor(st, ts, now);
+    }
+
+    /// Batch insert under one lock hold: one clock read, one batched trace
+    /// append, one wakeup. Caller holds the lock and has checked capacity.
+    fn insert_batch_locked(
+        &self,
+        st: &mut ChannelState<T>,
+        now: SimTime,
+        producer: IterKey,
+        prepared: Vec<(Timestamp, Arc<T>, u64)>,
+    ) {
+        // Ids first (batched append, identical assignment to a put loop),
+        // then the inserts under a split borrow of the state.
+        let mut ids = Vec::with_capacity(prepared.len());
+        st.trace.put_n(
+            now,
+            self.node,
+            producer,
+            prepared.iter().map(|&(ts, _, bytes)| (ts, bytes)),
+            |id| ids.push(id),
+        );
+        let reclaims = self.gc_mode.reclaims();
+        let purged_before = st.purged_before;
+        let ChannelState {
+            items,
+            trace,
+            live_bytes,
+            ..
+        } = &mut *st;
+        for ((ts, value, bytes), id) in prepared.into_iter().zip(ids) {
+            if let Some(old) = items.insert(ts, Stored { value, id, bytes }) {
+                *live_bytes -= old.bytes;
+                trace.free(now, old.id);
+            }
+            *live_bytes += bytes;
+            if reclaims && ts < purged_before {
+                if let Some(stored) = items.remove(ts) {
+                    *live_bytes -= stored.bytes;
+                    trace.free(now, stored.id);
+                }
+            }
+        }
+    }
+
+    /// Batch insert. The whole batch becomes visible atomically — the
+    /// state lock is taken once, the clock read once, the trace appended
+    /// once, and consumers woken once. Returns the channel's summary-STP
+    /// (the same single backward hop a lone [`Channel::put`] performs), or
+    /// `Ok(None)` without any side effect for an empty batch.
+    ///
+    /// Ignores any capacity bound, like [`Channel::put`]; task code goes
+    /// through [`Output::put_batch`].
+    pub fn put_batch(
+        &self,
+        producer: IterKey,
+        batch: impl IntoIterator<Item = (Timestamp, T)>,
+    ) -> Result<Option<Stp>, StampedeError> {
+        let prepared = Self::prepare_batch(batch);
+        if prepared.is_empty() {
+            return Ok(None);
+        }
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(StampedeError::Closed);
+        }
+        self.insert_batch_locked(&mut st, now, producer, prepared);
+        let summary = st.aru.summary();
+        drop(st);
+        self.cons.notify_all();
+        Ok(summary)
+    }
+
+    /// Size and box the payloads outside the lock — the lock hold of a
+    /// batch put covers only bookkeeping, never allocation of user data.
+    fn prepare_batch(
+        batch: impl IntoIterator<Item = (Timestamp, T)>,
+    ) -> Vec<(Timestamp, Arc<T>, u64)> {
+        batch
+            .into_iter()
+            .map(|(ts, value)| {
+                let bytes = value.size_bytes();
+                (ts, Arc::new(value), bytes)
+            })
+            .collect()
+    }
+
+    /// Capacity-aware batch insert (backpressure-compatible sibling of
+    /// [`Channel::put_batch`]).
+    ///
+    /// Fast path: when the channel is unbounded or the whole batch fits,
+    /// the batch is inserted atomically under one lock hold. Slow path
+    /// (bounded channel without room): items are inserted one at a time,
+    /// waiting for capacity between items — earlier items of the batch are
+    /// visible to consumers while later ones wait, exactly as a loop of
+    /// single puts would behave. A close during the slow path returns
+    /// `Err(Closed)` with the already-inserted prefix retained (again
+    /// matching the equivalent put loop).
+    pub fn put_batch_blocking(
+        &self,
+        ctx: &mut TaskCtx,
+        batch: impl IntoIterator<Item = (Timestamp, T)>,
+    ) -> Result<Option<Stp>, StampedeError> {
+        let prepared = Self::prepare_batch(batch);
+        if prepared.is_empty() {
+            return Ok(None);
+        }
+        let deadline = op_deadline(ctx);
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(StampedeError::Closed);
+        }
+        let fits = match st.capacity {
+            None => true,
+            // Conservative: counts replacements as new items.
+            Some(cap) => st.items.len() + prepared.len() <= cap,
+        };
+        if fits {
+            self.insert_batch_locked(&mut st, now, ctx.iter_key(), prepared);
+            let summary = st.aru.summary();
+            drop(st);
+            self.cons.notify_all();
+            return Ok(summary);
+        }
+        // Slow path: per-item progress across capacity waits.
+        let producer = ctx.iter_key();
+        let mut blocked = false;
+        for (ts, value, bytes) in prepared {
+            loop {
+                if st.closed {
+                    if blocked {
+                        ctx.block_end(self.clock.now());
+                    }
+                    return Err(StampedeError::Closed);
+                }
+                let full = st
+                    .capacity
+                    .is_some_and(|cap| st.items.len() >= cap && !st.items.contains(ts));
+                if !full {
+                    if blocked {
+                        blocked = false;
+                        ctx.block_end(self.clock.now());
+                    }
+                    let now = self.clock.now();
+                    self.insert_stored_locked(&mut st, now, producer, ts, value, bytes);
+                    self.cons.notify_all();
+                    break;
+                }
+                if !blocked {
+                    blocked = true;
+                    ctx.block_begin(self.clock.now());
+                }
+                if self.wait_step(&self.prod, &mut st, deadline) {
+                    return Err(self.timed_out(&mut st, ctx, blocked));
+                }
+            }
+        }
+        let summary = st.aru.summary();
+        Ok(summary)
+    }
+
+    /// Insert an already-shared payload (the fan-out path: N channels share
+    /// one `Arc` instead of deep-cloning the frame N times). `now` is the
+    /// fan-out's single clock read; if this channel makes the producer wait
+    /// for capacity the clock is re-read after the wait so trace times stay
+    /// monotone within the channel's event stream.
+    pub(crate) fn put_arc_blocking(
+        &self,
+        ctx: &mut TaskCtx,
+        now: SimTime,
+        ts: Timestamp,
+        value: Arc<T>,
+        bytes: u64,
+    ) -> Result<Option<Stp>, StampedeError> {
+        let deadline = op_deadline(ctx);
+        let mut st = self.state.lock();
+        let mut blocked = false;
+        let mut now = now;
+        loop {
+            if st.closed {
+                if blocked {
+                    ctx.block_end(self.clock.now());
+                }
+                return Err(StampedeError::Closed);
+            }
+            let full = st
+                .capacity
+                .is_some_and(|cap| st.items.len() >= cap && !st.items.contains(ts));
+            if !full {
+                if blocked {
+                    ctx.block_end(self.clock.now());
+                    now = self.clock.now();
+                }
+                self.insert_stored_locked(&mut st, now, ctx.iter_key(), ts, value, bytes);
+                let summary = st.aru.summary();
+                drop(st);
+                self.cons.notify_all();
+                return Ok(summary);
+            }
+            if !blocked {
+                blocked = true;
+                ctx.block_begin(self.clock.now());
+            }
+            if self.wait_step(&self.prod, &mut st, deadline) {
+                return Err(self.timed_out(&mut st, ctx, blocked));
+            }
+        }
     }
 
     /// Capacity-aware insert: blocks while a bounded channel is full
@@ -210,27 +427,14 @@ impl<T: ItemData> Channel<T> {
             }
             let full = st
                 .capacity
-                .is_some_and(|cap| st.items.len() >= cap && !st.items.contains_key(&ts));
+                .is_some_and(|cap| st.items.len() >= cap && !st.items.contains(ts));
             if !full {
                 if blocked {
                     ctx.block_end(self.clock.now());
                 }
                 let now = self.clock.now();
                 let bytes = value.size_bytes();
-                let id = st.trace.alloc(now, self.node, ts, bytes, ctx.iter_key());
-                if let Some(old) = st.items.insert(
-                    ts,
-                    Stored {
-                        value: Arc::new(value),
-                        id,
-                        bytes,
-                    },
-                ) {
-                    st.live_bytes -= old.bytes;
-                    st.trace.free(now, old.id);
-                }
-                st.live_bytes += bytes;
-                self.reclaim_if_below_floor(&mut st, ts, now);
+                self.insert_stored_locked(&mut st, now, ctx.iter_key(), ts, Arc::new(value), bytes);
                 let summary = st.aru.summary();
                 drop(st);
                 self.cons.notify_all();
@@ -267,11 +471,13 @@ impl<T: ItemData> Channel<T> {
         let mut st = self.state.lock();
         let mut blocked = false;
         loop {
+            // The newest item with `ts >= floor` is the newest item overall
+            // (when fresh enough) — an O(1) probe on the ring store.
             let found = st
                 .items
-                .range(floor..)
-                .next_back()
-                .map(|(&ts, stored)| (ts, Arc::clone(&stored.value), stored.id));
+                .latest()
+                .filter(|&(ts, _)| ts >= floor)
+                .map(|(ts, stored)| (ts, Arc::clone(&stored.value), stored.id));
             if let Some((ts, value, id)) = found {
                 if blocked {
                     ctx.block_end(self.clock.now());
@@ -328,7 +534,7 @@ impl<T: ItemData> Channel<T> {
         let mut st = self.state.lock();
         let mut blocked = false;
         loop {
-            if let Some(stored) = st.items.get(&ts) {
+            if let Some(stored) = st.items.get(ts) {
                 let (value, id) = (Arc::clone(&stored.value), stored.id);
                 if blocked {
                     ctx.block_end(self.clock.now());
@@ -340,11 +546,7 @@ impl<T: ItemData> Channel<T> {
                 st.trace.get(now, id, ctx.iter_key());
                 return Ok(Some(StampedItem { ts, value }));
             }
-            let newer_exists = st
-                .items
-                .iter()
-                .next_back()
-                .is_some_and(|(&latest, _)| latest > ts);
+            let newer_exists = st.items.latest().is_some_and(|(latest, _)| latest > ts);
             if newer_exists || st.closed {
                 if blocked {
                     ctx.block_end(self.clock.now());
@@ -380,10 +582,9 @@ impl<T: ItemData> Channel<T> {
         loop {
             let found = st
                 .items
-                .range(..=ts)
-                .next_back()
-                .or_else(|| st.items.iter().next_back())
-                .map(|(&its, stored)| (its, Arc::clone(&stored.value), stored.id));
+                .latest_at_or_before(ts)
+                .or_else(|| st.items.latest())
+                .map(|(its, stored)| (its, Arc::clone(&stored.value), stored.id));
             if let Some((its, value, id)) = found {
                 if blocked {
                     ctx.block_end(self.clock.now());
@@ -430,7 +631,7 @@ impl<T: ItemData> Channel<T> {
         let mut st = self.state.lock();
         let mut blocked = false;
         loop {
-            let fresh = st.items.range(floor..).next_back().is_some();
+            let fresh = st.items.latest().is_some_and(|(ts, _)| ts >= floor);
             if fresh {
                 if blocked {
                     ctx.block_end(self.clock.now());
@@ -439,18 +640,20 @@ impl<T: ItemData> Channel<T> {
                     st.aru.receive_feedback(chan_out_index, summary);
                 }
                 let now = self.clock.now();
-                let picked: Vec<(Timestamp, Arc<T>, ItemId)> = st
-                    .items
-                    .iter()
-                    .rev()
-                    .take(n)
-                    .map(|(&ts, stored)| (ts, Arc::clone(&stored.value), stored.id))
-                    .collect();
-                let mut window = Vec::with_capacity(picked.len());
-                for (ts, value, id) in picked {
-                    st.trace.get(now, id, ctx.iter_key());
-                    window.push(StampedItem { ts, value });
-                }
+                // Build the window directly (newest-first, then reverse) and
+                // record the gets as one batched trace append — no per-item
+                // `trace.get` calls, no intermediate picked Vec.
+                let ChannelState { items, trace, .. } = &mut *st;
+                let mut window = Vec::with_capacity(n.min(items.len()));
+                let mut ids = Vec::with_capacity(n.min(items.len()));
+                items.for_each_newest(n, |ts, stored| {
+                    window.push(StampedItem {
+                        ts,
+                        value: Arc::clone(&stored.value),
+                    });
+                    ids.push(stored.id);
+                });
+                trace.get_n(now, ctx.iter_key(), ids);
                 window.reverse();
                 return Ok(window);
             }
@@ -481,9 +684,9 @@ impl<T: ItemData> Channel<T> {
         let mut st = self.state.lock();
         let found = st
             .items
-            .range(floor..)
-            .next_back()
-            .map(|(&ts, stored)| (ts, Arc::clone(&stored.value), stored.id));
+            .latest()
+            .filter(|&(ts, _)| ts >= floor)
+            .map(|(ts, stored)| (ts, Arc::clone(&stored.value), stored.id));
         match found {
             Some((ts, value, id)) => {
                 if let Some(summary) = ctx.summary() {
@@ -525,6 +728,63 @@ impl<T: ItemData> Channel<T> {
         self.cons.notify_all();
     }
 
+    /// Drain-style batch get: block until at least one item with
+    /// `ts >= floor` exists, then return every such item — oldest first, up
+    /// to `max` — under a single lock hold, with one clock read, one
+    /// summary-STP deposit, and one batched trace append for the whole
+    /// batch. Reads stay non-destructive (release still happens per
+    /// connection via [`Channel::release`]); "drain" refers to taking the
+    /// entire fresh suffix in one op rather than one item per call.
+    pub fn get_batch(
+        &self,
+        chan_out_index: usize,
+        ctx: &mut TaskCtx,
+        floor: Timestamp,
+        max: usize,
+    ) -> Result<Vec<StampedItem<T>>, StampedeError> {
+        assert!(max > 0, "batch must be non-empty");
+        let deadline = op_deadline(ctx);
+        let mut st = self.state.lock();
+        let mut blocked = false;
+        loop {
+            let fresh = st.items.latest().is_some_and(|(ts, _)| ts >= floor);
+            if fresh {
+                if blocked {
+                    ctx.block_end(self.clock.now());
+                }
+                if let Some(summary) = ctx.summary() {
+                    st.aru.receive_feedback(chan_out_index, summary);
+                }
+                let now = self.clock.now();
+                let ChannelState { items, trace, .. } = &mut *st;
+                let mut batch = Vec::new();
+                let mut ids = Vec::new();
+                items.for_each_from(floor, max, |ts, stored| {
+                    batch.push(StampedItem {
+                        ts,
+                        value: Arc::clone(&stored.value),
+                    });
+                    ids.push(stored.id);
+                });
+                trace.get_n(now, ctx.iter_key(), ids);
+                return Ok(batch);
+            }
+            if st.closed {
+                if blocked {
+                    ctx.block_end(self.clock.now());
+                }
+                return Err(StampedeError::Closed);
+            }
+            if !blocked {
+                blocked = true;
+                ctx.block_begin(self.clock.now());
+            }
+            if self.wait_step(&self.cons, &mut st, deadline) {
+                return Err(self.timed_out(&mut st, ctx, blocked));
+            }
+        }
+    }
+
     fn dead_bound_locked(&self, st: &ChannelState<T>) -> Timestamp {
         match self.gc_mode {
             GcMode::None => Timestamp::ZERO,
@@ -539,7 +799,7 @@ impl<T: ItemData> Channel<T> {
     /// replaced. One compare in the common case.
     fn reclaim_if_below_floor(&self, st: &mut ChannelState<T>, ts: Timestamp, now: vtime::SimTime) {
         if self.gc_mode.reclaims() && ts < st.purged_before {
-            if let Some(stored) = st.items.remove(&ts) {
+            if let Some(stored) = st.items.remove(ts) {
                 st.live_bytes -= stored.bytes;
                 st.trace.free(now, stored.id);
             }
@@ -565,13 +825,18 @@ impl<T: ItemData> Channel<T> {
         }
         st.purged_before = bound;
         let now = self.clock.now();
-        let live = st.items.split_off(&bound);
-        let dead = std::mem::replace(&mut st.items, live);
-        let removed = dead.len();
-        for stored in dead.into_values() {
-            st.live_bytes -= stored.bytes;
-            st.trace.free(now, stored.id);
-        }
+        let mut removed = 0;
+        let ChannelState {
+            items,
+            trace,
+            live_bytes,
+            ..
+        } = &mut *st;
+        items.purge_before(bound, |stored| {
+            *live_bytes -= stored.bytes;
+            trace.free(now, stored.id);
+            removed += 1;
+        });
         removed
     }
 
@@ -645,12 +910,10 @@ impl<T: ItemData> Channel<T> {
         }
         st.closed = true;
         let now = self.clock.now();
-        let ids: Vec<ItemId> = st.items.values().map(|s| s.id).collect();
-        st.items.clear();
+        let mut freed = Vec::with_capacity(st.items.len());
+        st.items.drain(|stored| freed.push(stored.id));
         st.live_bytes = 0;
-        for id in ids {
-            st.trace.free(now, id);
-        }
+        st.trace.free_n(now, freed);
         drop(st);
         // Close unblocks everyone, whichever side they wait on.
         self.cons.notify_all();
@@ -678,6 +941,14 @@ impl<T: ItemData> Channel<T> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// `(ring, spill)` occupancy of the hybrid item store — observability
+    /// for tests and the hotpath bench. A dense in-order stream should keep
+    /// the spill side at 0.
+    #[must_use]
+    pub fn store_depths(&self) -> (usize, usize) {
+        self.state.lock().items.depths()
     }
 }
 
@@ -737,6 +1008,22 @@ impl<T: ItemData> Output<T> {
         Ok(())
     }
 
+    /// Batch put: the whole batch goes through one lock hold / clock read /
+    /// trace append / consumer wakeup, and the channel's summary-STP is
+    /// folded into the producing thread's ARU state once (see
+    /// [`Channel::put_batch_blocking`] for the bounded-channel slow path).
+    pub fn put_batch(
+        &self,
+        ctx: &mut TaskCtx,
+        batch: impl IntoIterator<Item = (Timestamp, T)>,
+    ) -> Result<(), StampedeError> {
+        let summary = self.ch.put_batch_blocking(ctx, batch)?;
+        if let Some(stp) = summary {
+            ctx.receive_feedback(self.thread_out_index, stp);
+        }
+        Ok(())
+    }
+
     /// The channel this endpoint feeds.
     #[must_use]
     pub fn channel(&self) -> &Channel<T> {
@@ -780,6 +1067,21 @@ impl<T: ItemData> Input<T> {
         let item = self.ch.get_latest(self.chan_out_index, ctx, self.floor)?;
         self.took(ctx, item.ts);
         Ok(item)
+    }
+
+    /// Drain-style batch get (see [`Channel::get_batch`]): up to `max`
+    /// fresh items, oldest first, in one buffer operation. The floor
+    /// advances past the newest returned item and the whole batch is
+    /// released together at iteration end.
+    pub fn get_batch(
+        &mut self,
+        ctx: &mut TaskCtx,
+        max: usize,
+    ) -> Result<Vec<StampedItem<T>>, StampedeError> {
+        let batch = self.ch.get_batch(self.chan_out_index, ctx, self.floor, max)?;
+        let newest = batch.last().expect("batch is non-empty").ts;
+        self.took(ctx, newest);
+        Ok(batch)
     }
 
     /// Non-blocking get-latest.

@@ -54,14 +54,18 @@
 //! assert!(report.outputs() > 0);
 //! ```
 
+#[doc(hidden)]
+pub mod bench_api;
 pub mod builder;
 pub mod channel;
 pub mod error;
+pub mod fanout;
 pub mod item;
 pub mod net;
 pub mod queue;
 pub mod runtime;
 pub mod shutdown;
+mod store;
 pub mod sync;
 pub mod task;
 
@@ -70,6 +74,7 @@ mod loom_tests;
 
 pub use builder::{BuildError, ChannelRef, QueueRef, RuntimeBuilder, ThreadRef};
 pub use channel::{Channel, Input, Output};
+pub use fanout::FanOut;
 pub use error::{Step, StampedeError, TaskResult};
 pub use item::{ItemData, Record, StampedItem};
 pub use net::{LinkModel, NetworkSim, RemoteOutput};
@@ -81,6 +86,7 @@ pub use task::TaskCtx;
 pub mod prelude {
     pub use crate::builder::{ChannelRef, QueueRef, RuntimeBuilder, ThreadRef};
     pub use crate::channel::{Input, Output};
+    pub use crate::fanout::FanOut;
     pub use crate::error::{Step, StampedeError, TaskResult};
     pub use crate::item::{ItemData, Record, StampedItem};
     pub use crate::queue::{QueueInput, QueueOutput};

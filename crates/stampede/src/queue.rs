@@ -120,6 +120,127 @@ impl<T: ItemData> Queue<T> {
         Ok(summary)
     }
 
+    /// Batch enqueue: one clock read, one lock hold, one batched trace
+    /// append, one summary return, one wakeup. An empty batch is a no-op
+    /// returning `Ok(None)`.
+    pub fn put_batch(
+        &self,
+        producer: IterKey,
+        batch: impl IntoIterator<Item = (Timestamp, T)>,
+    ) -> Result<Option<aru_core::Stp>, StampedeError> {
+        // Box payloads outside the lock.
+        let prepared: Vec<(Timestamp, Arc<T>, u64)> = batch
+            .into_iter()
+            .map(|(ts, value)| {
+                let bytes = value.size_bytes();
+                (ts, Arc::new(value), bytes)
+            })
+            .collect();
+        if prepared.is_empty() {
+            return Ok(None);
+        }
+        let n = prepared.len();
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(StampedeError::Closed);
+        }
+        let mut ids = Vec::with_capacity(n);
+        st.trace.put_n(
+            now,
+            self.node,
+            producer,
+            prepared.iter().map(|&(ts, _, bytes)| (ts, bytes)),
+            |id| ids.push(id),
+        );
+        for ((ts, value, bytes), id) in prepared.into_iter().zip(ids) {
+            st.items.push_back(QStored {
+                ts,
+                value,
+                id,
+                bytes,
+            });
+            st.live_bytes += bytes;
+        }
+        let summary = st.aru.summary();
+        drop(st);
+        // Destructive FIFO: one item satisfies one getter, so wake as many
+        // getters as there are new items (all of them past one).
+        if n == 1 {
+            self.cond.notify_one();
+        } else {
+            self.cond.notify_all();
+        }
+        Ok(summary)
+    }
+
+    /// Drain-style batch dequeue: block while empty, then pop up to `max`
+    /// items in FIFO order under one lock hold, with one clock read, one
+    /// summary deposit, and batched trace appends.
+    pub fn get_batch(
+        &self,
+        chan_out_index: usize,
+        ctx: &mut TaskCtx,
+        max: usize,
+    ) -> Result<Vec<StampedItem<T>>, StampedeError> {
+        assert!(max > 0, "batch must be non-empty");
+        let deadline = crate::channel::op_deadline(ctx);
+        let mut st = self.state.lock();
+        let mut blocked = false;
+        loop {
+            if !st.items.is_empty() {
+                if blocked {
+                    ctx.block_end(self.clock.now());
+                }
+                if let Some(summary) = ctx.summary() {
+                    st.aru.receive_feedback(chan_out_index, summary);
+                }
+                let now = self.clock.now();
+                let take = max.min(st.items.len());
+                let mut batch = Vec::with_capacity(take);
+                let mut ids = Vec::with_capacity(take);
+                for _ in 0..take {
+                    let stored = st.items.pop_front().expect("len checked");
+                    st.live_bytes -= stored.bytes;
+                    ids.push(stored.id);
+                    batch.push(StampedItem {
+                        ts: stored.ts,
+                        value: stored.value,
+                    });
+                }
+                // `advance` is max-only, so one advance to the newest
+                // popped timestamp equals advancing per item (arrival
+                // order need not be timestamp order).
+                let newest = batch.iter().map(|s| s.ts).max().expect("take >= 1");
+                st.marks.advance(chan_out_index, newest);
+                st.trace.get_free_n(now, ctx.iter_key(), ids);
+                return Ok(batch);
+            }
+            if st.closed {
+                if blocked {
+                    ctx.block_end(self.clock.now());
+                }
+                return Err(StampedeError::Closed);
+            }
+            if !blocked {
+                blocked = true;
+                ctx.block_begin(self.clock.now());
+            }
+            match deadline {
+                None => self.cond.wait(&mut st),
+                Some(dl) => {
+                    let now = std::time::Instant::now();
+                    if now >= dl {
+                        ctx.block_end(self.clock.now());
+                        st.trace.op_timeout(self.clock.now(), ctx.node());
+                        return Err(StampedeError::Timeout);
+                    }
+                    self.cond.wait_for(&mut st, dl - now);
+                }
+            }
+        }
+    }
+
     /// Dequeue the oldest item, blocking while empty (up to the task's op
     /// timeout, when one is configured).
     pub fn get(
@@ -304,6 +425,20 @@ impl<T: ItemData> QueueOutput<T> {
         Ok(())
     }
 
+    /// Batch enqueue (see [`Queue::put_batch`]): whole batch in one buffer
+    /// operation, one backward feedback fold.
+    pub fn put_batch(
+        &self,
+        ctx: &mut TaskCtx,
+        batch: impl IntoIterator<Item = (Timestamp, T)>,
+    ) -> Result<(), StampedeError> {
+        let summary = self.q.put_batch(ctx.iter_key(), batch)?;
+        if let Some(stp) = summary {
+            ctx.receive_feedback(self.thread_out_index, stp);
+        }
+        Ok(())
+    }
+
     #[must_use]
     pub fn queue(&self) -> &Queue<T> {
         &self.q
@@ -331,6 +466,15 @@ impl<T: ItemData> QueueInput<T> {
     /// Non-blocking FIFO get.
     pub fn try_get(&mut self, ctx: &mut TaskCtx) -> Result<Option<StampedItem<T>>, StampedeError> {
         self.q.try_get(self.chan_out_index, ctx)
+    }
+
+    /// Drain-style batch dequeue (see [`Queue::get_batch`]).
+    pub fn get_batch(
+        &mut self,
+        ctx: &mut TaskCtx,
+        max: usize,
+    ) -> Result<Vec<StampedItem<T>>, StampedeError> {
+        self.q.get_batch(self.chan_out_index, ctx, max)
     }
 
     #[must_use]

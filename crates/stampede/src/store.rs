@@ -1,0 +1,535 @@
+//! Hybrid item store for channels: a dense timestamp ring with BTreeMap
+//! spill.
+//!
+//! Source threads issue monotonically increasing timestamps, so the stream
+//! a channel actually holds is almost always a *dense in-order run*:
+//! `ts, ts+1, ts+2, …` with occasional short gaps where a frame was
+//! dropped. A `BTreeMap<Timestamp, _>` pays O(log n) pointer-chasing on
+//! every put, lookup, and purge for a workload that is morally a `VecDeque`.
+//!
+//! [`ItemStore`] therefore keeps two structures:
+//!
+//! * **ring** — a `VecDeque<Option<Stored<T>>>` where slot `i` holds the
+//!   item at timestamp `base + i`. In-order puts are an O(1) `push_back`,
+//!   lookups are an O(1) index, the newest item is the back slot, and the
+//!   watermark purge pops dead items off the front. Short gaps (≤
+//!   [`MAX_RING_GAP`] missing timestamps) become `None` holes so a lost
+//!   frame does not end the dense run.
+//! * **spill** — the old `BTreeMap`, holding everything the ring cannot
+//!   represent cheaply: timestamps below the ring's base (out-of-order
+//!   arrivals) and jumps too far past its back. Correctness never depends
+//!   on which side an item landed on.
+//!
+//! Invariants (checked by the equivalence proptest at the bottom):
+//!
+//! 1. A timestamp inside the ring's span `[base, base+ring.len())` is never
+//!    present in the spill — every query can probe the ring by index first
+//!    and fall through to the spill without deduplication.
+//! 2. The ring's front and back slots are always occupied (`Some`); holes
+//!    only exist in the middle. This keeps "newest item" a field read.
+//! 3. Extending the ring across a gap migrates any spill entries that the
+//!    new span swallows (they arrived out of order earlier), preserving
+//!    invariant 1.
+//! 4. `purge_before(b)` leaves no item with `ts < b` on either side.
+//!
+//! The store is not synchronized — it lives inside the channel's state
+//! mutex, exactly where the `BTreeMap` lived.
+
+use aru_metrics::ItemId;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use vtime::Timestamp;
+
+/// An item held by a channel.
+pub(crate) struct Stored<T> {
+    pub(crate) value: Arc<T>,
+    pub(crate) id: ItemId,
+    pub(crate) bytes: u64,
+}
+
+/// Largest run of missing timestamps the ring will bridge with holes. A
+/// gap beyond this (a source restart, a sparse stream) spills instead —
+/// holes cost a slot each, so bridging huge jumps would trade O(1) ops for
+/// unbounded memory.
+const MAX_RING_GAP: u64 = 32;
+
+pub(crate) struct ItemStore<T> {
+    /// Timestamp of `ring[0]`; meaningful only while the ring is non-empty.
+    base: u64,
+    ring: VecDeque<Option<Stored<T>>>,
+    /// Occupied (`Some`) ring slots.
+    occupied: usize,
+    spill: BTreeMap<Timestamp, Stored<T>>,
+}
+
+impl<T> ItemStore<T> {
+    pub(crate) fn new() -> Self {
+        ItemStore {
+            base: 0,
+            ring: VecDeque::new(),
+            occupied: 0,
+            spill: BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.occupied + self.spill.len()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Timestamp of the last ring slot (callers check `!ring.is_empty()`).
+    fn back_ts(&self) -> u64 {
+        self.base + self.ring.len() as u64 - 1
+    }
+
+    fn in_ring_span(&self, ts: u64) -> bool {
+        !self.ring.is_empty() && ts >= self.base && ts <= self.back_ts()
+    }
+
+    pub(crate) fn contains(&self, ts: Timestamp) -> bool {
+        self.get(ts).is_some()
+    }
+
+    pub(crate) fn get(&self, ts: Timestamp) -> Option<&Stored<T>> {
+        if self.in_ring_span(ts.raw()) {
+            self.ring[(ts.raw() - self.base) as usize].as_ref()
+        } else {
+            self.spill.get(&ts)
+        }
+    }
+
+    /// Insert, returning the displaced item when `ts` was already present.
+    pub(crate) fn insert(&mut self, ts: Timestamp, stored: Stored<T>) -> Option<Stored<T>> {
+        let t = ts.raw();
+        if self.ring.is_empty() {
+            // Anchor a fresh dense run here; the same timestamp may sit in
+            // the spill from before the last purge emptied the ring.
+            let old = self.spill.remove(&ts);
+            self.base = t;
+            self.ring.push_back(Some(stored));
+            self.occupied = 1;
+            return old;
+        }
+        if t >= self.base {
+            let back = self.back_ts();
+            if t <= back {
+                let slot = &mut self.ring[(t - self.base) as usize];
+                let old = slot.replace(stored);
+                if old.is_none() {
+                    self.occupied += 1;
+                }
+                return old;
+            }
+            if t - back <= MAX_RING_GAP + 1 {
+                // Dense append (t == back+1) or a bridgeable gap: grow the
+                // ring, pulling in any out-of-order spill entries the new
+                // span swallows (invariant 1).
+                for _ in back + 1..t {
+                    self.ring.push_back(None);
+                }
+                if t > back + 1 && !self.spill.is_empty() {
+                    let trapped: Vec<Timestamp> = self
+                        .spill
+                        .range(Timestamp(back + 1)..ts)
+                        .map(|(&k, _)| k)
+                        .collect();
+                    for k in trapped {
+                        let v = self.spill.remove(&k).expect("key just seen");
+                        self.ring[(k.raw() - self.base) as usize] = Some(v);
+                        self.occupied += 1;
+                    }
+                }
+                let old = self.spill.remove(&ts);
+                self.ring.push_back(Some(stored));
+                self.occupied += 1;
+                return old;
+            }
+        }
+        self.spill.insert(ts, stored)
+    }
+
+    pub(crate) fn remove(&mut self, ts: Timestamp) -> Option<Stored<T>> {
+        if self.in_ring_span(ts.raw()) {
+            let taken = self.ring[(ts.raw() - self.base) as usize].take();
+            if taken.is_some() {
+                self.occupied -= 1;
+                self.trim();
+            }
+            taken
+        } else {
+            self.spill.remove(&ts)
+        }
+    }
+
+    /// Restore invariant 2 after a removal: drop leading/trailing holes.
+    fn trim(&mut self) {
+        if self.occupied == 0 {
+            self.ring.clear();
+            return;
+        }
+        while matches!(self.ring.front(), Some(None)) {
+            self.ring.pop_front();
+            self.base += 1;
+        }
+        while matches!(self.ring.back(), Some(None)) {
+            self.ring.pop_back();
+        }
+    }
+
+    /// The newest item (greatest timestamp) — O(1) in the dense case.
+    pub(crate) fn latest(&self) -> Option<(Timestamp, &Stored<T>)> {
+        let ring_back = self
+            .ring
+            .back()
+            .and_then(|s| s.as_ref().map(|v| (Timestamp(self.back_ts()), v)));
+        let spill_back = self.spill.iter().next_back().map(|(&k, v)| (k, v));
+        match (ring_back, spill_back) {
+            (Some(r), Some(s)) => Some(if r.0 >= s.0 { r } else { s }),
+            (r, s) => r.or(s),
+        }
+    }
+
+    /// The newest item with timestamp `<= ts`.
+    pub(crate) fn latest_at_or_before(&self, ts: Timestamp) -> Option<(Timestamp, &Stored<T>)> {
+        let t = ts.raw();
+        let ring_hit = if !self.ring.is_empty() && t >= self.base {
+            let start = (t.min(self.back_ts()) - self.base) as usize;
+            (0..=start).rev().find_map(|i| {
+                self.ring[i]
+                    .as_ref()
+                    .map(|v| (Timestamp(self.base + i as u64), v))
+            })
+        } else {
+            None
+        };
+        let spill_hit = self.spill.range(..=ts).next_back().map(|(&k, v)| (k, v));
+        match (ring_hit, spill_hit) {
+            (Some(r), Some(s)) => Some(if r.0 >= s.0 { r } else { s }),
+            (r, s) => r.or(s),
+        }
+    }
+
+    /// Visit the `n` newest items in descending timestamp order.
+    pub(crate) fn for_each_newest(&self, n: usize, mut f: impl FnMut(Timestamp, &Stored<T>)) {
+        let mut ring_it = (0..self.ring.len())
+            .rev()
+            .filter_map(|i| self.ring[i].as_ref().map(|v| (Timestamp(self.base + i as u64), v)))
+            .peekable();
+        let mut spill_it = self.spill.iter().rev().map(|(&k, v)| (k, v)).peekable();
+        for _ in 0..n {
+            let take_ring = match (ring_it.peek(), spill_it.peek()) {
+                (Some(r), Some(s)) => r.0 >= s.0,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => return,
+            };
+            let (ts, v) = if take_ring {
+                ring_it.next().expect("peeked")
+            } else {
+                spill_it.next().expect("peeked")
+            };
+            f(ts, v);
+        }
+    }
+
+    /// Visit items with `ts >= floor` in ascending timestamp order, at most
+    /// `max` of them. Returns how many were visited.
+    pub(crate) fn for_each_from(
+        &self,
+        floor: Timestamp,
+        max: usize,
+        mut f: impl FnMut(Timestamp, &Stored<T>),
+    ) -> usize {
+        let mut ring_it = self
+            .ring_indices_from(floor)
+            .filter_map(|i| self.ring[i].as_ref().map(|v| (Timestamp(self.base + i as u64), v)))
+            .peekable();
+        let mut spill_it = self.spill.range(floor..).map(|(&k, v)| (k, v)).peekable();
+        let mut visited = 0;
+        while visited < max {
+            let take_ring = match (ring_it.peek(), spill_it.peek()) {
+                (Some(r), Some(s)) => r.0 <= s.0,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (ts, v) = if take_ring {
+                ring_it.next().expect("peeked")
+            } else {
+                spill_it.next().expect("peeked")
+            };
+            f(ts, v);
+            visited += 1;
+        }
+        visited
+    }
+
+    fn ring_indices_from(&self, floor: Timestamp) -> std::ops::Range<usize> {
+        if self.ring.is_empty() || floor.raw() > self.back_ts() {
+            return 0..0;
+        }
+        let start = floor.raw().saturating_sub(self.base).min(self.ring.len() as u64) as usize;
+        start..self.ring.len()
+    }
+
+    /// Remove every item with `ts < bound`, handing each to `f`. Front pops
+    /// on the ring, one `split_off` on the spill.
+    pub(crate) fn purge_before(&mut self, bound: Timestamp, mut f: impl FnMut(Stored<T>)) {
+        let b = bound.raw();
+        while !self.ring.is_empty() && self.base < b {
+            if let Some(Some(stored)) = self.ring.pop_front() {
+                self.occupied -= 1;
+                f(stored);
+            }
+            self.base += 1;
+        }
+        self.trim();
+        if self
+            .spill
+            .first_key_value()
+            .is_some_and(|(&k, _)| k < bound)
+        {
+            let keep = self.spill.split_off(&bound);
+            for (_ts, stored) in std::mem::replace(&mut self.spill, keep) {
+                f(stored);
+            }
+        }
+    }
+
+    /// Remove everything, handing each item to `f` (channel close).
+    pub(crate) fn drain(&mut self, mut f: impl FnMut(Stored<T>)) {
+        for stored in self.ring.drain(..).flatten() {
+            f(stored);
+        }
+        self.occupied = 0;
+        for (_ts, stored) in std::mem::take(&mut self.spill) {
+            f(stored);
+        }
+    }
+
+    /// (ring-resident, spill-resident) item counts — observability for
+    /// tests and the hotpath bench.
+    pub(crate) fn depths(&self) -> (usize, usize) {
+        (self.occupied, self.spill.len())
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn stored(id: u64, bytes: u64) -> Stored<u64> {
+        Stored {
+            value: Arc::new(id),
+            id: ItemId(id),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn dense_stream_stays_in_ring() {
+        let mut s = ItemStore::new();
+        for t in 0..100u64 {
+            assert!(s.insert(Timestamp(t), stored(t, 1)).is_none());
+        }
+        assert_eq!(s.depths(), (100, 0));
+        assert_eq!(s.latest().unwrap().0, Timestamp(99));
+        assert_eq!(s.get(Timestamp(42)).unwrap().id, ItemId(42));
+        let mut purged = 0;
+        s.purge_before(Timestamp(90), |_| purged += 1);
+        assert_eq!(purged, 90);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.depths(), (10, 0));
+    }
+
+    #[test]
+    fn small_gap_becomes_hole_large_gap_spills() {
+        let mut s = ItemStore::new();
+        s.insert(Timestamp(0), stored(0, 1));
+        s.insert(Timestamp(3), stored(3, 1)); // gap of 2: bridged
+        assert_eq!(s.depths(), (2, 0));
+        assert!(s.get(Timestamp(1)).is_none());
+        s.insert(Timestamp(500), stored(500, 1)); // far jump: spills
+        assert_eq!(s.depths(), (2, 1));
+        assert_eq!(s.latest().unwrap().0, Timestamp(500));
+    }
+
+    #[test]
+    fn ring_extension_swallows_spilled_out_of_order_items() {
+        let mut s = ItemStore::new();
+        s.insert(Timestamp(10), stored(10, 1));
+        // Arrives far below base: spills.
+        s.insert(Timestamp(2), stored(2, 1));
+        assert_eq!(s.depths(), (1, 1));
+        // Ring re-anchors after a removal empties it; the spilled entry at
+        // 2 must be replaced, not duplicated, when 2 is re-put.
+        assert!(s.remove(Timestamp(10)).is_some());
+        assert_eq!(s.depths(), (0, 1));
+        let old = s.insert(Timestamp(2), stored(99, 1));
+        assert_eq!(old.unwrap().id, ItemId(2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn gap_bridge_migrates_trapped_spill_entries() {
+        let mut s = ItemStore::new();
+        s.insert(Timestamp(0), stored(0, 1));
+        s.insert(Timestamp(100), stored(100, 1)); // spills (gap > MAX)
+        assert_eq!(s.depths(), (1, 1));
+        // Fill forward densely to 99: ring back reaches 99; 100 still spilled.
+        for t in 1..100 {
+            s.insert(Timestamp(t), stored(t, 1));
+        }
+        // Appending 100 again must displace the spilled copy.
+        let old = s.insert(Timestamp(100), stored(1000, 1));
+        assert_eq!(old.unwrap().id, ItemId(100));
+        assert_eq!(s.depths(), (101, 0));
+    }
+
+    /// Reference model: the plain BTreeMap the ring store replaced.
+    #[derive(Default)]
+    struct Model {
+        items: BTreeMap<Timestamp, (u64, u64)>, // ts -> (id, bytes)
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Insert(u64),
+        Remove(u64),
+        PurgeBefore(u64),
+        GetLatest,
+        AtOrBefore(u64),
+        NewestN(usize),
+        RangeFrom(u64, usize),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        (0u64..8, 0u64..200, 1usize..6).prop_map(|(k, ts, n)| match k {
+            0..=2 => Op::Insert(ts), // bias toward inserts
+            3 => Op::Remove(ts),
+            4 => Op::PurgeBefore(ts),
+            5 => Op::GetLatest,
+            6 => Op::AtOrBefore(ts),
+            _ => {
+                if n % 2 == 0 {
+                    Op::NewestN(n)
+                } else {
+                    Op::RangeFrom(ts, n)
+                }
+            }
+        })
+    }
+
+    // Mixed in-order / out-of-order / purge interleavings: the hybrid
+    // store must be observably identical to the BTreeMap it replaced.
+    //
+    // In-order bias: half the inserts are rewritten into "next dense
+    // timestamp" appends so the ring path is genuinely exercised, not just
+    // the spill.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        fn ring_store_equals_btreemap_model(
+            ops in prop::collection::vec(op_strategy(), 1..120),
+            dense_bias in prop::collection::vec(0u8..2, 1..120),
+        ) {
+            let mut store: ItemStore<u64> = ItemStore::new();
+            let mut model = Model::default();
+            let mut next_id = 0u64;
+            let mut next_dense = 0u64;
+            for (i, op) in ops.iter().enumerate() {
+                let op = match (op, dense_bias.get(i).copied().unwrap_or(0)) {
+                    // Rewrite half the inserts into dense appends.
+                    (Op::Insert(_), 1) => {
+                        next_dense += 1;
+                        Op::Insert(next_dense)
+                    }
+                    (o, _) => *o,
+                };
+                match op {
+                    Op::Insert(t) => {
+                        let ts = Timestamp(t);
+                        let id = next_id;
+                        next_id += 1;
+                        let bytes = t + 1;
+                        let old_s = store.insert(ts, stored(id, bytes));
+                        let old_m = model.items.insert(ts, (id, bytes));
+                        prop_assert_eq!(old_s.map(|s| s.id.0), old_m.map(|(id, _)| id));
+                    }
+                    Op::Remove(t) => {
+                        let ts = Timestamp(t);
+                        let a = store.remove(ts).map(|s| s.id.0);
+                        let b = model.items.remove(&ts).map(|(id, _)| id);
+                        prop_assert_eq!(a, b);
+                    }
+                    Op::PurgeBefore(t) => {
+                        let bound = Timestamp(t);
+                        let mut got: Vec<u64> = Vec::new();
+                        store.purge_before(bound, |s| got.push(s.id.0));
+                        got.sort_unstable();
+                        let keep = model.items.split_off(&bound);
+                        let mut want: Vec<u64> = std::mem::replace(&mut model.items, keep)
+                            .into_values()
+                            .map(|(id, _)| id)
+                            .collect();
+                        want.sort_unstable();
+                        prop_assert_eq!(got, want);
+                    }
+                    Op::GetLatest => {
+                        let a = store.latest().map(|(ts, s)| (ts, s.id.0));
+                        let b = model.items.iter().next_back().map(|(&ts, &(id, _))| (ts, id));
+                        prop_assert_eq!(a, b);
+                    }
+                    Op::AtOrBefore(t) => {
+                        let ts = Timestamp(t);
+                        let a = store.latest_at_or_before(ts).map(|(ts, s)| (ts, s.id.0));
+                        let b = model
+                            .items
+                            .range(..=ts)
+                            .next_back()
+                            .map(|(&ts, &(id, _))| (ts, id));
+                        prop_assert_eq!(a, b);
+                    }
+                    Op::NewestN(n) => {
+                        let mut a = Vec::new();
+                        store.for_each_newest(n, |ts, s| a.push((ts, s.id.0)));
+                        let b: Vec<(Timestamp, u64)> = model
+                            .items
+                            .iter()
+                            .rev()
+                            .take(n)
+                            .map(|(&ts, &(id, _))| (ts, id))
+                            .collect();
+                        prop_assert_eq!(a, b);
+                    }
+                    Op::RangeFrom(t, n) => {
+                        let floor = Timestamp(t);
+                        let mut a = Vec::new();
+                        store.for_each_from(floor, n, |ts, s| a.push((ts, s.id.0)));
+                        let b: Vec<(Timestamp, u64)> = model
+                            .items
+                            .range(floor..)
+                            .take(n)
+                            .map(|(&ts, &(id, _))| (ts, id))
+                            .collect();
+                        prop_assert_eq!(a, b);
+                    }
+                }
+                prop_assert_eq!(store.len(), model.items.len());
+                prop_assert_eq!(store.is_empty(), model.items.is_empty());
+                // Spot-check membership over the active key range.
+                for probe in [0u64, 1, 50, 199] {
+                    prop_assert_eq!(
+                        store.contains(Timestamp(probe)),
+                        model.items.contains_key(&Timestamp(probe))
+                    );
+                }
+            }
+        }
+    }
+}

@@ -149,6 +149,12 @@ impl TaskCtx {
         self.controller.receive_feedback_at(out_index, stp, now);
     }
 
+    /// Feedback fold with a caller-provided time: the fan-out path folds N
+    /// channels' summaries at one shared clock read instead of N reads.
+    pub(crate) fn receive_feedback_at(&mut self, out_index: usize, stp: Stp, now: SimTime) {
+        self.controller.receive_feedback_at(out_index, stp, now);
+    }
+
     /// Op timeout applied by blocking buffer operations.
     pub(crate) fn op_timeout(&self) -> Option<Micros> {
         self.op_timeout

@@ -1,0 +1,394 @@
+//! Batch operations are observably equivalent to per-item loops.
+//!
+//! Every test builds two identically-configured buffers on the same
+//! `ManualClock` and drives one with single ops and the other with the
+//! batched API, then compares everything a program can observe: trace
+//! events (including item ids — both sides draw from a fresh id counter in
+//! the same order), channel/queue occupancy, live bytes, consumer marks,
+//! and ARU summary state.
+
+use aru_core::{AruConfig, NodeId, Stp};
+use aru_gc::GcMode;
+use aru_metrics::{IterKey, SharedTrace, Trace, TraceEvent};
+use stampede::bench_api;
+use stampede::{Channel, FanOut, Queue, StampedeError, TaskCtx};
+use std::sync::Arc;
+use vtime::{Clock, ManualClock, Micros, Timestamp};
+
+/// `(ts, payload)` pairs as returned to a consumer.
+type TakenItems = Vec<(Timestamp, Vec<u8>)>;
+
+fn cfg() -> AruConfig {
+    AruConfig::aru_min()
+}
+
+fn chan(
+    trace: &SharedTrace,
+    clock: &Arc<ManualClock>,
+    capacity: Option<usize>,
+) -> Arc<Channel<Vec<u8>>> {
+    bench_api::channel(
+        NodeId(1),
+        "equiv-ch",
+        &cfg(),
+        GcMode::Ref,
+        capacity,
+        Arc::clone(clock) as Arc<dyn Clock>,
+        trace.clone(),
+        1,
+    )
+}
+
+fn queue(trace: &SharedTrace, clock: &Arc<ManualClock>) -> Arc<Queue<Vec<u8>>> {
+    bench_api::queue(
+        NodeId(1),
+        "equiv-q",
+        &cfg(),
+        Arc::clone(clock) as Arc<dyn Clock>,
+        trace.clone(),
+        1,
+    )
+}
+
+fn ctx(node: u32, n_outputs: usize, trace: &SharedTrace, clock: &Arc<ManualClock>) -> TaskCtx {
+    bench_api::task_ctx(
+        NodeId(node),
+        "equiv-task",
+        n_outputs,
+        false,
+        &cfg(),
+        Arc::clone(clock) as Arc<dyn Clock>,
+        trace.clone(),
+    )
+}
+
+fn snapshot(ch: &Channel<Vec<u8>>, trace: &SharedTrace) -> Trace {
+    bench_api::flush_channel_trace(ch);
+    trace.snapshot()
+}
+
+/// A put schedule that crosses the id-block boundary (256) and exercises
+/// every store path: dense appends, a bridgeable gap, replacement of an
+/// existing timestamp, and an out-of-order put far behind the ring span.
+fn put_schedule() -> Vec<(Timestamp, Vec<u8>)> {
+    let mut specs: Vec<(Timestamp, Vec<u8>)> = (0..300u64)
+        .map(|ts| (Timestamp(ts), vec![ts as u8; 8]))
+        .collect();
+    specs.push((Timestamp(310), vec![1; 16])); // small gap → ring holes
+    specs.push((Timestamp(150), vec![2; 4])); // replacement
+    specs.push((Timestamp(5000), vec![3; 8])); // large gap → fresh ring run
+    specs.push((Timestamp(400), vec![4; 8])); // behind the ring → spill
+    specs
+}
+
+#[test]
+fn channel_put_batch_matches_single_put_loop() {
+    let clock = Arc::new(ManualClock::new());
+    let p = IterKey::new(NodeId(7), 3);
+
+    let singles_trace = SharedTrace::new();
+    let singles = chan(&singles_trace, &clock, None);
+    for (ts, v) in put_schedule() {
+        singles.put(ts, v, p).unwrap();
+    }
+
+    let batched_trace = SharedTrace::new();
+    let batched = chan(&batched_trace, &clock, None);
+    // Uneven chunking so batch boundaries don't line up with anything.
+    for chunk in put_schedule().chunks(7) {
+        batched.put_batch(p, chunk.to_vec()).unwrap();
+    }
+
+    let s_events = snapshot(&singles, &singles_trace).events().to_vec();
+    let b_events = snapshot(&batched, &batched_trace).events().to_vec();
+    // Allocations carry the ids: same items, same ids, same order.
+    let allocs = |evs: &[TraceEvent]| -> Vec<TraceEvent> {
+        evs.iter()
+            .copied()
+            .filter(|e| matches!(e, TraceEvent::Alloc { .. }))
+            .collect()
+    };
+    assert_eq!(
+        allocs(&s_events),
+        allocs(&b_events),
+        "alloc events (ids, timestamps, sizes) must be identical in order"
+    );
+    // A batch groups its allocs before the frees of items it displaced, so
+    // the full streams agree as multisets, not necessarily in order.
+    let sorted = |evs: &[TraceEvent]| -> Vec<String> {
+        let mut v: Vec<String> = evs.iter().map(|e| format!("{e:?}")).collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(
+        sorted(&s_events),
+        sorted(&b_events),
+        "event multisets must be identical"
+    );
+    assert_eq!(singles.len(), batched.len());
+    assert_eq!(singles.live_bytes(), batched.live_bytes());
+    assert_eq!(singles.store_depths(), batched.store_depths());
+    assert_eq!(singles.summary(), batched.summary());
+}
+
+#[test]
+fn empty_put_batch_is_a_no_op() {
+    let clock = Arc::new(ManualClock::new());
+    let trace = SharedTrace::new();
+    let ch = chan(&trace, &clock, None);
+    let got = ch.put_batch(IterKey::new(NodeId(7), 0), Vec::new()).unwrap();
+    assert_eq!(got, None);
+    assert_eq!(ch.len(), 0);
+    assert_eq!(snapshot(&ch, &trace).len(), 0);
+}
+
+#[test]
+fn put_batch_returns_same_summary_as_last_single_put() {
+    let clock = Arc::new(ManualClock::new());
+    let p = IterKey::new(NodeId(7), 0);
+
+    let run = |batched: bool| -> (Option<Stp>, Option<Stp>) {
+        let trace = SharedTrace::new();
+        let ch = chan(&trace, &clock, None);
+        // A consumer deposit gives the channel's controller something to
+        // compress, so puts return `Some` summary.
+        let mut cctx = ctx(9, 1, &trace, &clock);
+        bench_api::warm_summary(&mut cctx, Stp(Micros(1_500)));
+        ch.put(Timestamp(0), vec![0; 4], p).unwrap();
+        ch.get_latest(0, &mut cctx, Timestamp::ZERO).unwrap();
+
+        let items = |base: u64| (0..5u64).map(move |i| (Timestamp(base + i), vec![1u8; 4]));
+        let summary = if batched {
+            ch.put_batch(p, items(1)).unwrap()
+        } else {
+            let mut last = None;
+            for (ts, v) in items(1) {
+                last = ch.put(ts, v, p).unwrap();
+            }
+            last
+        };
+        (summary, ch.summary())
+    };
+
+    let (singles_ret, singles_state) = run(false);
+    let (batched_ret, batched_state) = run(true);
+    assert!(singles_ret.is_some(), "warmed channel must return a summary");
+    assert_eq!(singles_ret, batched_ret);
+    assert_eq!(singles_state, batched_state);
+}
+
+#[test]
+fn channel_get_batch_matches_get_exact_loop() {
+    let clock = Arc::new(ManualClock::new());
+    let p = IterKey::new(NodeId(7), 0);
+
+    let run = |batched: bool| -> (TakenItems, Vec<TraceEvent>, Option<Stp>) {
+        let trace = SharedTrace::new();
+        let ch = chan(&trace, &clock, None);
+        for ts in 0..20u64 {
+            ch.put(Timestamp(ts), vec![ts as u8; 8], p).unwrap();
+        }
+        let mut cctx = ctx(9, 1, &trace, &clock);
+        bench_api::warm_summary(&mut cctx, Stp(Micros(2_000)));
+        let taken: Vec<(Timestamp, Vec<u8>)> = if batched {
+            ch.get_batch(0, &mut cctx, Timestamp(5), 10)
+                .unwrap()
+                .into_iter()
+                .map(|it| (it.ts, it.value.as_ref().clone()))
+                .collect()
+        } else {
+            (5..15u64)
+                .map(|ts| {
+                    let it = ch.get_exact(0, &mut cctx, Timestamp(ts)).unwrap().unwrap();
+                    (it.ts, it.value.as_ref().clone())
+                })
+                .collect()
+        };
+        let events = snapshot(&ch, &trace).events().to_vec();
+        (taken, events, ch.summary())
+    };
+
+    let (s_items, s_events, s_summary) = run(false);
+    let (b_items, b_events, b_summary) = run(true);
+    assert_eq!(s_items, b_items, "same items, oldest first");
+    assert_eq!(s_events, b_events, "same Get events in the same order");
+    assert_eq!(s_summary, b_summary, "same ARU summary state");
+}
+
+#[test]
+fn input_get_batch_advances_floor_past_newest() {
+    let clock = Arc::new(ManualClock::new());
+    let trace = SharedTrace::new();
+    let ch = chan(&trace, &clock, None);
+    let p = IterKey::new(NodeId(7), 0);
+    for ts in 0..8u64 {
+        ch.put(Timestamp(ts), vec![0; 4], p).unwrap();
+    }
+
+    let mut input = bench_api::input(&ch, 0);
+    let mut cctx = ctx(9, 1, &trace, &clock);
+    let batch = input.get_batch(&mut cctx, 100).unwrap();
+    assert_eq!(batch.len(), 8);
+    assert!(batch.windows(2).all(|w| w[0].ts < w[1].ts));
+
+    // Everything returned is now stale for this endpoint.
+    assert!(input.try_get_latest(&mut cctx).unwrap().is_none());
+    // New data past the floor is picked up again.
+    ch.put(Timestamp(8), vec![0; 4], p).unwrap();
+    let again = input.get_batch(&mut cctx, 100).unwrap();
+    assert_eq!(again.len(), 1);
+    assert_eq!(again[0].ts, Timestamp(8));
+}
+
+#[test]
+fn queue_batches_match_single_loops_with_out_of_order_timestamps() {
+    let clock = Arc::new(ManualClock::new());
+    let p = IterKey::new(NodeId(7), 0);
+    // Arrival order is not timestamp order: the consumer-mark advance must
+    // still land on the max, exactly as a per-item loop would leave it.
+    let arrivals = [5u64, 3, 9, 7, 20, 11];
+
+    let run = |batched: bool| {
+        let trace = SharedTrace::new();
+        let q = queue(&trace, &clock);
+        if batched {
+            q.put_batch(
+                p,
+                arrivals.iter().map(|&ts| (Timestamp(ts), vec![ts as u8; 8])),
+            )
+            .unwrap();
+        } else {
+            for &ts in &arrivals {
+                q.put(Timestamp(ts), vec![ts as u8; 8], p).unwrap();
+            }
+        }
+        let mut cctx = ctx(9, 1, &trace, &clock);
+        bench_api::warm_summary(&mut cctx, Stp(Micros(1_000)));
+        let taken: Vec<Timestamp> = if batched {
+            q.get_batch(0, &mut cctx, arrivals.len())
+                .unwrap()
+                .into_iter()
+                .map(|it| it.ts)
+                .collect()
+        } else {
+            (0..arrivals.len())
+                .map(|_| q.get(0, &mut cctx).unwrap().ts)
+                .collect()
+        };
+        bench_api::flush_queue_trace(&q);
+        let snap = trace.snapshot();
+        let mut gets: Vec<u64> = Vec::new();
+        let mut frees: Vec<u64> = Vec::new();
+        let mut allocs: Vec<u64> = Vec::new();
+        for e in snap.events() {
+            match e {
+                TraceEvent::Alloc { item, .. } => allocs.push(item.0),
+                TraceEvent::Get { item, .. } => gets.push(item.0),
+                TraceEvent::Free { item, .. } => frees.push(item.0),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        gets.sort_unstable();
+        frees.sort_unstable();
+        (taken, allocs, gets, frees, q.marks_snapshot().mark(0), q.len(), q.live_bytes())
+    };
+
+    let s = run(false);
+    let b = run(true);
+    // Items come back in arrival order on both sides; get/free events may
+    // group differently within a batch, so compare them as id sets.
+    assert_eq!(s, b);
+    assert_eq!(s.0, arrivals.iter().map(|&t| Timestamp(t)).collect::<Vec<_>>());
+    assert_eq!(s.4, Some(Timestamp(20)), "mark is the max ts, not the last");
+    assert_eq!(s.5, 0);
+}
+
+#[test]
+fn fanout_put_matches_clone_put_loop() {
+    let clock = Arc::new(ManualClock::new());
+    const WIDTH: usize = 3;
+
+    let run = |fan_out: bool| {
+        let trace = SharedTrace::new();
+        let chans: Vec<_> = (0..WIDTH).map(|_| chan(&trace, &clock, None)).collect();
+        let outs: Vec<_> = (0..WIDTH)
+            .map(|i| bench_api::output(&chans[i], i))
+            .collect();
+        let mut pctx = ctx(5, WIDTH, &trace, &clock);
+        // Warm every channel's controller through a consumer get so the
+        // puts have a summary to fold back into the producer.
+        let mut cctx = ctx(9, 1, &trace, &clock);
+        bench_api::warm_summary(&mut cctx, Stp(Micros(1_000)));
+        for (i, out) in outs.iter().enumerate() {
+            out.put(&mut pctx, Timestamp(0), vec![0; 4]).unwrap();
+            chans[i].get_latest(0, &mut cctx, Timestamp::ZERO).unwrap();
+        }
+
+        if fan_out {
+            let fan = FanOut::new(outs);
+            for ts in 1..40u64 {
+                fan.put(&mut pctx, Timestamp(ts), vec![ts as u8; 32]).unwrap();
+            }
+        } else {
+            for ts in 1..40u64 {
+                let frame = vec![ts as u8; 32];
+                outs[0].put(&mut pctx, Timestamp(ts), frame.clone()).unwrap();
+                outs[1].put(&mut pctx, Timestamp(ts), frame.clone()).unwrap();
+                outs[2].put(&mut pctx, Timestamp(ts), frame).unwrap();
+            }
+        }
+
+        for ch in &chans {
+            bench_api::flush_channel_trace(ch);
+        }
+        let events = trace.snapshot().events().to_vec();
+        let occupancy: Vec<_> = chans.iter().map(|c| (c.len(), c.live_bytes())).collect();
+        let summaries: Vec<_> = chans.iter().map(|c| c.summary()).collect();
+        (events, occupancy, summaries, pctx.summary())
+    };
+
+    let s = run(false);
+    let b = run(true);
+    assert_eq!(s.0, b.0, "identical trace events across all three channels");
+    assert_eq!(s.1, b.1, "identical occupancy");
+    assert_eq!(s.2, b.2, "identical channel ARU summaries");
+    assert_eq!(s.3, b.3, "identical producer-side folded summary");
+    assert!(s.3.is_some(), "feedback must actually flow");
+}
+
+#[test]
+fn bounded_put_batch_blocking_fits_path_is_atomic() {
+    let clock = Arc::new(ManualClock::new());
+    let trace = SharedTrace::new();
+    let ch = chan(&trace, &clock, Some(8));
+    let mut pctx = ctx(5, 1, &trace, &clock);
+    ch.put_batch_blocking(&mut pctx, (0..8u64).map(|ts| (Timestamp(ts), vec![0u8; 4])))
+        .unwrap();
+    assert_eq!(ch.len(), 8);
+}
+
+#[test]
+fn close_during_blocked_put_batch_returns_closed_and_keeps_prefix() {
+    let clock = Arc::new(ManualClock::new());
+    let trace = SharedTrace::new();
+    let ch = chan(&trace, &clock, Some(2));
+
+    let producer = {
+        let ch = Arc::clone(&ch);
+        let trace = trace.clone();
+        let clock = Arc::clone(&clock);
+        std::thread::spawn(move || {
+            let mut pctx = ctx(5, 1, &trace, &clock);
+            ch.put_batch_blocking(&mut pctx, (0..5u64).map(|ts| (Timestamp(ts), vec![0u8; 4])))
+        })
+    };
+
+    // The slow path inserts items 0 and 1, then waits for capacity.
+    while ch.len() < 2 {
+        std::thread::yield_now();
+    }
+    assert_eq!(ch.len(), 2, "prefix visible to consumers while the batch waits");
+    ch.close();
+    let res = producer.join().unwrap();
+    assert!(matches!(res, Err(StampedeError::Closed)));
+}

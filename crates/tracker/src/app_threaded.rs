@@ -14,8 +14,8 @@ use aru_core::AruConfig;
 use aru_gc::GcMode;
 use parking_lot::Mutex;
 use stampede::{
-    BuildError, ItemData, LinkModel, NetworkSim, Output, RemoteOutput, Runtime, RuntimeBuilder,
-    StampedeError, Step, TaskCtx,
+    BuildError, FanOut, ItemData, LinkModel, NetworkSim, Output, RemoteOutput, Runtime,
+    RuntimeBuilder, StampedeError, Step, TaskCtx,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -92,6 +92,42 @@ impl<T: ItemData> Sender<T> {
     }
 }
 
+/// A broadcast endpoint for the stages that fan one result out to several
+/// channels. Node-local fan-outs go through [`FanOut`] — one `Arc`, one
+/// clock read, one feedback time for the whole bundle, instead of a deep
+/// clone and a full put per channel. Distributed fan-outs keep per-link
+/// puts (each link materializes its own copy in flight anyway).
+enum FanSender<T: ItemData> {
+    Local(FanOut<T>),
+    Remote(Vec<RemoteOutput<T>>),
+}
+
+impl<T: ItemData + Clone> FanSender<T> {
+    fn wrap(outs: Vec<Output<T>>, net: &Option<Arc<NetworkSim>>, link: Option<LinkModel>) -> Self {
+        match (net, link) {
+            (Some(net), Some(link)) => FanSender::Remote(
+                outs.into_iter()
+                    .map(|o| RemoteOutput::new(o, Arc::clone(net), link))
+                    .collect(),
+            ),
+            _ => FanSender::Local(FanOut::new(outs)),
+        }
+    }
+
+    fn put(&self, ctx: &mut TaskCtx, ts: Timestamp, value: T) -> Result<(), StampedeError> {
+        match self {
+            FanSender::Local(f) => f.put(ctx, ts, value),
+            FanSender::Remote(outs) => {
+                let (last, rest) = outs.split_last().expect("fan-out is non-empty");
+                for r in rest {
+                    r.put(ctx, ts, value.clone())?;
+                }
+                last.put(ctx, ts, value)
+            }
+        }
+    }
+}
+
 /// A built tracker pipeline plus live observation hooks.
 pub struct ThreadedTracker {
     /// The ready-to-run pipeline.
@@ -141,9 +177,15 @@ pub fn build_threaded(params: &ThreadedTrackerParams) -> Result<ThreadedTracker,
     let t_gui = b.thread("gui");
 
     // digitizer (in configuration 2 every inter-stage put crosses a link)
-    let out_c1 = Sender::wrap(b.connect_out(t_dig, &c1)?, &network, link);
-    let out_c2 = Sender::wrap(b.connect_out(t_dig, &c2)?, &network, link);
-    let out_c3 = Sender::wrap(b.connect_out(t_dig, &c3)?, &network, link);
+    let out_frames = FanSender::wrap(
+        vec![
+            b.connect_out(t_dig, &c1)?,
+            b.connect_out(t_dig, &c2)?,
+            b.connect_out(t_dig, &c3)?,
+        ],
+        &network,
+        link,
+    );
     {
         let video = video.clone();
         let d = params.delays.digitizer;
@@ -151,9 +193,7 @@ pub fn build_threaded(params: &ThreadedTrackerParams) -> Result<ThreadedTracker,
         b.spawn(t_dig, move |ctx| {
             let frame = video.frame(ts.raw());
             extra(d);
-            out_c1.put(ctx, ts, frame.clone())?;
-            out_c2.put(ctx, ts, frame.clone())?;
-            out_c3.put(ctx, ts, frame)?;
+            out_frames.put(ctx, ts, frame)?;
             ts = ts.next();
             Ok(Step::Continue)
         });
@@ -161,8 +201,11 @@ pub fn build_threaded(params: &ThreadedTrackerParams) -> Result<ThreadedTracker,
 
     // change detection
     let mut in_c1 = b.connect_in(&c1, t_cd)?;
-    let out_c4 = Sender::wrap(b.connect_out(t_cd, &c4)?, &network, link);
-    let out_c5 = Sender::wrap(b.connect_out(t_cd, &c5)?, &network, link);
+    let out_masks = FanSender::wrap(
+        vec![b.connect_out(t_cd, &c4)?, b.connect_out(t_cd, &c5)?],
+        &network,
+        link,
+    );
     {
         let background = Arc::clone(&background);
         let d = params.delays.change_detection;
@@ -173,16 +216,18 @@ pub fn build_threaded(params: &ThreadedTrackerParams) -> Result<ThreadedTracker,
             }
             let mask = subtract_background(&background, &frame.value);
             extra(d);
-            out_c4.put(ctx, frame.ts, mask.clone())?;
-            out_c5.put(ctx, frame.ts, mask)?;
+            out_masks.put(ctx, frame.ts, mask)?;
             Ok(Step::Continue)
         });
     }
 
     // histogram
     let mut in_c2 = b.connect_in(&c2, t_hist)?;
-    let out_c7 = Sender::wrap(b.connect_out(t_hist, &c7)?, &network, link);
-    let out_c8 = Sender::wrap(b.connect_out(t_hist, &c8)?, &network, link);
+    let out_hists = FanSender::wrap(
+        vec![b.connect_out(t_hist, &c7)?, b.connect_out(t_hist, &c8)?],
+        &network,
+        link,
+    );
     {
         let d = params.delays.histogram;
         b.spawn(t_hist, move |ctx| {
@@ -192,8 +237,7 @@ pub fn build_threaded(params: &ThreadedTrackerParams) -> Result<ThreadedTracker,
             }
             let hist = build_histogram(&frame.value);
             extra(d);
-            out_c7.put(ctx, frame.ts, hist.clone())?;
-            out_c8.put(ctx, frame.ts, hist)?;
+            out_hists.put(ctx, frame.ts, hist)?;
             Ok(Step::Continue)
         });
     }
