@@ -156,6 +156,11 @@ pub struct IterationOutcome {
     pub summary: Option<Stp>,
     /// How long the thread should sleep before its next iteration.
     pub sleep: Micros,
+    /// Was the pacing policy applied this iteration? True whenever the
+    /// policy selects this thread (even if the residual sleep came out
+    /// zero); false when pacing was skipped — ARU disabled, or the policy
+    /// excludes the thread. Separates "paced to zero" from "not paced".
+    pub paced: bool,
     /// True when the pacing target was decayed because downstream feedback
     /// is older than the configured staleness horizon.
     pub stale: bool,
@@ -322,7 +327,8 @@ impl AruController {
             stale = true;
             self.decay_stale_summary(now, current);
         }
-        let sleep = if self.should_pace() {
+        let paced = self.should_pace();
+        let sleep = if paced {
             self.pacer.sleep_until_release(now)
         } else {
             Micros::ZERO
@@ -331,6 +337,7 @@ impl AruController {
             current_stp: current,
             summary: self.cached_summary,
             sleep,
+            paced,
             stale,
         }
     }
@@ -444,6 +451,7 @@ mod tests {
             "source must sleep most of the period, got {}",
             o2.sleep
         );
+        assert!(o2.paced, "policy selected this source");
     }
 
     #[test]
@@ -453,6 +461,7 @@ mod tests {
         c.iteration_begin(SimTime(0));
         let out = c.iteration_end(SimTime(10));
         assert_eq!(out.sleep, Micros::ZERO);
+        assert!(!out.paced, "interior thread is skipped under SourcesOnly");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::schannel::{SimChannel, SimItem};
 use crate::spec::InputPolicy;
 use aru_core::{AruConfig, AruController, NodeId, NodeKind, RetryPolicy, Topology};
 use aru_gc::{ref_dead_before, ConsumerMarks, DgcEngine, DgcResult, GcMode};
-use aru_metrics::{IterKey, Trace};
+use aru_metrics::{Counter, Histogram, IterKey, Telemetry, Trace};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use vtime::{Micros, SimTime, Timestamp};
@@ -111,6 +111,41 @@ struct TaskState {
     dead: bool,
     /// Injected transient stall, consumed by the next compute.
     pending_stall: Micros,
+    /// When the current crash happened (sim time) — taken by the restart
+    /// handler to measure crash→restart recovery latency.
+    crashed_at: Option<SimTime>,
+}
+
+/// Fault-injection telemetry: how many faults took effect (by kind), how
+/// many supervised restarts ran, and the crash→restart recovery latency.
+/// The sim is single-threaded, so these are ordinary registry handles; the
+/// bundle is published on [`SimReport::telemetry`] so chaos experiments
+/// flush it through the same exporter serializers as live runs.
+struct SimTele {
+    bundle: Telemetry,
+    faults_crash: Counter,
+    faults_stall: Counter,
+    faults_drop_summaries: Counter,
+    faults_link_spike: Counter,
+    restarts: Counter,
+    recovery_latency_us: Histogram,
+}
+
+impl SimTele {
+    fn new() -> Self {
+        let bundle = Telemetry::new();
+        let reg = &bundle.registry;
+        let fault = |kind: &str| reg.counter("aru_faults_injected_total", &[("kind", kind)]);
+        SimTele {
+            faults_crash: fault("crash"),
+            faults_stall: fault("stall"),
+            faults_drop_summaries: fault("drop_summaries"),
+            faults_link_spike: fault("link_spike"),
+            restarts: reg.counter("aru_restarts_total", &[]),
+            recovery_latency_us: reg.histogram("aru_recovery_latency_us", &[]),
+            bundle,
+        }
+    }
 }
 
 impl TaskState {
@@ -201,6 +236,7 @@ pub struct Sim {
     dgc_engine: DgcEngine,
     dgc_result: DgcResult,
     trace: Trace,
+    tele: SimTele,
     now: SimTime,
 }
 
@@ -264,6 +300,7 @@ impl Sim {
                     attempts: 0,
                     dead: false,
                     pending_stall: Micros::ZERO,
+                    crashed_at: None,
                 }
             })
             .collect();
@@ -280,6 +317,7 @@ impl Sim {
             dgc_engine,
             dgc_result: DgcResult::default(),
             trace: Trace::new(),
+            tele: SimTele::new(),
             now: SimTime::ZERO,
             topo,
             config,
@@ -306,6 +344,15 @@ impl Sim {
         for (at, i) in fault_events {
             sim.schedule(at, EvKind::Fault(i));
         }
+        // Window faults never fire as events, so they are counted here;
+        // point faults are counted when their event actually takes effect.
+        for f in &sim.config.faults.faults {
+            match f {
+                Fault::DropSummaries { .. } => sim.tele.faults_drop_summaries.inc(),
+                Fault::LinkSpike { .. } => sim.tele.faults_link_spike.inc(),
+                Fault::Crash { .. } | Fault::Stall { .. } => {}
+            }
+        }
 
         let horizon = SimTime::ZERO + sim.config.duration;
         while let Some(Reverse(ev)) = sim.events.pop() {
@@ -317,10 +364,11 @@ impl Sim {
         }
 
         Ok(SimReport {
+            skipped_iterations: sim.tasks.iter().map(|t| t.skips).sum(),
             trace: sim.trace,
             topo: sim.topo,
             t_end: horizon,
-            skipped_iterations: sim.tasks.iter().map(|t| t.skips).sum(),
+            telemetry: sim.tele.bundle,
         })
     }
 
@@ -695,6 +743,8 @@ impl Sim {
                 t.blocked = false;
                 t.pending_fetch = Micros::ZERO;
                 t.seq += 1; // the crashed iteration's key is never reused
+                t.crashed_at = Some(now);
+                self.tele.faults_crash.inc();
                 self.trace.task_crash(now, graph, attempt);
                 if self.config.retry.allows(attempt) {
                     let backoff = self.config.retry.delay(attempt);
@@ -706,6 +756,7 @@ impl Sim {
             Fault::Stall { task, extra, .. } => {
                 if let Some(ti) = self.task_by_name(&task) {
                     self.tasks[ti].pending_stall += extra;
+                    self.tele.faults_stall.inc();
                 }
             }
             Fault::DropSummaries { .. } | Fault::LinkSpike { .. } => {
@@ -731,6 +782,12 @@ impl Sim {
             AruController::new(NodeKind::Thread, n_out, is_source, &self.config.aru);
         self.tasks[t.0].phase = Phase::Idle;
         let graph = self.tasks[t.0].decl.graph_node;
+        self.tele.restarts.inc();
+        if let Some(crashed) = self.tasks[t.0].crashed_at.take() {
+            self.tele
+                .recovery_latency_us
+                .record(now.since(crashed).as_micros());
+        }
         self.trace.task_restart(now, graph, attempt, backoff);
         let gen = self.tasks[t.0].generation;
         self.schedule(now, EvKind::Wake(t, gen));

@@ -3,7 +3,7 @@
 use aru_core::Topology;
 use aru_gc::IdealGc;
 use aru_metrics::{
-    FaultReport, FootprintReport, Lineage, PerfReport, Trace, TraceEvent, WasteReport,
+    FaultReport, FootprintReport, Lineage, PerfReport, Telemetry, Trace, TraceEvent, WasteReport,
 };
 use vtime::SimTime;
 
@@ -15,6 +15,10 @@ pub struct SimReport {
     pub t_end: SimTime,
     /// Iterations eliminated by DGC or abandoned joins.
     pub skipped_iterations: u64,
+    /// Fault-injection telemetry (injected-fault counters by kind, restart
+    /// count, recovery-latency histogram) — snapshot its registry and feed
+    /// it to the [`aru_metrics::export`] serializers to persist it.
+    pub telemetry: Telemetry,
 }
 
 impl SimReport {

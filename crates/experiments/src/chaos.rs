@@ -17,8 +17,10 @@
 use crate::config::ExpParams;
 use crate::tables::ShapeCheck;
 use aru_core::{AruConfig, RetryPolicy};
+use aru_metrics::export::{fault_report_jsonl, jsonl_line, ExportSink};
 use aru_metrics::report::Table;
-use aru_metrics::{FaultReport, TraceEvent};
+use aru_metrics::trace::wall_clock_unix_us;
+use aru_metrics::{FaultReport, Telemetry, TraceEvent};
 use desim::{FaultPlan, SimReport};
 use tracker::{SimTrackerParams, TrackerConfigId};
 use vtime::Micros;
@@ -34,6 +36,10 @@ pub struct CrashRecovery {
     /// Virtual time of the last sink output (µs).
     pub last_output_us: u64,
     pub duration_us: u64,
+    /// The sim's fault-injection telemetry (see [`desim::SimReport`]).
+    pub telemetry: Telemetry,
+    /// Wall-clock origin of the scenario run (epoch satellite).
+    pub epoch_unix_us: u64,
 }
 
 impl CrashRecovery {
@@ -54,6 +60,10 @@ pub struct FeedbackLoss {
     pub rate_during: f64,
     /// Production rate after feedback returns.
     pub rate_after: f64,
+    /// The sim's fault-injection telemetry (see [`desim::SimReport`]).
+    pub telemetry: Telemetry,
+    /// Wall-clock origin of the scenario run (epoch satellite).
+    pub epoch_unix_us: u64,
 }
 
 /// The chaos experiment bundle.
@@ -120,6 +130,8 @@ fn run_crash(seed: u64, duration: Micros) -> CrashRecovery {
         period_after_us: mean_gap(&ends, dur * 3 / 4, dur),
         last_output_us,
         duration_us: dur,
+        epoch_unix_us: r.trace.epoch_unix_us(),
+        telemetry: r.telemetry,
     }
 }
 
@@ -144,6 +156,8 @@ fn run_loss(seed: u64, duration: Micros) -> FeedbackLoss {
         // skip the first second of the window (staleness horizon + decay)
         rate_during: rate_per_sec(&ends, from + 1_000_000, until),
         rate_after: rate_per_sec(&ends, until + 1_000_000, dur),
+        epoch_unix_us: r.trace.epoch_unix_us(),
+        telemetry: r.telemetry,
     }
 }
 
@@ -233,6 +247,24 @@ impl Chaos {
         s
     }
 
+    /// Flush both scenarios' telemetry through the exporter serializers:
+    /// for each scenario a marker line, the registry snapshot (injected
+    /// faults by kind, restarts, recovery latency), and the fault report —
+    /// the same shapes a live run's exporter leaves behind on escalation.
+    pub fn export_jsonl(&self, sink: &ExportSink) -> std::io::Result<()> {
+        let now = wall_clock_unix_us();
+        let scenarios: [(&str, &Telemetry, &FaultReport, u64); 2] = [
+            ("crash_recovery", &self.crash.telemetry, &self.crash.faults, self.crash.epoch_unix_us),
+            ("feedback_loss", &self.loss.telemetry, &self.loss.faults, self.loss.epoch_unix_us),
+        ];
+        for (name, tele, faults, epoch) in scenarios {
+            sink.append_jsonl(&format!("{{\"kind\":\"scenario\",\"name\":\"{name}\"}}"))?;
+            sink.append_jsonl(&jsonl_line(&tele.registry.snapshot(), epoch, now))?;
+            sink.append_jsonl(&fault_report_jsonl(faults, epoch, now))?;
+        }
+        Ok(())
+    }
+
     /// The qualitative invariants this experiment must uphold.
     #[must_use]
     pub fn shape_checks(&self) -> Vec<ShapeCheck> {
@@ -286,5 +318,21 @@ mod tests {
         let csv = chaos.to_csv();
         assert!(csv.contains("crash_recovery,1,1"));
         assert!(csv.lines().count() == 3);
+
+        // The exporter-flush path: scenario markers, registry snapshots
+        // (fault counters by kind, recovery latency), and fault reports.
+        let dir = std::env::temp_dir().join(format!("aru-chaos-jsonl-{}", std::process::id()));
+        let sink = ExportSink {
+            prometheus_path: None,
+            jsonl_path: Some(dir.join("chaos_telemetry.jsonl")),
+        };
+        chaos.export_jsonl(&sink).unwrap();
+        let text = std::fs::read_to_string(dir.join("chaos_telemetry.jsonl")).unwrap();
+        assert_eq!(text.lines().count(), 6, "3 lines per scenario");
+        assert!(text.contains("\"aru_faults_injected_total{kind=\\\"crash\\\"}\":1"));
+        assert!(text.contains("\"aru_faults_injected_total{kind=\\\"drop_summaries\\\"}\":1"));
+        assert!(text.contains("\"aru_restarts_total\":1"));
+        assert!(text.contains("\"kind\":\"fault_report\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

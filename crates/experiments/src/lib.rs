@@ -26,6 +26,7 @@ pub mod fig7;
 pub mod fig8_9;
 pub mod sweep;
 pub mod tables;
+pub mod watch;
 
 pub use config::{modes, ExpParams, Mode};
 pub use tables::{paper, ShapeCheck};

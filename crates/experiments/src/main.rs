@@ -17,7 +17,7 @@
 
 use experiments::config::ExpParams;
 use experiments::tables::render_checks;
-use experiments::{chaos, fig10, fig6, fig7, fig8_9, sweep};
+use experiments::{chaos, fig10, fig6, fig7, fig8_9, sweep, watch};
 use std::path::PathBuf;
 use tracker::TrackerConfigId;
 use vtime::Micros;
@@ -26,17 +26,24 @@ struct Args {
     exp: String,
     params: ExpParams,
     out: PathBuf,
+    /// Wall-clock duration explicitly set via `--duration-secs` (the
+    /// watch mode defaults to a short run otherwise).
+    duration_set: bool,
+    watch: bool,
 }
 
 fn parse_args() -> Args {
     let mut exp = "all".to_string();
     let mut params = ExpParams::default();
     let mut out = PathBuf::from("results");
+    let mut duration_set = false;
+    let mut watch = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--exp" => exp = it.next().expect("--exp needs a value"),
             "--quick" => params = ExpParams::quick(),
+            "--watch" => watch = true,
             "--duration-secs" => {
                 let v: u64 = it
                     .next()
@@ -44,6 +51,7 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("numeric duration");
                 params.duration = Micros::from_secs(v);
+                duration_set = true;
             }
             "--seeds" => {
                 let n: u64 = it
@@ -56,8 +64,8 @@ fn parse_args() -> Args {
             "--out" => out = PathBuf::from(it.next().expect("--out needs a value")),
             "--help" | "-h" => {
                 println!(
-                    "repro [--exp all|fig6|fig7|fig8|fig9|fig10|sweep|chaos|threads] [--quick] \
-                     [--duration-secs N] [--seeds N] [--out DIR]"
+                    "repro [--exp all|fig6|fig7|fig8|fig9|fig10|sweep|chaos|threads|smoke] \
+                     [--watch] [--quick] [--duration-secs N] [--seeds N] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -67,12 +75,39 @@ fn parse_args() -> Args {
             }
         }
     }
-    Args { exp, params, out }
+    Args {
+        exp,
+        params,
+        out,
+        duration_set,
+        watch,
+    }
 }
 
 fn main() {
     let args = parse_args();
     std::fs::create_dir_all(&args.out).expect("create output dir");
+
+    if args.watch {
+        // Live telemetry table over the threaded tracker (wall-clock run;
+        // --duration-secs is wall seconds here, default 10 s).
+        let duration = if args.duration_set {
+            args.params.duration
+        } else {
+            Micros::from_secs(10)
+        };
+        watch::run_watch(duration, &args.out);
+        return;
+    }
+    if args.exp == "smoke" {
+        // CI exporter check: short tracker run, then artifact validation.
+        let failures = watch::run_smoke(&args.out);
+        for f in &failures {
+            eprintln!("smoke FAILED: {f}");
+        }
+        std::process::exit(if failures.is_empty() { 0 } else { 1 });
+    }
+
     let mut all_checks = Vec::new();
 
     let want = |name: &str| args.exp == "all" || args.exp == name;
@@ -126,6 +161,15 @@ fn main() {
         print!("{}", fig.render());
         std::fs::write(args.out.join("chaos_faults.csv"), fig.to_csv())
             .expect("write chaos csv");
+        // Fault telemetry through the exporter serializers, next to the
+        // CSV. JSONL appends, so start fresh for this invocation.
+        let jsonl = args.out.join("chaos_telemetry.jsonl");
+        std::fs::remove_file(&jsonl).ok();
+        let sink = aru_metrics::ExportSink {
+            prometheus_path: None,
+            jsonl_path: Some(jsonl),
+        };
+        fig.export_jsonl(&sink).expect("write chaos telemetry jsonl");
         all_checks.extend(fig.shape_checks());
     }
     if args.exp == "threads" {
@@ -151,6 +195,10 @@ fn main() {
             .collect();
         for (mode, report) in experiments::driver::run_jobs(jobs) {
             println!("--- {} (config 1) ---", mode.label());
+            println!(
+                "{}",
+                aru_metrics::report::run_header(report.trace.epoch_unix_us(), report.t_end)
+            );
             println!(
                 "{}",
                 aru_metrics::thread_stats::render_thread_stats(

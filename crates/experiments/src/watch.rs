@@ -1,0 +1,224 @@
+//! Live telemetry views of the threaded tracker: `repro --watch` renders
+//! the exporter's registry as a refreshing terminal table while the
+//! pipeline runs; `repro --exp smoke` is the CI exporter check — run the
+//! tracker briefly with the exporter enabled, then validate the Prometheus
+//! scrape (syntax + per-thread STP gauges) and the JSONL artifact.
+//!
+//! Both modes run the real 6-thread / 9-channel tracker (Figure 5) on the
+//! threaded Stampede runtime with ARU-min, exactly what `--exp threads`
+//! exercises — the only addition is the telemetry exporter.
+
+use aru_core::AruConfig;
+use aru_metrics::export::validate_prometheus_text;
+use aru_metrics::report::Table;
+use aru_metrics::{ExportSink, RegistrySnapshot, Series};
+use std::path::Path;
+use std::time::{Duration, Instant};
+use tracker::app_threaded::{build_threaded, ThreadedTrackerParams};
+use vtime::Micros;
+
+/// The tracker's task-thread names (Figure 5 stages).
+const THREADS: [&str; 6] = [
+    "digitizer",
+    "change-detection",
+    "histogram",
+    "target-det-1",
+    "target-det-2",
+    "gui",
+];
+
+/// How often the runtime exporter rewrites the scrape files.
+const EXPORT_INTERVAL: Micros = Micros(100_000); // 100 ms
+
+fn find<'a, V>(
+    map: &'a std::collections::BTreeMap<Series, V>,
+    name: &str,
+    label: (&str, &str),
+) -> Option<&'a V> {
+    map.iter()
+        .find(|(s, _)| {
+            s.name == name && s.labels.iter().any(|(k, v)| k == label.0 && v == label.1)
+        })
+        .map(|(_, v)| v)
+}
+
+fn gauge(snap: &RegistrySnapshot, name: &str, label: (&str, &str)) -> f64 {
+    find(&snap.gauges, name, label).copied().unwrap_or(f64::NAN)
+}
+
+fn counter(snap: &RegistrySnapshot, name: &str, label: (&str, &str)) -> u64 {
+    find(&snap.counters, name, label).copied().unwrap_or(0)
+}
+
+/// Render one registry snapshot as the live watch table: a per-thread
+/// block (STP gauges, iteration/pacing counters) and a per-channel block
+/// (occupancy and traffic).
+#[must_use]
+pub fn render_snapshot(snap: &RegistrySnapshot) -> String {
+    let mut t = Table::new(
+        "threads — STP and pacing (live)",
+        &["thread", "stp now", "stp summary", "iters", "paced", "skipped", "sleep ms"],
+    );
+    for name in THREADS {
+        let l = ("thread", name);
+        t.row(vec![
+            name.into(),
+            format!("{:.1} ms", gauge(snap, "aru_stp_current_us", l) / 1e3),
+            format!("{:.1} ms", gauge(snap, "aru_stp_summary_us", l) / 1e3),
+            format!("{}", counter(snap, "aru_iterations_total", l)),
+            format!("{}", counter(snap, "aru_pacing_taken_total", l)),
+            format!("{}", counter(snap, "aru_pacing_skipped_total", l)),
+            format!("{:.0}", counter(snap, "aru_pace_sleep_us_total", l) as f64 / 1e3),
+        ]);
+    }
+    let mut c = Table::new(
+        "channels — occupancy and traffic (live)",
+        &["channel", "items", "bytes", "puts", "gets", "purged"],
+    );
+    let channels: Vec<&str> = snap
+        .gauges
+        .keys()
+        .filter(|s| s.name == "aru_channel_occupancy_items")
+        .filter_map(|s| s.labels.iter().find(|(k, _)| k == "channel"))
+        .map(|(_, v)| v.as_str())
+        .collect();
+    for name in channels {
+        let l = ("channel", name);
+        c.row(vec![
+            name.into(),
+            format!("{:.0}", gauge(snap, "aru_channel_occupancy_items", l)),
+            format!("{:.0}", gauge(snap, "aru_channel_live_bytes", l)),
+            format!("{}", counter(snap, "aru_channel_puts_total", l)),
+            format!("{}", counter(snap, "aru_channel_gets_total", l)),
+            format!("{}", counter(snap, "aru_channel_purged_total", l)),
+        ]);
+    }
+    format!("{}\n{}", t.render(), c.render())
+}
+
+fn tracker_params(out: &Path) -> ThreadedTrackerParams {
+    let sink = ExportSink {
+        prometheus_path: Some(out.join("telemetry.prom")),
+        jsonl_path: Some(out.join("telemetry.jsonl")),
+    };
+    // JSONL appends across invocations; start this run's artifact fresh.
+    if let Some(p) = &sink.jsonl_path {
+        std::fs::remove_file(p).ok();
+    }
+    ThreadedTrackerParams::new(AruConfig::aru_min()).with_export(sink, EXPORT_INTERVAL)
+}
+
+/// `repro --watch`: run the threaded tracker for `duration` of wall time
+/// with the exporter enabled, re-rendering the live table twice a second.
+pub fn run_watch(duration: Micros, out: &Path) {
+    let app = build_threaded(&tracker_params(out)).expect("build threaded tracker");
+    let running = app.runtime.start();
+    let t0 = Instant::now();
+    let interactive = std::io::IsTerminal::is_terminal(&std::io::stdout());
+    while t0.elapsed() < Duration::from(duration) {
+        std::thread::sleep(Duration::from_millis(500));
+        let snap = running.telemetry().registry.snapshot();
+        if interactive {
+            // Home + clear-to-end keeps the table in place between frames.
+            print!("\x1b[H\x1b[2J");
+        }
+        println!(
+            "tracker live telemetry — t={:.1}s of {} (ctrl-c to abort)",
+            t0.elapsed().as_secs_f64(),
+            duration
+        );
+        println!("{}", render_snapshot(&snap));
+    }
+    if let Some(net) = &app.network {
+        net.stop();
+    }
+    let report = running.stop().expect("tracker run completes");
+    println!(
+        "{}",
+        aru_metrics::report::run_header(report.trace.epoch_unix_us(), report.t_end)
+    );
+    println!(
+        "run complete: {} sink outputs; scrape artifacts in {}",
+        report.outputs(),
+        out.display()
+    );
+}
+
+/// `repro --exp smoke`: the CI exporter check. Runs the tracker for ~2 s
+/// of wall time, then validates the artifacts the exporter left behind.
+/// Returns the failures (empty = pass).
+pub fn run_smoke(out: &Path) -> Vec<String> {
+    let app = build_threaded(&tracker_params(out)).expect("build threaded tracker");
+    let running = app.runtime.start();
+    std::thread::sleep(Duration::from_secs(2));
+    if let Some(net) = &app.network {
+        net.stop();
+    }
+    running.stop().expect("tracker run completes");
+
+    let mut failures = Vec::new();
+    let prom_path = out.join("telemetry.prom");
+    let text = std::fs::read_to_string(&prom_path).unwrap_or_default();
+    if text.is_empty() {
+        failures.push(format!("missing or empty {}", prom_path.display()));
+    } else if let Err(e) = validate_prometheus_text(&text) {
+        failures.push(format!("invalid Prometheus text: {e}"));
+    }
+    // Every tracker stage must have reported a nonzero current-STP gauge.
+    for name in THREADS {
+        let needle = format!("aru_stp_current_us{{thread=\"{name}\"}} ");
+        let ok = text.lines().any(|l| {
+            l.strip_prefix(needle.as_str())
+                .and_then(|v| v.parse::<f64>().ok())
+                .is_some_and(|v| v > 0.0)
+        });
+        if !ok {
+            failures.push(format!("no nonzero STP gauge for thread '{name}'"));
+        }
+    }
+    for required in ["aru_channel_puts_total", "aru_iterations_total", "aru_epoch_unix_us"] {
+        if !text.contains(required) {
+            failures.push(format!("scrape lacks series '{required}'"));
+        }
+    }
+    let jsonl = std::fs::read_to_string(out.join("telemetry.jsonl")).unwrap_or_default();
+    let lines = jsonl.lines().count();
+    if lines < 2 {
+        failures.push(format!("expected >=2 JSONL snapshots, found {lines}"));
+    }
+    if !jsonl.lines().all(|l| l.starts_with('{') && l.ends_with('}')) {
+        failures.push("JSONL artifact has a malformed line".into());
+    }
+    println!(
+        "exporter smoke: {} prom lines, {} jsonl snapshots, {} failure(s)",
+        text.lines().count(),
+        lines,
+        failures.len()
+    );
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_passes_on_a_short_run() {
+        let dir = std::env::temp_dir().join(format!("aru-smoke-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let failures = run_smoke(&dir);
+        assert!(failures.is_empty(), "smoke failures: {failures:?}");
+        let snap_render = {
+            // The rendered watch table works off the same artifacts' source
+            // registry; sanity-check the renderer on a synthetic snapshot.
+            let reg = aru_metrics::Registry::new();
+            reg.gauge("aru_stp_current_us", &[("thread", "digitizer")]).set(40_000.0);
+            reg.counter("aru_channel_puts_total", &[("channel", "C1")]).add(3);
+            reg.gauge("aru_channel_occupancy_items", &[("channel", "C1")]).set(2.0);
+            render_snapshot(&reg.snapshot())
+        };
+        assert!(snap_render.contains("digitizer"));
+        assert!(snap_render.contains("C1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

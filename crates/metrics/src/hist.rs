@@ -1,0 +1,432 @@
+//! Log-bucketed (HDR-style) histograms for live telemetry.
+//!
+//! Two recorders share one bucket layout:
+//!
+//! * [`Hist`] — a plain (non-atomic) recorder for writers that already hold
+//!   exclusive access, e.g. the channel/queue telemetry accumulators that
+//!   live inside the state mutex. `record` is three integer stores plus a
+//!   `leading_zeros`, cheap enough for the put/get hot path's cost budget
+//!   (DESIGN.md §12).
+//! * [`AtomicHist`] — a shared recorder whose `record` is one relaxed
+//!   `fetch_add` per field: wait-free, no CAS loop, no lock. The registry
+//!   hands each writer its own `AtomicHist` shard (see
+//!   [`crate::registry`]), so even the atomic adds land on writer-private
+//!   cache lines.
+//!
+//! Both produce a [`HistSnapshot`]; snapshots merge bucket-wise, so a merge
+//! of per-shard snapshots equals the histogram a single recorder would have
+//! produced from the same samples — the property test in this module pins
+//! that down.
+//!
+//! # Bucket layout
+//!
+//! Log-linear: `1 << SUB_BITS` sub-buckets per power of two. Values below
+//! `2^SUB_BITS` get exact unit buckets; above that the bucket width grows
+//! with the value, bounding relative error at `2^-SUB_BITS` (12.5%). Any
+//! quantile estimate is therefore off by at most one bucket — the classic
+//! HDR trade: fixed memory, bounded relative error, mergeable.
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: 2^3 = 8 sub-buckets per octave (≤12.5% relative
+/// error per bucket).
+const SUB_BITS: u32 = 3;
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Total buckets covering the full `u64` range: `SUB` unit buckets, then
+/// 8 per remaining octave.
+pub const N_BUCKETS: usize = (SUB + (63 - SUB_BITS as u64) * SUB) as usize;
+
+/// Bucket index for a value (log-linear layout; total order preserved).
+#[inline]
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = (msb - SUB_BITS) as u64;
+    let within = (v >> (msb - SUB_BITS)) - SUB;
+    (SUB + octave * SUB + within).min(N_BUCKETS as u64 - 1) as usize
+}
+
+/// Inclusive upper bound of a bucket (the value reported for quantiles —
+/// a conservative "at most" estimate).
+#[must_use]
+pub fn bucket_upper(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        return idx;
+    }
+    let octave = (idx - SUB) / SUB;
+    let within = (idx - SUB) % SUB;
+    let low = (SUB + within) << octave;
+    let width = 1u64 << octave;
+    low + width - 1
+}
+
+/// Lower bound of a bucket.
+#[must_use]
+pub fn bucket_lower(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else {
+        bucket_upper(idx - 1).saturating_add(1)
+    }
+}
+
+/// Plain single-writer histogram (see module docs).
+#[derive(Clone)]
+pub struct Hist {
+    buckets: Box<[u64; N_BUCKETS]>,
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Hist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hist")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Hist {
+    #[must_use]
+    pub fn new() -> Self {
+        Hist {
+            buckets: Box::new([0; N_BUCKETS]),
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Take everything recorded since the last drain, leaving the
+    /// histogram empty — the publish step of the accumulate-then-publish
+    /// telemetry discipline.
+    pub fn drain_into(&mut self, sink: &AtomicHist) {
+        if self.count == 0 {
+            return;
+        }
+        for (idx, n) in self.buckets.iter_mut().enumerate() {
+            if *n != 0 {
+                sink.buckets[idx].fetch_add(*n, Ordering::Relaxed);
+                *n = 0;
+            }
+        }
+        sink.count.fetch_add(self.count, Ordering::Relaxed);
+        sink.sum.fetch_add(self.sum, Ordering::Relaxed);
+        self.count = 0;
+        self.sum = 0;
+    }
+
+    #[must_use]
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self.buckets.to_vec(),
+            count: self.count,
+            sum: self.sum,
+        }
+    }
+}
+
+/// Shared wait-free histogram: every `record` is relaxed `fetch_add`s only.
+pub struct AtomicHist {
+    buckets: Box<[AtomicU64; N_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for AtomicHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for AtomicHist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AtomicHist")
+    }
+}
+
+impl AtomicHist {
+    #[must_use]
+    pub fn new() -> Self {
+        AtomicHist {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Wait-free: one relaxed RMW per touched field, no loops, no locks.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Relaxed read of all buckets. Concurrent `record`s may be half
+    /// visible (bucket landed, count not yet) — quantiles normalize by the
+    /// bucket total, so a snapshot is always internally consistent enough
+    /// for display; exact totals come from quiescent snapshots (e.g. after
+    /// `Running::stop`).
+    #[must_use]
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Owned, mergeable histogram state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Dense bucket counts (`N_BUCKETS` long, or empty for "never
+    /// recorded").
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl HistSnapshot {
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Bucket-wise merge: `a.merge(b)` equals the snapshot of a single
+    /// recorder fed both sample streams.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if other.buckets.is_empty() {
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; N_BUCKETS];
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Quantile estimate: upper bound of the bucket holding the q-th
+    /// sample. Error is bounded by one bucket (≤12.5% relative).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // ceil(q * total), clamped to [1, total]
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(idx);
+            }
+        }
+        bucket_upper(N_BUCKETS - 1)
+    }
+
+    /// Arithmetic mean of the recorded samples (exact: `sum` is exact).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound, cumulative_count)` — the shape
+    /// Prometheus `_bucket{le=...}` lines want.
+    #[must_use]
+    pub fn cumulative_nonzero(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (idx, n) in self.buckets.iter().enumerate() {
+            if *n != 0 {
+                cum += n;
+                out.push((bucket_upper(idx), cum));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn layout_is_monotone_and_bounds_consistent() {
+        let mut prev = 0usize;
+        for v in [0u64, 1, 7, 8, 9, 15, 16, 100, 1000, 1 << 20, u64::MAX / 2] {
+            let idx = bucket_index(v);
+            assert!(idx >= prev || v < 16, "index not monotone at {v}");
+            prev = prev.max(idx);
+            assert!(
+                bucket_lower(idx) <= v && v <= bucket_upper(idx),
+                "v={v} outside bucket {idx}: [{}, {}]",
+                bucket_lower(idx),
+                bucket_upper(idx)
+            );
+        }
+        // buckets tile the range: upper(i) + 1 == lower(i+1)
+        for idx in 0..N_BUCKETS - 1 {
+            assert_eq!(bucket_upper(idx) + 1, bucket_lower(idx + 1), "gap at {idx}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [100u64, 999, 12_345, 1 << 30] {
+            let idx = bucket_index(v);
+            let width = bucket_upper(idx) - bucket_lower(idx) + 1;
+            assert!(
+                (width as f64) / (bucket_lower(idx) as f64) <= 0.126,
+                "bucket too wide at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_and_plain_agree() {
+        let mut plain = Hist::new();
+        let atomic = AtomicHist::new();
+        for v in [0u64, 1, 5, 8, 200, 77_777, 1 << 40] {
+            plain.record(v);
+            atomic.record(v);
+        }
+        assert_eq!(plain.snapshot(), atomic.snapshot());
+    }
+
+    #[test]
+    fn drain_into_moves_everything_once() {
+        let mut plain = Hist::new();
+        let sink = AtomicHist::new();
+        for v in 0..100u64 {
+            plain.record(v * 3);
+        }
+        let want = plain.snapshot();
+        plain.drain_into(&sink);
+        assert_eq!(sink.snapshot(), want);
+        assert_eq!(plain.count(), 0);
+        plain.drain_into(&sink); // empty drain is a no-op
+        assert_eq!(sink.snapshot(), want);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        assert_eq!(HistSnapshot::empty().quantile(0.5), 0);
+    }
+
+    proptest! {
+        /// Satellite: merge of shard snapshots == single-recorder ground
+        /// truth, for any partition of any sample stream.
+        #[test]
+        fn merge_of_shards_equals_single_recorder(
+            samples in proptest::collection::vec(0u64..1 << 54, 0..200),
+            cuts in proptest::collection::vec(0usize..200, 0..4),
+        ) {
+            let mut single = Hist::new();
+            for &v in &samples {
+                single.record(v);
+            }
+            // partition the stream at the cut points
+            let mut cuts: Vec<usize> =
+                cuts.into_iter().map(|c| c.min(samples.len())).collect();
+            cuts.sort_unstable();
+            let mut shards: Vec<Hist> = Vec::new();
+            let mut start = 0usize;
+            for end in cuts.into_iter().chain([samples.len()]) {
+                let mut h = Hist::new();
+                for &v in &samples[start..end] {
+                    h.record(v);
+                }
+                shards.push(h);
+                start = end;
+            }
+            let mut merged = HistSnapshot::empty();
+            for s in &shards {
+                merged.merge(&s.snapshot());
+            }
+            if samples.is_empty() {
+                prop_assert!(merged.is_empty());
+            } else {
+                prop_assert_eq!(merged, single.snapshot());
+            }
+        }
+
+        /// Satellite: quantile error ≤ 1 bucket — the reported value's
+        /// bucket equals the true order statistic's bucket.
+        #[test]
+        fn quantile_error_within_one_bucket(
+            samples in proptest::collection::vec(0u64..1 << 54, 1..200),
+            q in 0.0f64..1.001,
+        ) {
+            // the vendored proptest has no RangeInclusive<f64> strategy
+            let q = q.min(1.0);
+            let mut h = Hist::new();
+            for &v in &samples {
+                h.record(v);
+            }
+            let snap = h.snapshot();
+            let est = snap.quantile(q);
+            let mut samples = samples;
+            samples.sort_unstable();
+            let rank = ((q * samples.len() as f64).ceil() as usize)
+                .clamp(1, samples.len());
+            let truth = samples[rank - 1];
+            prop_assert_eq!(
+                bucket_index(est),
+                bucket_index(truth),
+                "q={} est={} truth={}",
+                q,
+                est,
+                truth
+            );
+            // and the estimate never understates the true value
+            prop_assert!(est >= truth);
+        }
+    }
+}

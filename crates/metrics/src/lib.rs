@@ -25,16 +25,34 @@
 //!   ops, dropped summaries and stale-summary intervals, overall and per
 //!   node;
 //! * [`report`] — table/CSV rendering for the experiment harness.
+//!
+//! Live telemetry (DESIGN.md §12) rides alongside the postmortem trace:
+//!
+//! * [`registry`] — lock-free sharded counters/gauges, [`hist`] —
+//!   log-bucketed mergeable histograms, [`spans`] — ring-buffered
+//!   feedback-loop hop recorder, [`export`] — Prometheus-text/JSONL
+//!   serialization. The bundle ([`Telemetry`]) is carried by
+//!   [`SharedTrace`], so every runtime component that can trace can also
+//!   meter.
 
 pub mod channel_stats;
 pub mod event;
+pub mod export;
 pub mod fault;
 pub mod footprint;
+pub mod hist;
+// The std-only JSON writer shared with the bench binaries; included by
+// path because `crates/bench` is excluded from the workspace (its criterion
+// dev-dependency is registry-only — see that file's module docs).
+#[path = "../../bench/src/json.rs"]
+pub mod json;
 pub mod lineage;
 #[cfg(all(loom, test))]
 mod loom_tests;
 pub mod perf;
+pub mod registry;
 pub mod report;
+pub mod spans;
 pub mod sync;
 pub mod thread_stats;
 pub mod trace;
@@ -42,10 +60,14 @@ pub mod waste;
 
 pub use channel_stats::{channel_stats, ChannelStats};
 pub use event::{ItemId, IterKey, TraceEvent};
+pub use export::ExportSink;
 pub use fault::{FaultReport, NodeFaults};
 pub use footprint::{FootprintReport, IGC_LABEL};
+pub use hist::{Hist, HistSnapshot};
 pub use lineage::Lineage;
 pub use perf::PerfReport;
+pub use registry::{Counter, Gauge, Histogram, Registry, RegistrySnapshot, Series, Telemetry};
+pub use spans::{FeedbackHop, HopKind, SpanRecorder, SpanShard, SpanSnapshot};
 pub use thread_stats::{thread_stats, ThreadStats};
 pub use trace::{CoarseTrace, LocalTrace, SharedTrace, Trace};
 pub use waste::WasteReport;

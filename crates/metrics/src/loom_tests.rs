@@ -14,6 +14,7 @@
 //! blocks) or a flush that loses a sealed chunk would fail deterministically.
 
 use crate::event::{IterKey, TraceEvent};
+use crate::registry::Registry;
 use crate::trace::SharedTrace;
 use aru_core::graph::NodeId;
 use vtime::{SimTime, Timestamp};
@@ -80,5 +81,48 @@ fn loom_snapshot_races_buffered_writer_without_losing_events() {
             .filter(|e| matches!(e, TraceEvent::Alloc { .. }))
             .count();
         assert_eq!(allocs, 2, "flushed events lost");
+    });
+}
+
+/// Telemetry satellite: a registry snapshot racing concurrent wait-free
+/// `record()` calls. Two writers bump their own counter shards of the same
+/// series while the main thread snapshots mid-flight: any prefix of the
+/// concurrent increments is a valid observation, acknowledged increments
+/// are never lost, and registering a shard concurrently with a snapshot
+/// must not deadlock the registry mutex.
+#[test]
+fn loom_registry_snapshot_races_record() {
+    loom::model(|| {
+        let reg = Registry::new();
+        // One shard registered before the race: the snapshot always knows
+        // the series even if it runs before the second writer registers.
+        let pre = reg.counter("ops_total", &[]);
+        pre.add(1);
+        let mut handles = Vec::new();
+        {
+            let reg = reg.clone();
+            handles.push(loom::thread::spawn(move || {
+                // registers a second shard of the same series mid-model
+                let c = reg.counter("ops_total", &[]);
+                c.inc();
+                c.inc();
+            }));
+        }
+        {
+            let pre = pre.clone();
+            handles.push(loom::thread::spawn(move || {
+                pre.inc();
+            }));
+        }
+        let mid = reg.snapshot().counter("ops_total", &[]);
+        assert!(
+            (1..=4).contains(&mid),
+            "mid-flight snapshot saw {mid}, outside the valid prefix range"
+        );
+        for h in handles {
+            h.join().unwrap();
+        }
+        let done = reg.snapshot().counter("ops_total", &[]);
+        assert_eq!(done, 4, "acknowledged increments lost");
     });
 }

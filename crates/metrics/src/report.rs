@@ -2,6 +2,21 @@
 
 use vtime::{SimTime, TimeWeightedSeries};
 
+/// One-line run header stamping the wall-clock epoch (see
+/// [`crate::trace::wall_clock_unix_us`]). Prepend it to rendered reports —
+/// opt-in, so renders of epoch-free traces stay unchanged — to correlate
+/// trace-derived tables with exported telemetry across runs and nodes: the
+/// body's virtual timestamps are relative to exactly this origin.
+#[must_use]
+pub fn run_header(epoch_unix_us: u64, t_end: SimTime) -> String {
+    format!(
+        "run epoch: unix {}.{:06} s; horizon: {}",
+        epoch_unix_us / 1_000_000,
+        epoch_unix_us % 1_000_000,
+        t_end
+    )
+}
+
 /// A simple aligned text table (the shape the paper's figures 6/7/10 use).
 #[derive(Debug, Clone, Default)]
 pub struct Table {
@@ -189,5 +204,11 @@ mod tests {
         let s = TimeWeightedSeries::new();
         let p = ascii_plot("empty", &s, SimTime(100), 4, 20);
         assert!(p.contains("empty"));
+    }
+
+    #[test]
+    fn run_header_formats_epoch_and_horizon() {
+        let h = run_header(1_722_000_000_123_456, SimTime(200_000_000));
+        assert_eq!(h, "run epoch: unix 1722000000.123456 s; horizon: t=200.000s");
     }
 }

@@ -1,0 +1,314 @@
+//! Feedback-loop spans: hop-by-hop tracing of summary-STP propagation.
+//!
+//! The ARU feedback loop is invisible in an ordinary metrics dump: a
+//! source's paced period changes because, several buffers upstream in the
+//! *backward* direction, some consumer's summary STP changed. This module
+//! records the individual hops of that propagation so a pacing change at
+//! the Digitizer can be **attributed** to the downstream STP change that
+//! caused it — observability the paper never had.
+//!
+//! # Hops
+//!
+//! A summary value travels consumer → channel → producer → controller:
+//!
+//! 1. [`HopKind::Deposit`] — a consumer's `get` deposits its compressed
+//!    summary at the channel (`node` = channel, `peer` = consumer thread).
+//! 2. [`HopKind::Return`] — a producer's `put` receives the channel's
+//!    cached summary (`node` = channel, `peer` = producer thread).
+//! 3. [`HopKind::Fold`] — the producer folds that value into its
+//!    controller's backward vector (`node` = producer thread, `peer` =
+//!    channel).
+//! 4. [`HopKind::Pace`] — the producer's `iteration_end` pacing decision
+//!    uses the folded summary (`node` = `peer` = thread; `extra` carries
+//!    the sleep it chose).
+//!
+//! # Ring semantics
+//!
+//! Recording follows the per-writer-shard discipline: each writer owns a
+//! [`SpanShard`] — a fixed-capacity ring behind an uncontended mutex. When
+//! the ring is full the **oldest hop is overwritten** and a drop counter
+//! bumps; memory is bounded no matter how long the run. Writers only
+//! record a hop when the carried value *differs* from the last one they
+//! recorded for that kind, so a steady-state pipeline (summaries converged)
+//! costs one compare per op and records nothing. [`SpanRecorder::snapshot`]
+//! merges all rings into one time-ordered hop list.
+
+use crate::sync::Mutex;
+use aru_core::graph::NodeId;
+use std::sync::Arc;
+use vtime::{Micros, SimTime};
+
+/// Which leg of the backward propagation a hop records (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HopKind {
+    Deposit,
+    Return,
+    Fold,
+    Pace,
+}
+
+/// One observed hop of a summary-STP value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FeedbackHop {
+    pub t: SimTime,
+    pub kind: HopKind,
+    /// Where the hop was observed: the channel node for `Deposit`/`Return`,
+    /// the thread node for `Fold`/`Pace`.
+    pub node: NodeId,
+    /// The other party: the depositing consumer (`Deposit`), the receiving
+    /// producer (`Return`), the source channel (`Fold`), the thread itself
+    /// (`Pace`).
+    pub peer: NodeId,
+    /// The summary-STP period the hop carries — the chain key: a value
+    /// propagates unchanged, so equal `value` links hops of one span.
+    pub value: Micros,
+    /// `Pace` only: the sleep the pacing decision chose. Zero otherwise.
+    pub extra: Micros,
+}
+
+/// Hops kept per ring. Shrunk under loom so a model-checked test can cross
+/// the wrap boundary within the preemption budget.
+pub const RING_CAP: usize = if cfg!(loom) { 4 } else { 4096 };
+
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<FeedbackHop>,
+    /// Overwrite cursor once `buf` reached capacity.
+    next: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new() -> Self {
+        Ring {
+            buf: Vec::new(),
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, hop: FeedbackHop) {
+        if self.buf.len() < RING_CAP {
+            self.buf.push(hop);
+        } else {
+            self.buf[self.next] = hop;
+            self.next = (self.next + 1) % RING_CAP;
+            self.dropped += 1;
+        }
+    }
+
+    /// Contents oldest-first.
+    fn collect(&self) -> Vec<FeedbackHop> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+}
+
+/// A writer-private span ring. The mutex exists for the snapshotting
+/// reader; the owning writer is the only other holder, so hot-path locking
+/// is uncontended (and only happens when a summary value changed at all).
+#[derive(Debug)]
+pub struct SpanShard {
+    inner: Arc<Mutex<Ring>>,
+}
+
+impl SpanShard {
+    pub fn record(&self, hop: FeedbackHop) {
+        self.inner.lock().push(hop);
+    }
+}
+
+#[derive(Debug, Default)]
+struct SpanCore {
+    shards: Mutex<Vec<Arc<Mutex<Ring>>>>,
+}
+
+/// Shared handle to the span recorder (cheap to clone; all clones see the
+/// same shards).
+#[derive(Clone, Debug, Default)]
+pub struct SpanRecorder {
+    core: Arc<SpanCore>,
+}
+
+impl SpanRecorder {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a new writer-private ring.
+    #[must_use]
+    pub fn shard(&self) -> SpanShard {
+        let inner = Arc::new(Mutex::new(Ring::new()));
+        self.core.shards.lock().push(Arc::clone(&inner));
+        SpanShard { inner }
+    }
+
+    /// Merge all rings into one time-ordered hop list. Non-destructive.
+    #[must_use]
+    pub fn snapshot(&self) -> SpanSnapshot {
+        let shards: Vec<Arc<Mutex<Ring>>> = self.core.shards.lock().clone();
+        let mut hops = Vec::new();
+        let mut dropped = 0u64;
+        for s in &shards {
+            let r = s.lock();
+            hops.extend(r.collect());
+            dropped += r.dropped;
+        }
+        // Stable: ties keep shard registration order, like the trace merge.
+        hops.sort_by_key(|h| h.t);
+        SpanSnapshot { hops, dropped }
+    }
+}
+
+/// All recorded hops, time-ordered, plus how many were overwritten.
+#[derive(Clone, Debug, Default)]
+pub struct SpanSnapshot {
+    pub hops: Vec<FeedbackHop>,
+    pub dropped: u64,
+}
+
+impl SpanSnapshot {
+    /// Indices of `Pace` hops (candidate attribution roots), in time order.
+    #[must_use]
+    pub fn paces(&self) -> Vec<usize> {
+        self.hops
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.kind == HopKind::Pace)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Attribute a pacing decision to the hop chain that caused it.
+    ///
+    /// Walks backward from the `Pace` hop at `pace_idx`, matching on the
+    /// carried value: the latest `Fold` at the same thread with that value,
+    /// then the `Return` at the channel the fold came from, then the
+    /// `Deposit` that put the value there. Returns indices in propagation
+    /// order (`Deposit`, `Return`, `Fold`, `Pace`); the chain is shorter
+    /// when a link predates the ring (overwritten) or the value originated
+    /// locally.
+    #[must_use]
+    pub fn attribute_pace(&self, pace_idx: usize) -> Vec<usize> {
+        let Some(pace) = self.hops.get(pace_idx) else {
+            return Vec::new();
+        };
+        if pace.kind != HopKind::Pace {
+            return Vec::new();
+        }
+        let mut chain = vec![pace_idx];
+        let before = |i: usize| self.hops[..i].iter().enumerate().rev();
+
+        // Fold: same thread, same value.
+        let Some((fold_idx, fold)) = before(pace_idx)
+            .find(|(_, h)| h.kind == HopKind::Fold && h.node == pace.node && h.value == pace.value)
+        else {
+            return chain;
+        };
+        chain.push(fold_idx);
+
+        // Return: at the channel the fold names, handed to this thread.
+        let Some((ret_idx, ret)) = before(fold_idx).find(|(_, h)| {
+            h.kind == HopKind::Return
+                && h.node == fold.peer
+                && h.peer == fold.node
+                && h.value == fold.value
+        }) else {
+            chain.reverse();
+            return chain;
+        };
+        chain.push(ret_idx);
+
+        // Deposit: the consumer that left the value at that channel.
+        if let Some((dep_idx, _)) = before(ret_idx)
+            .find(|(_, h)| h.kind == HopKind::Deposit && h.node == ret.node && h.value == ret.value)
+        {
+            chain.push(dep_idx);
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn hop(t: u64, kind: HopKind, node: u32, peer: u32, value: u64) -> FeedbackHop {
+        FeedbackHop {
+            t: SimTime(t),
+            kind,
+            node: NodeId(node),
+            peer: NodeId(peer),
+            value: Micros(value),
+            extra: Micros(0),
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let rec = SpanRecorder::new();
+        let sh = rec.shard();
+        for t in 0..(RING_CAP as u64 + 3) {
+            sh.record(hop(t, HopKind::Pace, 0, 0, t));
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.hops.len(), RING_CAP);
+        assert_eq!(snap.dropped, 3);
+        // oldest-first, the 3 earliest overwritten
+        assert_eq!(snap.hops[0].t, SimTime(3));
+        assert_eq!(snap.hops.last().unwrap().t, SimTime(RING_CAP as u64 + 2));
+    }
+
+    #[test]
+    fn snapshot_merges_shards_by_time() {
+        let rec = SpanRecorder::new();
+        let a = rec.shard();
+        let b = rec.shard();
+        a.record(hop(10, HopKind::Deposit, 1, 2, 5));
+        b.record(hop(5, HopKind::Pace, 3, 3, 5));
+        let snap = rec.snapshot();
+        assert_eq!(snap.hops[0].t, SimTime(5));
+        assert_eq!(snap.hops[1].t, SimTime(10));
+    }
+
+    #[test]
+    fn attribution_walks_full_chain() {
+        // channel 10, consumer thread 20, producer thread 30
+        let rec = SpanRecorder::new();
+        let sh = rec.shard();
+        sh.record(hop(1, HopKind::Deposit, 10, 20, 80_000));
+        sh.record(hop(2, HopKind::Return, 10, 30, 80_000));
+        sh.record(hop(3, HopKind::Fold, 30, 10, 80_000));
+        // unrelated noise with a different value
+        sh.record(hop(4, HopKind::Deposit, 10, 20, 99_000));
+        sh.record(hop(5, HopKind::Pace, 30, 30, 80_000));
+        let snap = rec.snapshot();
+        let paces = snap.paces();
+        assert_eq!(paces.len(), 1);
+        let chain = snap.attribute_pace(paces[0]);
+        let kinds: Vec<HopKind> = chain.iter().map(|&i| snap.hops[i].kind).collect();
+        assert_eq!(
+            kinds,
+            vec![HopKind::Deposit, HopKind::Return, HopKind::Fold, HopKind::Pace]
+        );
+        assert_eq!(snap.hops[chain[0]].peer, NodeId(20), "traced to the consumer");
+    }
+
+    #[test]
+    fn attribution_is_partial_when_links_missing() {
+        let rec = SpanRecorder::new();
+        let sh = rec.shard();
+        sh.record(hop(3, HopKind::Fold, 30, 10, 70_000));
+        sh.record(hop(5, HopKind::Pace, 30, 30, 70_000));
+        let snap = rec.snapshot();
+        let chain = snap.attribute_pace(snap.paces()[0]);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(snap.hops[chain[0]].kind, HopKind::Fold);
+        // non-Pace index yields nothing
+        assert!(snap.attribute_pace(chain[0]).is_empty());
+    }
+}

@@ -43,11 +43,24 @@
 //! sharding-equivalence tests; runtimes should not use it.
 
 use crate::event::{ItemId, IterKey, TraceEvent};
+use crate::registry::Telemetry;
 use aru_core::graph::NodeId;
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::Mutex;
 use std::sync::Arc;
 use vtime::{Micros, SimTime, Timestamp};
+
+/// Wall-clock µs since the Unix epoch, or 0 when the clock is unavailable
+/// (pre-epoch system time). Trace times are relative to an arbitrary
+/// per-run origin; this stamp, taken once at recorder creation, is what
+/// lets exported telemetry and trace reports be correlated across runs and
+/// nodes.
+#[must_use]
+pub fn wall_clock_unix_us() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_micros() as u64)
+}
 
 /// An in-memory event trace.
 #[derive(Debug, Default, Clone)]
@@ -61,6 +74,9 @@ pub struct Trace {
     /// this stays true; it only drops on an out-of-order append and lets
     /// [`Trace::merge`] pick the cheap merge path without re-verifying.
     sorted: bool,
+    /// Wall-clock creation instant (see [`wall_clock_unix_us`]); 0 for
+    /// default-constructed traces.
+    epoch_unix_us: u64,
 }
 
 impl Trace {
@@ -71,7 +87,20 @@ impl Trace {
             next_item: 0,
             max_time: SimTime::ZERO,
             sorted: true,
+            epoch_unix_us: wall_clock_unix_us(),
         }
+    }
+
+    /// Wall-clock run origin in µs since the Unix epoch (0 = unknown).
+    #[must_use]
+    pub fn epoch_unix_us(&self) -> u64 {
+        self.epoch_unix_us
+    }
+
+    /// Override the wall-clock origin (used by snapshots to carry the
+    /// recorder's epoch, and by tests).
+    pub fn set_epoch_unix_us(&mut self, epoch: u64) {
+        self.epoch_unix_us = epoch;
     }
 
     fn push(&mut self, ev: TraceEvent) {
@@ -182,6 +211,9 @@ impl Trace {
     /// every call.
     pub fn merge(&mut self, other: Trace) {
         self.next_item = self.next_item.max(other.next_item);
+        if self.epoch_unix_us == 0 {
+            self.epoch_unix_us = other.epoch_unix_us;
+        }
         if other.events.is_empty() {
             return;
         }
@@ -257,6 +289,7 @@ impl Trace {
             next_item,
             max_time,
             sorted: true,
+            epoch_unix_us: 0,
         }
     }
 }
@@ -382,6 +415,13 @@ struct TraceCore {
     /// Registry of every shard ever created for this trace, in
     /// registration order (= clone order; the merge tiebreak).
     shards: Mutex<Vec<Arc<Shard>>>,
+    /// Live-telemetry bundle (metrics registry + feedback-loop spans).
+    /// Carried here because the trace handle already reaches every
+    /// channel, queue, and task context — telemetry rides along with zero
+    /// constructor churn.
+    telemetry: Telemetry,
+    /// Wall-clock creation instant (see [`wall_clock_unix_us`]).
+    epoch_unix_us: u64,
 }
 
 /// Thread-safe sharded trace handle for the threaded runtime.
@@ -423,8 +463,23 @@ impl SharedTrace {
         let core = Arc::new(TraceCore {
             next_item: AtomicU64::new(0),
             shards: Mutex::new(vec![Arc::clone(&shard)]),
+            telemetry: Telemetry::new(),
+            epoch_unix_us: wall_clock_unix_us(),
         });
         SharedTrace { core, shard }
+    }
+
+    /// The live-telemetry bundle every clone of this trace shares.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.core.telemetry
+    }
+
+    /// Wall-clock creation instant of this recorder, µs since the Unix
+    /// epoch.
+    #[must_use]
+    pub fn epoch_unix_us(&self) -> u64 {
+        self.core.epoch_unix_us
     }
 
     pub fn alloc(
@@ -498,7 +553,9 @@ impl SharedTrace {
     pub fn snapshot(&self) -> Trace {
         let shards: Vec<Arc<Shard>> = self.core.shards.lock().clone();
         let runs: Vec<Vec<TraceEvent>> = shards.iter().map(|s| s.collect()).collect();
-        Trace::from_runs(runs, self.core.next_item.load(Ordering::Relaxed))
+        let mut trace = Trace::from_runs(runs, self.core.next_item.load(Ordering::Relaxed));
+        trace.set_epoch_unix_us(self.core.epoch_unix_us);
+        trace
     }
 
     /// Open a buffered single-owner writer on a fresh shard of this trace.
@@ -761,6 +818,7 @@ impl CoarseTrace {
             next_item: self.next_item.load(Ordering::Relaxed),
             max_time,
             sorted: true,
+            epoch_unix_us: 0,
         }
     }
 }
@@ -916,6 +974,19 @@ mod tests {
         // a later snapshot still sees everything plus newer events
         tr.free(SimTime(n), ItemId(n));
         assert_eq!(tr.snapshot().len(), n as usize + 1);
+    }
+
+    #[test]
+    fn snapshot_and_merge_carry_wall_clock_epoch() {
+        let tr = SharedTrace::new();
+        assert!(tr.epoch_unix_us() > 0, "epoch stamped at creation");
+        assert_eq!(tr.snapshot().epoch_unix_us(), tr.epoch_unix_us());
+        let a = Trace::new();
+        assert!(a.epoch_unix_us() > 0);
+        let mut b = Trace::default();
+        assert_eq!(b.epoch_unix_us(), 0);
+        b.merge(a.clone());
+        assert_eq!(b.epoch_unix_us(), a.epoch_unix_us(), "merge adopts epoch");
     }
 
     #[test]

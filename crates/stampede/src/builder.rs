@@ -13,7 +13,7 @@ use crate::task::TaskCtx;
 use aru_core::graph::TopologyError;
 use aru_core::{AruConfig, NodeId, RetryPolicy, Topology};
 use aru_gc::GcMode;
-use aru_metrics::SharedTrace;
+use aru_metrics::{ExportSink, SharedTrace};
 use std::any::Any;
 use std::collections::HashMap;
 use std::fmt;
@@ -105,6 +105,7 @@ pub struct RuntimeBuilder {
     bodies: HashMap<NodeId, Body>,
     retry: RetryPolicy,
     op_timeout: Option<Micros>,
+    export: Option<(ExportSink, Micros)>,
 }
 
 impl RuntimeBuilder {
@@ -124,6 +125,7 @@ impl RuntimeBuilder {
             bodies: HashMap::new(),
             retry: RetryPolicy::none(),
             op_timeout: None,
+            export: None,
         }
     }
 
@@ -159,6 +161,27 @@ impl RuntimeBuilder {
     pub fn with_op_timeout(mut self, timeout: Micros) -> Self {
         self.op_timeout = Some(timeout);
         self
+    }
+
+    /// Enable the periodic telemetry exporter: every `interval` of wall
+    /// time a supervised runtime thread drains each buffer's telemetry
+    /// accumulators into the shared metrics registry, snapshots it, and
+    /// writes the snapshot through `sink` (Prometheus text rewritten
+    /// atomically, JSONL appended). A final snapshot is flushed on
+    /// shutdown — including the escalation path, so a crashed run still
+    /// leaves telemetry (plus a `fault_report` JSONL line) behind.
+    #[must_use]
+    pub fn with_export(mut self, sink: ExportSink, interval: Micros) -> Self {
+        self.export = Some((sink, interval));
+        self
+    }
+
+    /// The live-telemetry bundle (metrics registry + feedback-loop spans)
+    /// every buffer and task context of this pipeline reports into. Clone
+    /// it before `build()` to watch gauges live or snapshot after the run.
+    #[must_use]
+    pub fn telemetry(&self) -> &aru_metrics::Telemetry {
+        self.trace.telemetry()
     }
 
     /// Declare an unbounded channel (Stampede semantics).
@@ -348,6 +371,7 @@ impl RuntimeBuilder {
             bodies,
             self.retry,
             self.op_timeout,
+            self.export,
         ))
     }
 }

@@ -33,6 +33,7 @@ use crate::error::StampedeError;
 use crate::item::{ItemData, StampedItem};
 use crate::store::{ItemStore, Stored};
 use crate::task::TaskCtx;
+use crate::tele::BufTele;
 use aru_core::{AruConfig, AruController, NodeKind, Stp};
 use aru_gc::{ref_dead_before, ConsumerMarks, GcMode};
 use aru_metrics::{ItemId, IterKey, LocalTrace, SharedTrace};
@@ -69,6 +70,10 @@ struct ChannelState<T> {
     capacity: Option<usize>,
     closed: bool,
     live_bytes: u64,
+    /// Live-telemetry accumulator (DESIGN.md §12): plain counters and a
+    /// sampled occupancy histogram, recorded under this mutex and drained
+    /// to the shared registry only on exporter ticks.
+    tele: BufTele,
 }
 
 /// A timestamped, multi-consumer, get-latest buffer.
@@ -97,6 +102,7 @@ impl<T: ItemData> Channel<T> {
         clock: Arc<dyn Clock>,
         trace: SharedTrace,
     ) -> Self {
+        let tele = BufTele::new(trace.telemetry(), "channel", &name, node);
         Channel {
             node,
             name,
@@ -112,6 +118,7 @@ impl<T: ItemData> Channel<T> {
                 capacity,
                 closed: false,
                 live_bytes: 0,
+                tele,
             }),
             cons: Condvar::new(),
             prod: Condvar::new(),
@@ -170,6 +177,9 @@ impl<T: ItemData> Channel<T> {
         self.insert_stored_locked(&mut st, now, producer, ts, value, bytes);
         // Cached compression: a field read, recomputed only on feedback.
         let summary = st.aru.summary();
+        if let Some(s) = summary {
+            st.tele.on_return(producer.node, s.period(), || now);
+        }
         drop(st);
         // New data helps consumers only — a put never opens capacity.
         self.cons.notify_all();
@@ -195,6 +205,8 @@ impl<T: ItemData> Channel<T> {
         }
         st.live_bytes += bytes;
         self.reclaim_if_below_floor(st, ts, now);
+        let len = st.items.len();
+        st.tele.on_put(1, len);
     }
 
     /// Batch insert under one lock hold: one clock read, one batched trace
@@ -218,10 +230,12 @@ impl<T: ItemData> Channel<T> {
         );
         let reclaims = self.gc_mode.reclaims();
         let purged_before = st.purged_before;
+        let n = prepared.len() as u64;
         let ChannelState {
             items,
             trace,
             live_bytes,
+            tele,
             ..
         } = &mut *st;
         for ((ts, value, bytes), id) in prepared.into_iter().zip(ids) {
@@ -237,6 +251,7 @@ impl<T: ItemData> Channel<T> {
                 }
             }
         }
+        tele.on_put(n, items.len());
     }
 
     /// Batch insert. The whole batch becomes visible atomically — the
@@ -263,6 +278,9 @@ impl<T: ItemData> Channel<T> {
         }
         self.insert_batch_locked(&mut st, now, producer, prepared);
         let summary = st.aru.summary();
+        if let Some(s) = summary {
+            st.tele.on_return(producer.node, s.period(), || now);
+        }
         drop(st);
         self.cons.notify_all();
         Ok(summary)
@@ -316,6 +334,9 @@ impl<T: ItemData> Channel<T> {
         if fits {
             self.insert_batch_locked(&mut st, now, ctx.iter_key(), prepared);
             let summary = st.aru.summary();
+            if let Some(s) = summary {
+                st.tele.on_return(ctx.node(), s.period(), || now);
+            }
             drop(st);
             self.cons.notify_all();
             return Ok(summary);
@@ -354,6 +375,9 @@ impl<T: ItemData> Channel<T> {
             }
         }
         let summary = st.aru.summary();
+        if let Some(s) = summary {
+            st.tele.on_return(producer.node, s.period(), || self.clock.now());
+        }
         Ok(summary)
     }
 
@@ -391,6 +415,9 @@ impl<T: ItemData> Channel<T> {
                 }
                 self.insert_stored_locked(&mut st, now, ctx.iter_key(), ts, value, bytes);
                 let summary = st.aru.summary();
+                if let Some(s) = summary {
+                    st.tele.on_return(ctx.node(), s.period(), || now);
+                }
                 drop(st);
                 self.cons.notify_all();
                 return Ok(summary);
@@ -436,6 +463,9 @@ impl<T: ItemData> Channel<T> {
                 let bytes = value.size_bytes();
                 self.insert_stored_locked(&mut st, now, ctx.iter_key(), ts, Arc::new(value), bytes);
                 let summary = st.aru.summary();
+                if let Some(s) = summary {
+                    st.tele.on_return(ctx.node(), s.period(), || now);
+                }
                 drop(st);
                 self.cons.notify_all();
                 return Ok(summary);
@@ -482,10 +512,13 @@ impl<T: ItemData> Channel<T> {
                 if blocked {
                     ctx.block_end(self.clock.now());
                 }
+                let now = self.clock.now();
                 if let Some(summary) = ctx.summary() {
                     st.aru.receive_feedback(chan_out_index, summary);
+                    st.tele.on_deposit(ctx.node(), summary.period(), || now);
                 }
-                let now = self.clock.now();
+                let len = st.items.len();
+                st.tele.on_get(1, len);
                 st.trace.get(now, id, ctx.iter_key());
                 return Ok(StampedItem { ts, value });
             }
@@ -539,10 +572,13 @@ impl<T: ItemData> Channel<T> {
                 if blocked {
                     ctx.block_end(self.clock.now());
                 }
+                let now = self.clock.now();
                 if let Some(summary) = ctx.summary() {
                     st.aru.receive_feedback(chan_out_index, summary);
+                    st.tele.on_deposit(ctx.node(), summary.period(), || now);
                 }
-                let now = self.clock.now();
+                let len = st.items.len();
+                st.tele.on_get(1, len);
                 st.trace.get(now, id, ctx.iter_key());
                 return Ok(Some(StampedItem { ts, value }));
             }
@@ -589,10 +625,13 @@ impl<T: ItemData> Channel<T> {
                 if blocked {
                     ctx.block_end(self.clock.now());
                 }
+                let now = self.clock.now();
                 if let Some(summary) = ctx.summary() {
                     st.aru.receive_feedback(chan_out_index, summary);
+                    st.tele.on_deposit(ctx.node(), summary.period(), || now);
                 }
-                let now = self.clock.now();
+                let len = st.items.len();
+                st.tele.on_get(1, len);
                 st.trace.get(now, id, ctx.iter_key());
                 return Ok(StampedItem { ts: its, value });
             }
@@ -636,14 +675,15 @@ impl<T: ItemData> Channel<T> {
                 if blocked {
                     ctx.block_end(self.clock.now());
                 }
+                let now = self.clock.now();
                 if let Some(summary) = ctx.summary() {
                     st.aru.receive_feedback(chan_out_index, summary);
+                    st.tele.on_deposit(ctx.node(), summary.period(), || now);
                 }
-                let now = self.clock.now();
                 // Build the window directly (newest-first, then reverse) and
                 // record the gets as one batched trace append — no per-item
                 // `trace.get` calls, no intermediate picked Vec.
-                let ChannelState { items, trace, .. } = &mut *st;
+                let ChannelState { items, trace, tele, .. } = &mut *st;
                 let mut window = Vec::with_capacity(n.min(items.len()));
                 let mut ids = Vec::with_capacity(n.min(items.len()));
                 items.for_each_newest(n, |ts, stored| {
@@ -653,6 +693,7 @@ impl<T: ItemData> Channel<T> {
                     });
                     ids.push(stored.id);
                 });
+                tele.on_get(ids.len() as u64, items.len());
                 trace.get_n(now, ctx.iter_key(), ids);
                 window.reverse();
                 return Ok(window);
@@ -689,10 +730,13 @@ impl<T: ItemData> Channel<T> {
             .map(|(ts, stored)| (ts, Arc::clone(&stored.value), stored.id));
         match found {
             Some((ts, value, id)) => {
+                let now = self.clock.now();
                 if let Some(summary) = ctx.summary() {
                     st.aru.receive_feedback(chan_out_index, summary);
+                    st.tele.on_deposit(ctx.node(), summary.period(), || now);
                 }
-                let now = self.clock.now();
+                let len = st.items.len();
+                st.tele.on_get(1, len);
                 st.trace.get(now, id, ctx.iter_key());
                 Ok(Some(StampedItem { ts, value }))
             }
@@ -752,11 +796,12 @@ impl<T: ItemData> Channel<T> {
                 if blocked {
                     ctx.block_end(self.clock.now());
                 }
+                let now = self.clock.now();
                 if let Some(summary) = ctx.summary() {
                     st.aru.receive_feedback(chan_out_index, summary);
+                    st.tele.on_deposit(ctx.node(), summary.period(), || now);
                 }
-                let now = self.clock.now();
-                let ChannelState { items, trace, .. } = &mut *st;
+                let ChannelState { items, trace, tele, .. } = &mut *st;
                 let mut batch = Vec::new();
                 let mut ids = Vec::new();
                 items.for_each_from(floor, max, |ts, stored| {
@@ -766,6 +811,7 @@ impl<T: ItemData> Channel<T> {
                     });
                     ids.push(stored.id);
                 });
+                tele.on_get(ids.len() as u64, items.len());
                 trace.get_n(now, ctx.iter_key(), ids);
                 return Ok(batch);
             }
@@ -837,6 +883,7 @@ impl<T: ItemData> Channel<T> {
             trace.free(now, stored.id);
             removed += 1;
         });
+        st.tele.on_purged(removed as u64);
         removed
     }
 
@@ -876,6 +923,7 @@ impl<T: ItemData> Channel<T> {
         if blocked {
             ctx.block_end(self.clock.now());
         }
+        st.tele.on_timeout();
         st.trace.op_timeout(self.clock.now(), ctx.node());
         StampedeError::Timeout
     }
@@ -963,6 +1011,9 @@ pub(crate) trait BufferAdmin: Send + Sync {
     /// Publish any buffered trace events (the runtime calls this after
     /// joining the task threads, before it snapshots the trace).
     fn flush_trace(&self);
+    /// Drain the buffer's telemetry accumulators into the shared metrics
+    /// registry and refresh the occupancy gauges (exporter tick / stop).
+    fn publish_telemetry(&self);
 }
 
 impl<T: ItemData> BufferAdmin for Channel<T> {
@@ -987,6 +1038,12 @@ impl<T: ItemData> BufferAdmin for Channel<T> {
     fn flush_trace(&self) {
         self.state.lock().trace.flush();
     }
+    fn publish_telemetry(&self) {
+        let mut st = self.state.lock();
+        let len = st.items.len();
+        let live = st.live_bytes;
+        st.tele.publish(len, live);
+    }
 }
 
 /// A typed producer endpoint: one thread→channel connection.
@@ -1001,9 +1058,13 @@ impl<T: ItemData> Output<T> {
     /// producing thread's ARU state (the backward propagation hop). Blocks
     /// while a bounded channel is full.
     pub fn put(&self, ctx: &mut TaskCtx, ts: Timestamp, value: T) -> Result<(), StampedeError> {
+        let t0 = ctx.op_sample();
         let summary = self.ch.put_blocking(ctx, ts, value)?;
         if let Some(stp) = summary {
-            ctx.receive_feedback(self.thread_out_index, stp);
+            ctx.receive_feedback_from(self.thread_out_index, stp, self.ch.node());
+        }
+        if let Some(t0) = t0 {
+            ctx.record_put_ns(t0);
         }
         Ok(())
     }
@@ -1017,9 +1078,13 @@ impl<T: ItemData> Output<T> {
         ctx: &mut TaskCtx,
         batch: impl IntoIterator<Item = (Timestamp, T)>,
     ) -> Result<(), StampedeError> {
+        let t0 = ctx.op_sample();
         let summary = self.ch.put_batch_blocking(ctx, batch)?;
         if let Some(stp) = summary {
-            ctx.receive_feedback(self.thread_out_index, stp);
+            ctx.receive_feedback_from(self.thread_out_index, stp, self.ch.node());
+        }
+        if let Some(t0) = t0 {
+            ctx.record_put_ns(t0);
         }
         Ok(())
     }
@@ -1064,7 +1129,11 @@ impl<T: ItemData> Input<T> {
 
     /// Blocking get-latest (see [`Channel::get_latest`]).
     pub fn get_latest(&mut self, ctx: &mut TaskCtx) -> Result<StampedItem<T>, StampedeError> {
+        let t0 = ctx.op_sample();
         let item = self.ch.get_latest(self.chan_out_index, ctx, self.floor)?;
+        if let Some(t0) = t0 {
+            ctx.record_get_ns(t0);
+        }
         self.took(ctx, item.ts);
         Ok(item)
     }
@@ -1078,7 +1147,11 @@ impl<T: ItemData> Input<T> {
         ctx: &mut TaskCtx,
         max: usize,
     ) -> Result<Vec<StampedItem<T>>, StampedeError> {
+        let t0 = ctx.op_sample();
         let batch = self.ch.get_batch(self.chan_out_index, ctx, self.floor, max)?;
+        if let Some(t0) = t0 {
+            ctx.record_get_ns(t0);
+        }
         let newest = batch.last().expect("batch is non-empty").ts;
         self.took(ctx, newest);
         Ok(batch)

@@ -51,6 +51,7 @@ impl<T: ItemData> FanOut<T> {
     /// read, one feedback time. Blocks per channel while bounded channels
     /// are full, in bundle order.
     pub fn put(&self, ctx: &mut TaskCtx, ts: Timestamp, value: T) -> Result<(), StampedeError> {
+        let t0 = ctx.op_sample();
         let bytes = value.size_bytes();
         let value = Arc::new(value);
         let now = self.outs[0].ch.clock_now();
@@ -59,8 +60,11 @@ impl<T: ItemData> FanOut<T> {
                 .ch
                 .put_arc_blocking(ctx, now, ts, Arc::clone(&value), bytes)?;
             if let Some(stp) = summary {
-                ctx.receive_feedback_at(out.thread_out_index, stp, now);
+                ctx.receive_feedback_from_at(out.thread_out_index, stp, now, out.ch.node());
             }
+        }
+        if let Some(t0) = t0 {
+            ctx.record_put_ns(t0);
         }
         Ok(())
     }

@@ -68,6 +68,7 @@ pub mod shutdown;
 mod store;
 pub mod sync;
 pub mod task;
+mod tele;
 
 #[cfg(all(loom, test))]
 mod loom_tests;

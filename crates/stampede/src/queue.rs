@@ -14,6 +14,7 @@ use crate::channel::BufferAdmin;
 use crate::error::StampedeError;
 use crate::item::{ItemData, StampedItem};
 use crate::task::TaskCtx;
+use crate::tele::BufTele;
 use aru_core::{AruConfig, AruController, NodeId, NodeKind};
 use aru_gc::ConsumerMarks;
 use aru_metrics::{ItemId, IterKey, LocalTrace, SharedTrace};
@@ -38,6 +39,8 @@ struct QueueState<T> {
     aru: AruController,
     closed: bool,
     live_bytes: u64,
+    /// Live-telemetry accumulator (see `crate::tele::BufTele`).
+    tele: BufTele,
 }
 
 /// A FIFO buffer of timestamped items.
@@ -61,6 +64,7 @@ impl<T: ItemData> Queue<T> {
         clock: Arc<dyn Clock>,
         trace: SharedTrace,
     ) -> Self {
+        let tele = BufTele::new(trace.telemetry(), "queue", &name, node);
         Queue {
             node,
             name,
@@ -72,6 +76,7 @@ impl<T: ItemData> Queue<T> {
                 aru: AruController::new(NodeKind::Queue, 0, false, config),
                 closed: false,
                 live_bytes: 0,
+                tele,
             }),
             cond: Condvar::new(),
         }
@@ -114,7 +119,12 @@ impl<T: ItemData> Queue<T> {
             bytes,
         });
         st.live_bytes += bytes;
+        let len = st.items.len();
+        st.tele.on_put(1, len);
         let summary = st.aru.summary();
+        if let Some(s) = summary {
+            st.tele.on_return(producer.node, s.period(), || now);
+        }
         drop(st);
         self.cond.notify_one();
         Ok(summary)
@@ -162,7 +172,12 @@ impl<T: ItemData> Queue<T> {
             });
             st.live_bytes += bytes;
         }
+        let len = st.items.len();
+        st.tele.on_put(n as u64, len);
         let summary = st.aru.summary();
+        if let Some(s) = summary {
+            st.tele.on_return(producer.node, s.period(), || now);
+        }
         drop(st);
         // Destructive FIFO: one item satisfies one getter, so wake as many
         // getters as there are new items (all of them past one).
@@ -192,10 +207,11 @@ impl<T: ItemData> Queue<T> {
                 if blocked {
                     ctx.block_end(self.clock.now());
                 }
+                let now = self.clock.now();
                 if let Some(summary) = ctx.summary() {
                     st.aru.receive_feedback(chan_out_index, summary);
+                    st.tele.on_deposit(ctx.node(), summary.period(), || now);
                 }
-                let now = self.clock.now();
                 let take = max.min(st.items.len());
                 let mut batch = Vec::with_capacity(take);
                 let mut ids = Vec::with_capacity(take);
@@ -213,6 +229,8 @@ impl<T: ItemData> Queue<T> {
                 // order need not be timestamp order).
                 let newest = batch.iter().map(|s| s.ts).max().expect("take >= 1");
                 st.marks.advance(chan_out_index, newest);
+                let len = st.items.len();
+                st.tele.on_get(take as u64, len);
                 st.trace.get_free_n(now, ctx.iter_key(), ids);
                 return Ok(batch);
             }
@@ -232,6 +250,7 @@ impl<T: ItemData> Queue<T> {
                     let now = std::time::Instant::now();
                     if now >= dl {
                         ctx.block_end(self.clock.now());
+                        st.tele.on_timeout();
                         st.trace.op_timeout(self.clock.now(), ctx.node());
                         return Err(StampedeError::Timeout);
                     }
@@ -258,10 +277,13 @@ impl<T: ItemData> Queue<T> {
                 }
                 st.live_bytes -= stored.bytes;
                 st.marks.advance(chan_out_index, stored.ts);
+                let now = self.clock.now();
                 if let Some(summary) = ctx.summary() {
                     st.aru.receive_feedback(chan_out_index, summary);
+                    st.tele.on_deposit(ctx.node(), summary.period(), || now);
                 }
-                let now = self.clock.now();
+                let len = st.items.len();
+                st.tele.on_get(1, len);
                 st.trace.get(now, stored.id, ctx.iter_key());
                 st.trace.free(now, stored.id);
                 return Ok(StampedItem {
@@ -285,6 +307,7 @@ impl<T: ItemData> Queue<T> {
                     let now = std::time::Instant::now();
                     if now >= dl {
                         ctx.block_end(self.clock.now());
+                        st.tele.on_timeout();
                         st.trace.op_timeout(self.clock.now(), ctx.node());
                         return Err(StampedeError::Timeout);
                     }
@@ -305,10 +328,13 @@ impl<T: ItemData> Queue<T> {
             Some(stored) => {
                 st.live_bytes -= stored.bytes;
                 st.marks.advance(chan_out_index, stored.ts);
+                let now = self.clock.now();
                 if let Some(summary) = ctx.summary() {
                     st.aru.receive_feedback(chan_out_index, summary);
+                    st.tele.on_deposit(ctx.node(), summary.period(), || now);
                 }
-                let now = self.clock.now();
+                let len = st.items.len();
+                st.tele.on_get(1, len);
                 st.trace.get(now, stored.id, ctx.iter_key());
                 st.trace.free(now, stored.id);
                 Ok(Some(StampedItem {
@@ -356,15 +382,18 @@ impl<T: ItemData> Queue<T> {
         }
         let now = self.clock.now();
         let mut kept = VecDeque::with_capacity(st.items.len());
+        let mut dropped = 0u64;
         while let Some(stored) = st.items.pop_front() {
             if stored.ts < bound {
                 st.live_bytes -= stored.bytes;
                 st.trace.free(now, stored.id);
+                dropped += 1;
             } else {
                 kept.push_back(stored);
             }
         }
         st.items = kept;
+        st.tele.on_purged(dropped);
     }
 
     /// Close: wake blocked getters; free queued items.
@@ -406,6 +435,12 @@ impl<T: ItemData> BufferAdmin for Queue<T> {
     fn flush_trace(&self) {
         self.state.lock().trace.flush();
     }
+    fn publish_telemetry(&self) {
+        let mut st = self.state.lock();
+        let len = st.items.len();
+        let live = st.live_bytes;
+        st.tele.publish(len, live);
+    }
 }
 
 /// Producer endpoint for a queue.
@@ -418,9 +453,13 @@ impl<T: ItemData> QueueOutput<T> {
     /// Enqueue an item, folding the queue's summary-STP back into the
     /// producing thread.
     pub fn put(&self, ctx: &mut TaskCtx, ts: Timestamp, value: T) -> Result<(), StampedeError> {
+        let t0 = ctx.op_sample();
         let summary = self.q.put(ts, value, ctx.iter_key())?;
         if let Some(stp) = summary {
-            ctx.receive_feedback(self.thread_out_index, stp);
+            ctx.receive_feedback_from(self.thread_out_index, stp, self.q.node());
+        }
+        if let Some(t0) = t0 {
+            ctx.record_put_ns(t0);
         }
         Ok(())
     }
@@ -432,9 +471,13 @@ impl<T: ItemData> QueueOutput<T> {
         ctx: &mut TaskCtx,
         batch: impl IntoIterator<Item = (Timestamp, T)>,
     ) -> Result<(), StampedeError> {
+        let t0 = ctx.op_sample();
         let summary = self.q.put_batch(ctx.iter_key(), batch)?;
         if let Some(stp) = summary {
-            ctx.receive_feedback(self.thread_out_index, stp);
+            ctx.receive_feedback_from(self.thread_out_index, stp, self.q.node());
+        }
+        if let Some(t0) = t0 {
+            ctx.record_put_ns(t0);
         }
         Ok(())
     }
@@ -460,7 +503,12 @@ pub struct QueueInput<T: ItemData> {
 impl<T: ItemData> QueueInput<T> {
     /// Blocking FIFO get.
     pub fn get(&mut self, ctx: &mut TaskCtx) -> Result<StampedItem<T>, StampedeError> {
-        self.q.get(self.chan_out_index, ctx)
+        let t0 = ctx.op_sample();
+        let item = self.q.get(self.chan_out_index, ctx)?;
+        if let Some(t0) = t0 {
+            ctx.record_get_ns(t0);
+        }
+        Ok(item)
     }
 
     /// Non-blocking FIFO get.
@@ -474,7 +522,12 @@ impl<T: ItemData> QueueInput<T> {
         ctx: &mut TaskCtx,
         max: usize,
     ) -> Result<Vec<StampedItem<T>>, StampedeError> {
-        self.q.get_batch(self.chan_out_index, ctx, max)
+        let t0 = ctx.op_sample();
+        let batch = self.q.get_batch(self.chan_out_index, ctx, max)?;
+        if let Some(t0) = t0 {
+            ctx.record_get_ns(t0);
+        }
+        Ok(batch)
     }
 
     #[must_use]

@@ -7,8 +7,11 @@ use crate::shutdown::Shutdown;
 use crate::task::TaskCtx;
 use aru_core::{AruConfig, NodeId, RetryPolicy, Topology};
 use aru_gc::{ConsumerMarks, DgcEngine, DgcResult, GcMode, IdealGc};
+use aru_metrics::export::fault_report_jsonl;
+use aru_metrics::trace::wall_clock_unix_us;
 use aru_metrics::{
-    FaultReport, FootprintReport, Lineage, PerfReport, SharedTrace, Trace, TraceEvent, WasteReport,
+    ExportSink, FaultReport, FootprintReport, Lineage, PerfReport, SharedTrace, Telemetry, Trace,
+    TraceEvent, WasteReport,
 };
 use crate::sync::RwLock;
 use std::any::Any;
@@ -33,6 +36,23 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
     }
 }
 
+/// One exporter tick: drain every buffer's telemetry accumulators into the
+/// shared registry, snapshot it coherently, and write the snapshot through
+/// the sink. IO errors are swallowed — a full disk must not take down the
+/// pipeline being observed.
+fn export_tick(
+    admins: &[Arc<dyn BufferAdmin>],
+    telemetry: &Telemetry,
+    sink: &ExportSink,
+    epoch: u64,
+) {
+    for a in admins {
+        a.publish_telemetry();
+    }
+    let snap = telemetry.registry.snapshot();
+    let _ = sink.write_snapshot(&snap, epoch, wall_clock_unix_us());
+}
+
 /// A frozen, ready-to-run pipeline (produced by
 /// [`RuntimeBuilder::build`](crate::builder::RuntimeBuilder::build)).
 pub struct Runtime {
@@ -47,6 +67,7 @@ pub struct Runtime {
     bodies: HashMap<NodeId, Body>,
     retry: RetryPolicy,
     op_timeout: Option<Micros>,
+    export: Option<(ExportSink, Micros)>,
 }
 
 impl Runtime {
@@ -63,6 +84,7 @@ impl Runtime {
         bodies: HashMap<NodeId, Body>,
         retry: RetryPolicy,
         op_timeout: Option<Micros>,
+        export: Option<(ExportSink, Micros)>,
     ) -> Self {
         Runtime {
             topo,
@@ -76,6 +98,7 @@ impl Runtime {
             bodies,
             retry,
             op_timeout,
+            export,
         }
     }
 
@@ -83,6 +106,13 @@ impl Runtime {
     #[must_use]
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// The pipeline's live-telemetry bundle (shared with every buffer and
+    /// task context).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        self.trace.telemetry()
     }
 
     /// Start every task thread (plus the DGC driver when the GC mode calls
@@ -187,6 +217,50 @@ impl Runtime {
             None
         };
 
+        let export_handle = self.export.take().map(|(sink, interval)| {
+            let admins: Vec<Arc<dyn BufferAdmin>> = self.admins.clone();
+            let telemetry = self.trace.telemetry().clone();
+            let trace = self.trace.clone();
+            let epoch = self.trace.epoch_unix_us();
+            let sd = shutdown.clone();
+            std::thread::Builder::new()
+                .name("telemetry-exporter".into())
+                .spawn(move || {
+                    // Supervised like the task threads, with a fixed
+                    // budget: a panicking tick must never take the
+                    // observed pipeline down, but an exporter that panics
+                    // on every tick is abandoned rather than hot-looped.
+                    let mut failures: u32 = 0;
+                    while !sd.is_set() && failures < 3 {
+                        if catch_unwind(AssertUnwindSafe(|| {
+                            export_tick(&admins, &telemetry, &sink, epoch);
+                        }))
+                        .is_err()
+                        {
+                            failures += 1;
+                        }
+                        if sd.sleep(interval) {
+                            break;
+                        }
+                    }
+                    // Final flush on the way out — runs on clean stop AND
+                    // on supervisor escalation, so a crashed run still
+                    // leaves its last snapshot behind. A run that recorded
+                    // faults additionally appends the fault report as a
+                    // JSONL line next to the snapshots.
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        export_tick(&admins, &telemetry, &sink, epoch);
+                        let faults = FaultReport::compute(&trace.snapshot());
+                        if faults.any() {
+                            let line =
+                                fault_report_jsonl(&faults, epoch, wall_clock_unix_us());
+                            let _ = sink.append_jsonl(&line);
+                        }
+                    }));
+                })
+                .expect("spawn telemetry exporter")
+        });
+
         Running {
             topo: self.topo,
             clock: self.clock,
@@ -195,6 +269,7 @@ impl Runtime {
             shutdown,
             handles,
             gc_handle,
+            export_handle,
         }
     }
 
@@ -234,6 +309,7 @@ pub struct Running {
     shutdown: Shutdown,
     handles: Vec<JoinHandle<Result<u64, String>>>,
     gc_handle: Option<JoinHandle<()>>,
+    export_handle: Option<JoinHandle<()>>,
 }
 
 impl Running {
@@ -269,17 +345,33 @@ impl Running {
                 payload: panic_message(p.as_ref()),
             })?;
         }
+        if let Some(h) = self.export_handle {
+            h.join().map_err(|p| BoxedJoinError {
+                task: "telemetry-exporter".into(),
+                payload: panic_message(p.as_ref()),
+            })?;
+        }
         let t_end = self.clock.now();
         // Task threads are joined; publish each buffer's pending trace
-        // events before the snapshot.
+        // events and telemetry accumulators before the snapshot (the
+        // latter so registry reads after `stop` see final totals even
+        // when no exporter was configured).
         for a in &self.admins {
             a.flush_trace();
+            a.publish_telemetry();
         }
         Ok(RunReport {
             trace: self.trace.snapshot(),
             topo: self.topo,
             t_end,
         })
+    }
+
+    /// The live-telemetry bundle — read gauges and span rings while the
+    /// run is in flight (the watch mode does exactly this).
+    #[must_use]
+    pub fn telemetry(&self) -> &aru_metrics::Telemetry {
+        self.trace.telemetry()
     }
 
     /// Is the pipeline still running (i.e. shutdown not yet requested)?

@@ -18,6 +18,7 @@
 
 use crate::error::{Step, TaskResult};
 use crate::shutdown::Shutdown;
+use crate::tele::TaskTele;
 use aru_core::{AruConfig, AruController, NodeId, NodeKind, Stp};
 use aru_gc::DgcResult;
 use aru_metrics::{IterKey, SharedTrace};
@@ -50,6 +51,9 @@ pub struct TaskCtx {
     /// Deferred channel releases, flushed when the iteration ends
     /// (consume-on-iteration-end semantics).
     releases: Vec<Box<dyn FnOnce() + Send>>,
+    /// Thread-private live telemetry: STP gauges, iteration/pacing
+    /// counters, sampled op latency, feedback-span hops (DESIGN.md §12).
+    tele: TaskTele,
 }
 
 impl TaskCtx {
@@ -65,6 +69,7 @@ impl TaskCtx {
         shutdown: Shutdown,
         dgc: Arc<RwLock<DgcResult>>,
     ) -> Self {
+        let tele = TaskTele::new(trace.telemetry(), &name);
         TaskCtx {
             node,
             name,
@@ -79,6 +84,7 @@ impl TaskCtx {
             shutdown,
             dgc,
             releases: Vec::new(),
+            tele,
         }
     }
 
@@ -149,10 +155,39 @@ impl TaskCtx {
         self.controller.receive_feedback_at(out_index, stp, now);
     }
 
+    /// [`TaskCtx::receive_feedback`] that also records a feedback-span
+    /// `Fold` hop naming the buffer the summary came back from.
+    pub(crate) fn receive_feedback_from(&mut self, out_index: usize, stp: Stp, from: NodeId) {
+        let now = self.clock.now();
+        self.tele.on_fold(now, self.node, from, stp.period());
+        self.controller.receive_feedback_at(out_index, stp, now);
+    }
+
     /// Feedback fold with a caller-provided time: the fan-out path folds N
     /// channels' summaries at one shared clock read instead of N reads.
-    pub(crate) fn receive_feedback_at(&mut self, out_index: usize, stp: Stp, now: SimTime) {
+    /// Records the `Fold` hop like [`TaskCtx::receive_feedback_from`].
+    pub(crate) fn receive_feedback_from_at(
+        &mut self,
+        out_index: usize,
+        stp: Stp,
+        now: SimTime,
+        from: NodeId,
+    ) {
+        self.tele.on_fold(now, self.node, from, stp.period());
         self.controller.receive_feedback_at(out_index, stp, now);
+    }
+
+    /// Latency sample gate for endpoint ops (1 in N; see `tele`).
+    pub(crate) fn op_sample(&mut self) -> Option<std::time::Instant> {
+        self.tele.op_sample()
+    }
+
+    pub(crate) fn record_put_ns(&mut self, t0: std::time::Instant) {
+        self.tele.record_put_ns(t0);
+    }
+
+    pub(crate) fn record_get_ns(&mut self, t0: std::time::Instant) {
+        self.tele.record_get_ns(t0);
     }
 
     /// Op timeout applied by blocking buffer operations.
@@ -201,6 +236,8 @@ impl TaskCtx {
             }
             let t1 = self.clock.now();
             let outcome = self.controller.iteration_end(t1);
+            self.tele
+                .on_iteration(t1, self.node, &outcome, self.controller.meter());
             let key = self.iter_key();
             self.trace.iter_end(t1, key, outcome.current_stp.period());
             if outcome.stale {
@@ -237,6 +274,7 @@ impl TaskCtx {
             self.is_source,
             &self.config,
         );
+        self.tele.on_recover();
         self.seq += 1;
     }
 }

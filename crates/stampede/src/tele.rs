@@ -1,0 +1,328 @@
+//! Telemetry glue between the runtime's hot paths and the live metrics
+//! registry (DESIGN.md §12).
+//!
+//! Two structs, two cost regimes:
+//!
+//! * [`BufTele`] lives **inside a buffer's state mutex** — the channel/queue
+//!   ops already hold it, so recording is plain integer arithmetic on
+//!   fields the cache already owns: no atomics, no extra locks. Occupancy
+//!   is *sampled* (1 in [`OCC_SAMPLE`] ops) into a plain [`Hist`]; the
+//!   accumulated deltas are drained to the shared registry only when the
+//!   exporter (or shutdown) calls `publish` — the put/get hot path never
+//!   touches a shared cache line for telemetry.
+//! * [`TaskTele`] is **task-thread-private** and records straight to the
+//!   registry's wait-free handles at *iteration* cadence (µs-scale, far off
+//!   the per-op budget). Per-op put/get latency is sampled 1 in
+//!   [`LAT_SAMPLE`] calls on the endpoint side.
+//!
+//! Both own a [`SpanShard`] and record feedback-loop hops **only when the
+//! carried summary value changes** — a converged pipeline pays one compare
+//! per op and records nothing (see `aru_metrics::spans`).
+
+use aru_core::NodeId;
+use aru_metrics::{Counter, FeedbackHop, Gauge, Hist, Histogram, HopKind, SpanShard, Telemetry};
+use std::time::Instant;
+use vtime::{Micros, SimTime};
+
+/// Occupancy sampling cadence for buffer ops (power of two).
+const OCC_SAMPLE: u64 = 16;
+/// Endpoint-side put/get latency sampling cadence (power of two).
+const LAT_SAMPLE: u64 = 64;
+
+/// Per-buffer (channel/queue) telemetry accumulator. All methods are called
+/// under the buffer's state mutex by its existing ops; `publish` drains the
+/// accumulated deltas into the shared registry.
+pub(crate) struct BufTele {
+    node: NodeId,
+    // Registry sinks (cold handles, written only by `publish`).
+    puts: Counter,
+    gets: Counter,
+    purged: Counter,
+    timeouts: Counter,
+    occupancy_hist: Histogram,
+    occupancy: Gauge,
+    live_bytes: Gauge,
+    // Plain in-mutex accumulators (hot, drained by `publish`).
+    d_puts: u64,
+    d_gets: u64,
+    d_purged: u64,
+    d_timeouts: u64,
+    occ: Hist,
+    seq: u64,
+    // Feedback-loop span recording (change-triggered).
+    spans: SpanShard,
+    last_deposit: Option<Micros>,
+    last_return: Option<Micros>,
+}
+
+impl BufTele {
+    pub(crate) fn new(tele: &Telemetry, kind: &'static str, name: &str, node: NodeId) -> Self {
+        let r = &tele.registry;
+        let labels: &[(&str, &str)] = &[("channel", name), ("kind", kind)];
+        BufTele {
+            node,
+            puts: r.counter("aru_channel_puts_total", labels),
+            gets: r.counter("aru_channel_gets_total", labels),
+            purged: r.counter("aru_channel_purged_total", labels),
+            timeouts: r.counter("aru_channel_timeouts_total", labels),
+            occupancy_hist: r.histogram("aru_channel_occupancy", labels),
+            occupancy: r.gauge("aru_channel_occupancy_items", labels),
+            live_bytes: r.gauge("aru_channel_live_bytes", labels),
+            d_puts: 0,
+            d_gets: 0,
+            d_purged: 0,
+            d_timeouts: 0,
+            occ: Hist::new(),
+            seq: 0,
+            spans: tele.spans.shard(),
+            last_deposit: None,
+            last_return: None,
+        }
+    }
+
+    #[inline]
+    fn sample_occupancy(&mut self, len: usize) {
+        self.seq = self.seq.wrapping_add(1);
+        if self.seq & (OCC_SAMPLE - 1) == 0 {
+            self.occ.record(len as u64);
+        }
+    }
+
+    /// `n` items inserted; `len` is the buffer's occupancy afterwards.
+    #[inline]
+    pub(crate) fn on_put(&mut self, n: u64, len: usize) {
+        self.d_puts += n;
+        self.sample_occupancy(len);
+    }
+
+    /// `n` items delivered to a consumer; `len` is the occupancy afterwards.
+    #[inline]
+    pub(crate) fn on_get(&mut self, n: u64, len: usize) {
+        self.d_gets += n;
+        self.sample_occupancy(len);
+    }
+
+    /// `n` dead items reclaimed (REF floor / DGC purge).
+    #[inline]
+    pub(crate) fn on_purged(&mut self, n: u64) {
+        self.d_purged += n;
+    }
+
+    /// A blocking op hit its deadline.
+    #[inline]
+    pub(crate) fn on_timeout(&mut self) {
+        self.d_timeouts += 1;
+    }
+
+    /// A consumer deposited its summary-STP at this buffer. Records a
+    /// [`HopKind::Deposit`] hop when the value differs from the last one
+    /// (the clock closure is only evaluated then).
+    #[inline]
+    pub(crate) fn on_deposit(
+        &mut self,
+        consumer: NodeId,
+        value: Micros,
+        now: impl FnOnce() -> SimTime,
+    ) {
+        if self.last_deposit == Some(value) {
+            return;
+        }
+        self.last_deposit = Some(value);
+        self.spans.record(FeedbackHop {
+            t: now(),
+            kind: HopKind::Deposit,
+            node: self.node,
+            peer: consumer,
+            value,
+            extra: Micros::ZERO,
+        });
+    }
+
+    /// This buffer's summary-STP was handed back to a producer on `put`.
+    /// Records a [`HopKind::Return`] hop on value change.
+    #[inline]
+    pub(crate) fn on_return(
+        &mut self,
+        producer: NodeId,
+        value: Micros,
+        now: impl FnOnce() -> SimTime,
+    ) {
+        if self.last_return == Some(value) {
+            return;
+        }
+        self.last_return = Some(value);
+        self.spans.record(FeedbackHop {
+            t: now(),
+            kind: HopKind::Return,
+            node: self.node,
+            peer: producer,
+            value,
+            extra: Micros::ZERO,
+        });
+    }
+
+    /// Drain accumulated deltas into the shared registry and refresh the
+    /// point-in-time gauges. Called by the exporter tick and at shutdown —
+    /// never from a put/get.
+    pub(crate) fn publish(&mut self, len: usize, live_bytes: u64) {
+        self.puts.add(std::mem::take(&mut self.d_puts));
+        self.gets.add(std::mem::take(&mut self.d_gets));
+        self.purged.add(std::mem::take(&mut self.d_purged));
+        self.timeouts.add(std::mem::take(&mut self.d_timeouts));
+        self.occupancy_hist.merge_plain(&mut self.occ);
+        self.occupancy.set(len as f64);
+        self.live_bytes.set(live_bytes as f64);
+    }
+}
+
+/// Per-task telemetry. Thread-private (lives in `TaskCtx`); records to the
+/// registry's wait-free handles at iteration cadence and samples endpoint
+/// op latency.
+pub(crate) struct TaskTele {
+    stp_current: Gauge,
+    stp_summary: Gauge,
+    iterations: Counter,
+    pacing_taken: Counter,
+    pacing_skipped: Counter,
+    stale: Counter,
+    pace_sleep_us: Counter,
+    busy_us: Counter,
+    blocked_us: Counter,
+    put_ns: Histogram,
+    get_ns: Histogram,
+    // Meter totals already published, so each iteration adds the delta.
+    prev_busy: Micros,
+    prev_blocked: Micros,
+    op_seq: u64,
+    spans: SpanShard,
+    last_fold: Option<Micros>,
+    last_pace: Option<Micros>,
+}
+
+impl TaskTele {
+    pub(crate) fn new(tele: &Telemetry, name: &str) -> Self {
+        let r = &tele.registry;
+        let labels: &[(&str, &str)] = &[("thread", name)];
+        TaskTele {
+            stp_current: r.gauge("aru_stp_current_us", labels),
+            stp_summary: r.gauge("aru_stp_summary_us", labels),
+            iterations: r.counter("aru_iterations_total", labels),
+            pacing_taken: r.counter("aru_pacing_taken_total", labels),
+            pacing_skipped: r.counter("aru_pacing_skipped_total", labels),
+            stale: r.counter("aru_stale_summaries_total", labels),
+            pace_sleep_us: r.counter("aru_pace_sleep_us_total", labels),
+            busy_us: r.counter("aru_busy_us_total", labels),
+            blocked_us: r.counter("aru_blocked_us_total", labels),
+            put_ns: r.histogram("aru_put_latency_ns", labels),
+            get_ns: r.histogram("aru_get_latency_ns", labels),
+            prev_busy: Micros::ZERO,
+            prev_blocked: Micros::ZERO,
+            op_seq: 0,
+            spans: tele.spans.shard(),
+            last_fold: None,
+            last_pace: None,
+        }
+    }
+
+    /// Iteration finished: publish STP gauges, iteration/pacing/staleness
+    /// counters, busy/blocked deltas, and (on summary change) a
+    /// [`HopKind::Pace`] hop tying the pacing decision to the summary that
+    /// drove it.
+    pub(crate) fn on_iteration(
+        &mut self,
+        t: SimTime,
+        node: NodeId,
+        outcome: &aru_core::IterationOutcome,
+        meter: &aru_core::StpMeter,
+    ) {
+        self.stp_current.set(outcome.current_stp.as_micros() as f64);
+        if let Some(s) = outcome.summary {
+            self.stp_summary.set(s.as_micros() as f64);
+        }
+        self.iterations.inc();
+        if outcome.paced {
+            self.pacing_taken.inc();
+            self.pace_sleep_us.add(outcome.sleep.as_micros());
+        } else {
+            self.pacing_skipped.inc();
+        }
+        if outcome.stale {
+            self.stale.inc();
+        }
+        let busy = meter.total_busy();
+        let blocked = meter.total_blocked();
+        // saturating: the meter restarts from zero after a crash recovery
+        self.busy_us
+            .add(busy.as_micros().saturating_sub(self.prev_busy.as_micros()));
+        self.blocked_us.add(
+            blocked
+                .as_micros()
+                .saturating_sub(self.prev_blocked.as_micros()),
+        );
+        self.prev_busy = busy;
+        self.prev_blocked = blocked;
+        if outcome.paced {
+            if let Some(s) = outcome.summary {
+                let value = s.period();
+                if self.last_pace != Some(value) {
+                    self.last_pace = Some(value);
+                    self.spans.record(FeedbackHop {
+                        t,
+                        kind: HopKind::Pace,
+                        node,
+                        peer: node,
+                        value,
+                        extra: outcome.sleep,
+                    });
+                }
+            }
+        }
+    }
+
+    /// A `put` returned a buffer's summary-STP and the task folded it into
+    /// its controller — a [`HopKind::Fold`] hop, recorded on value change.
+    #[inline]
+    pub(crate) fn on_fold(&mut self, t: SimTime, node: NodeId, from: NodeId, value: Micros) {
+        if self.last_fold == Some(value) {
+            return;
+        }
+        self.last_fold = Some(value);
+        self.spans.record(FeedbackHop {
+            t,
+            kind: HopKind::Fold,
+            node,
+            peer: from,
+            value,
+            extra: Micros::ZERO,
+        });
+    }
+
+    /// Sample gate for endpoint op latency: `Some(start)` for 1 in
+    /// [`LAT_SAMPLE`] calls. Costs one increment + branch when not sampled.
+    #[inline]
+    pub(crate) fn op_sample(&mut self) -> Option<Instant> {
+        self.op_seq = self.op_seq.wrapping_add(1);
+        if self.op_seq & (LAT_SAMPLE - 1) == 0 {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record_put_ns(&self, t0: Instant) {
+        self.put_ns.record(t0.elapsed().as_nanos() as u64);
+    }
+
+    #[inline]
+    pub(crate) fn record_get_ns(&self, t0: Instant) {
+        self.get_ns.record(t0.elapsed().as_nanos() as u64);
+    }
+
+    /// After a crash the meter restarts from zero; resync the published
+    /// baselines so the next iteration's delta is not wildly negative.
+    pub(crate) fn on_recover(&mut self) {
+        self.prev_busy = Micros::ZERO;
+        self.prev_blocked = Micros::ZERO;
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end tests of the live telemetry subsystem on the threaded
+//! runtime: the metrics registry fills in from real pipelines, and the
+//! feedback-loop span recorder attributes a source pacing decision to the
+//! full backward-propagation hop chain (Deposit → Return → Fold → Pace).
+
+use aru_metrics::{HopKind, Telemetry};
+use stampede::prelude::*;
+use std::time::Duration;
+use vtime::{Micros, Timestamp};
+
+/// Build and run `src --(ch)--> sink`, returning the telemetry bundle,
+/// the source/sink thread nodes, and the run report.
+fn run_instrumented(
+    src_work_ms: u64,
+    sink_work_ms: u64,
+    run_ms: u64,
+) -> (Telemetry, aru_core::NodeId, aru_core::NodeId, RunReport) {
+    let mut b = RuntimeBuilder::new(AruConfig::aru_min(), GcMode::Dgc);
+    let ch = b.channel::<Vec<u8>>("frames");
+    let src = b.thread("src");
+    let snk = b.thread("sink");
+    let out = b.connect_out(src, &ch).unwrap();
+    let mut inp = b.connect_in(&ch, snk).unwrap();
+
+    let mut ts = Timestamp::ZERO;
+    b.spawn(src, move |ctx| {
+        std::thread::sleep(Duration::from_millis(src_work_ms));
+        out.put(ctx, ts, vec![0u8; 10_000])?;
+        ts = ts.next();
+        Ok(Step::Continue)
+    });
+    b.spawn(snk, move |ctx| {
+        let item = inp.get_latest(ctx)?;
+        std::thread::sleep(Duration::from_millis(sink_work_ms));
+        ctx.emit_output(item.ts);
+        Ok(Step::Continue)
+    });
+
+    let telemetry = b.telemetry().clone();
+    let (src_node, snk_node) = (src.node(), snk.node());
+    let report = b
+        .build()
+        .unwrap()
+        .run_for(Micros::from_millis(run_ms))
+        .unwrap();
+    (telemetry, src_node, snk_node, report)
+}
+
+fn counter(snap: &aru_metrics::RegistrySnapshot, name: &str, label: (&str, &str)) -> u64 {
+    snap.counters
+        .iter()
+        .filter(|(s, _)| {
+            s.name == name && s.labels.iter().any(|(k, v)| k == label.0 && v == label.1)
+        })
+        .map(|(_, v)| *v)
+        .sum()
+}
+
+#[test]
+fn registry_fills_in_from_a_live_pipeline() {
+    let (telemetry, _, _, report) = run_instrumented(1, 2, 250);
+    assert!(report.outputs() > 5);
+    // `stop` publishes every buffer's accumulators, so the snapshot holds
+    // final totals even though no exporter task was configured.
+    let snap = telemetry.registry.snapshot();
+
+    let puts = counter(&snap, "aru_channel_puts_total", ("channel", "frames"));
+    let gets = counter(&snap, "aru_channel_gets_total", ("channel", "frames"));
+    assert!(puts > 5, "puts recorded: {puts}");
+    assert!(gets > 5, "gets recorded: {gets}");
+    for thread in ["src", "sink"] {
+        let iters = counter(&snap, "aru_iterations_total", ("thread", thread));
+        assert!(iters > 5, "{thread} iterations: {iters}");
+        let stp = snap
+            .gauges
+            .iter()
+            .find(|(s, _)| {
+                s.name == "aru_stp_current_us"
+                    && s.labels.contains(&("thread".into(), thread.into()))
+            })
+            .map(|(_, v)| *v)
+            .expect("stp gauge registered");
+        assert!(stp > 0.0, "{thread} stp gauge: {stp}");
+    }
+    // Sampled distributions: the first op on each path is always sampled.
+    let occ = snap
+        .hists
+        .iter()
+        .find(|(s, _)| s.name == "aru_channel_occupancy")
+        .map(|(_, h)| h.count)
+        .expect("occupancy histogram registered");
+    assert!(occ > 0, "occupancy samples: {occ}");
+    let put_ns = snap
+        .hists
+        .iter()
+        .filter(|(s, _)| s.name == "aru_put_latency_ns")
+        .map(|(_, h)| h.count)
+        .sum::<u64>();
+    assert!(put_ns > 0, "put latency samples: {put_ns}");
+}
+
+#[test]
+fn pace_attributes_to_deposit_return_fold_chain() {
+    // Slow sink, fast source: ARU-min (SourcesOnly) must pace the source,
+    // and every pacing change must be attributable hop by hop.
+    let (telemetry, src_node, snk_node, report) = run_instrumented(1, 10, 500);
+    assert!(report.outputs() > 3);
+    let spans = telemetry.spans.snapshot();
+    let paces = spans.paces();
+    assert!(!paces.is_empty(), "source pacing recorded no Pace hops");
+
+    // At least one pacing decision must attribute through the whole
+    // backward path: the sink deposited a summary at the channel, the
+    // channel returned it to the source with a put, the source folded it,
+    // then paced on it.
+    let full_chain = paces
+        .iter()
+        .map(|&p| spans.attribute_pace(p))
+        .find(|chain| chain.len() == 4);
+    let chain = full_chain.expect("no pace attributable to a full 4-hop chain");
+    let hops: Vec<_> = chain.iter().map(|&i| spans.hops[i]).collect();
+    assert_eq!(
+        hops.iter().map(|h| h.kind).collect::<Vec<_>>(),
+        [HopKind::Deposit, HopKind::Return, HopKind::Fold, HopKind::Pace],
+        "hops in propagation order"
+    );
+    let value = hops[3].value;
+    assert!(hops.iter().all(|h| h.value == value), "one value links the chain");
+    assert!(value > Micros::ZERO, "summary period is a real measurement");
+    // Topology: deposit/return observed at the channel (same node), the
+    // deposit came from the sink, the return went to the source, and the
+    // fold/pace happened on the source thread.
+    assert_eq!(hops[0].node, hops[1].node, "deposit and return at the channel");
+    assert_eq!(hops[0].peer, snk_node, "deposit credited to the sink");
+    assert_eq!(hops[1].peer, src_node, "return handed to the source");
+    assert_eq!(hops[2].node, src_node, "fold on the source thread");
+    assert_eq!(hops[2].peer, hops[1].node, "fold names the channel it came from");
+    assert_eq!(hops[3].node, src_node, "pace on the source thread");
+    // Timestamps are causally ordered along the chain.
+    assert!(hops.windows(2).all(|w| w[0].t <= w[1].t), "hops time-ordered");
+    // And the pacing actually slept at some point in the run.
+    assert!(
+        spans.hops.iter().any(|h| h.kind == HopKind::Pace && h.extra > Micros::ZERO),
+        "no pace hop carried a nonzero sleep"
+    );
+}

@@ -42,6 +42,9 @@ pub struct ThreadedTrackerParams {
     /// cross-stage channel put goes through a simulated link of this model
     /// (the five tasks live on five "nodes"). `None` is configuration 1.
     pub distributed: Option<LinkModel>,
+    /// `Some((sink, interval))` enables the runtime's periodic telemetry
+    /// exporter (Prometheus text + JSONL) for this run.
+    pub export: Option<(aru_metrics::ExportSink, Micros)>,
 }
 
 impl ThreadedTrackerParams {
@@ -53,6 +56,7 @@ impl ThreadedTrackerParams {
             seed: 1,
             delays: StageDelays::default(),
             distributed: None,
+            export: None,
         }
     }
 
@@ -60,6 +64,13 @@ impl ThreadedTrackerParams {
     #[must_use]
     pub fn with_link(mut self, link: LinkModel) -> Self {
         self.distributed = Some(link);
+        self
+    }
+
+    /// Enable the runtime's periodic telemetry exporter.
+    #[must_use]
+    pub fn with_export(mut self, sink: aru_metrics::ExportSink, interval: Micros) -> Self {
+        self.export = Some((sink, interval));
         self
     }
 }
@@ -156,6 +167,9 @@ pub fn build_threaded(params: &ThreadedTrackerParams) -> Result<ThreadedTracker,
     let detections: Arc<Mutex<Vec<TargetLocation>>> = Arc::new(Mutex::new(Vec::new()));
 
     let mut b = RuntimeBuilder::new(params.aru.clone(), params.gc);
+    if let Some((sink, interval)) = params.export.clone() {
+        b = b.with_export(sink, interval);
+    }
     let network = params.distributed.map(|_| NetworkSim::start());
     let link = params.distributed;
 
