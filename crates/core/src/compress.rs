@@ -8,6 +8,7 @@
 //! complete data-dependency between all consumer nodes, the `max` operator
 //! can be used."*
 
+use crate::error::AruError;
 use crate::stp::Stp;
 use std::fmt;
 use std::sync::Arc;
@@ -57,9 +58,19 @@ impl CompressOp {
             CompressOp::Custom(f) => {
                 let v = f(known);
                 debug_assert!(v.is_some(), "custom compress returned None on non-empty input");
-                v
+                // Guardrail (release builds): a broken custom operator must
+                // not erase real consumer knowledge — fall back to the
+                // conservative default instead of reporting "no feedback".
+                v.or_else(|| known.iter().copied().reduce(Stp::min))
             }
         }
+    }
+
+    /// Typed-error [`CompressOp::compress`]: an empty backward vector is an
+    /// [`AruError::EmptyCompress`] instead of `None`, for callers that treat
+    /// "no knowledge" as exceptional rather than as the pre-feedback state.
+    pub fn try_compress(&self, known: &[Stp]) -> Result<Stp, AruError> {
+        self.compress(known).ok_or(AruError::EmptyCompress)
     }
 
     /// A custom operator computing the k-th smallest value (k is clamped to
@@ -79,8 +90,10 @@ impl CompressOp {
     #[must_use]
     pub fn mean() -> CompressOp {
         CompressOp::Custom(Arc::new(|known: &[Stp]| {
-            let sum: u64 = known.iter().map(|s| s.as_micros()).sum();
-            Some(Stp::from_micros(sum / known.len() as u64))
+            // u128 accumulator: a vector of near-u64::MAX periods (a
+            // degenerate but representable STP series) must not overflow.
+            let sum: u128 = known.iter().map(|s| u128::from(s.as_micros())).sum();
+            Some(Stp::from_micros((sum / known.len() as u128) as u64))
         }))
     }
 }
@@ -152,6 +165,33 @@ mod tests {
     fn mean_compress() {
         let v = stps(&[100, 200, 300]);
         assert_eq!(CompressOp::mean().compress(&v), Some(Stp::from_micros(200)));
+    }
+
+    #[test]
+    fn mean_does_not_overflow_on_huge_periods() {
+        let v = vec![Stp::from_micros(u64::MAX - 1); 8];
+        assert_eq!(
+            CompressOp::mean().compress(&v),
+            Some(Stp::from_micros(u64::MAX - 1))
+        );
+    }
+
+    #[test]
+    fn try_compress_types_the_empty_case() {
+        use crate::error::AruError;
+        assert_eq!(CompressOp::Min.try_compress(&[]), Err(AruError::EmptyCompress));
+        assert_eq!(
+            CompressOp::Min.try_compress(&stps(&[250])),
+            Ok(Stp::from_micros(250))
+        );
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn broken_custom_operator_falls_back_to_min() {
+        let broken = CompressOp::Custom(Arc::new(|_: &[Stp]| None));
+        let v = stps(&[300, 100]);
+        assert_eq!(broken.compress(&v), Some(Stp::from_micros(100)));
     }
 
     #[test]

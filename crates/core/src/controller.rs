@@ -22,6 +22,7 @@ use crate::backward::BackwardStpVec;
 use crate::compress::CompressOp;
 use crate::filter::{EwmaFilter, IdentityFilter, MedianFilter, StpFilter};
 use crate::graph::NodeKind;
+use crate::law::{ControlLaw, ControllerConfig};
 use crate::pacing::Pacer;
 use crate::stp::{Stp, StpMeter};
 use crate::summary::{summary_for_buffer, summary_for_thread};
@@ -53,12 +54,29 @@ pub enum FilterSpec {
 }
 
 impl FilterSpec {
+    /// Build the filter. Out-of-domain parameters degrade to the identity
+    /// behaviour instead of panicking (a bad experiment config must not
+    /// take a supervised task down); use [`FilterSpec::validate`] to detect
+    /// them.
     #[must_use]
     pub fn build(self) -> Box<dyn StpFilter> {
         match self {
             FilterSpec::Identity => Box::new(IdentityFilter),
-            FilterSpec::Ewma(a) => Box::new(EwmaFilter::new(a)),
-            FilterSpec::Median(w) => Box::new(MedianFilter::new(w)),
+            FilterSpec::Ewma(a) => {
+                Box::new(EwmaFilter::try_new(a).unwrap_or_else(|_| EwmaFilter::new(1.0)))
+            }
+            FilterSpec::Median(w) => {
+                Box::new(MedianFilter::try_new(w).unwrap_or_else(|_| MedianFilter::new(1)))
+            }
+        }
+    }
+
+    /// Typed validation of the filter parameters.
+    pub fn validate(self) -> Result<(), crate::error::AruError> {
+        match self {
+            FilterSpec::Identity => Ok(()),
+            FilterSpec::Ewma(a) => EwmaFilter::try_new(a).map(|_| ()),
+            FilterSpec::Median(w) => MedianFilter::try_new(w).map(|_| ()),
         }
     }
 }
@@ -82,6 +100,10 @@ pub struct AruConfig {
     /// (No-ARU) until feedback resumes. `None` (the default) trusts
     /// feedback forever — the paper's behaviour.
     pub staleness: Option<Micros>,
+    /// Control law between the raw summary-STP and the pacer (see
+    /// [`crate::law`]). The default, [`ControllerConfig::Direct`], paces
+    /// straight to the summary — the paper's behaviour.
+    pub control: ControllerConfig,
 }
 
 impl AruConfig {
@@ -94,6 +116,7 @@ impl AruConfig {
             filter: FilterSpec::Identity,
             pacing: PacingPolicy::Disabled,
             staleness: None,
+            control: ControllerConfig::Direct,
         }
     }
 
@@ -106,6 +129,7 @@ impl AruConfig {
             filter: FilterSpec::Identity,
             pacing: PacingPolicy::SourcesOnly,
             staleness: None,
+            control: ControllerConfig::Direct,
         }
     }
 
@@ -118,6 +142,7 @@ impl AruConfig {
             filter: FilterSpec::Identity,
             pacing: PacingPolicy::SourcesOnly,
             staleness: None,
+            control: ControllerConfig::Direct,
         }
     }
 
@@ -137,6 +162,13 @@ impl AruConfig {
     #[must_use]
     pub fn with_staleness(mut self, horizon: Micros) -> Self {
         self.staleness = Some(horizon);
+        self
+    }
+
+    /// Select the pacing control law (see [`crate::law`]).
+    #[must_use]
+    pub fn with_control(mut self, control: ControllerConfig) -> Self {
+        self.control = control;
         self
     }
 }
@@ -164,6 +196,18 @@ pub struct IterationOutcome {
     /// True when the pacing target was decayed because downstream feedback
     /// is older than the configured staleness horizon.
     pub stale: bool,
+    /// True when the control law fired (took a decision) since the last
+    /// iteration end — on a raw-target change or a pending approach step.
+    pub law_fired: bool,
+    /// The raw (oracle) pacing target the law last saw: the filtered
+    /// summary-STP the paper would pace to. `None` while un-paced or after
+    /// staleness expiry.
+    pub raw_target: Option<Stp>,
+    /// The applied pacing target — the law's (possibly clamped) decision,
+    /// or the staleness-decayed value when the guardrail overrode the law.
+    pub pace_target: Option<Stp>,
+    /// True when the law's last decision differed from the raw target.
+    pub clamped: bool,
 }
 
 /// Per-node ARU state machine. See the module docs for the driving contract.
@@ -180,6 +224,17 @@ pub struct AruController {
     pacer: Pacer,
     cached_summary: Option<Stp>,
     staleness: Option<Micros>,
+    /// Control law between the raw summary and the pacer (threads only;
+    /// buffers never pace). Fired event-style — see [`crate::law`].
+    law: Box<dyn ControlLaw>,
+    /// Last raw target handed to the law (`None` = law has no target).
+    law_raw: Option<Stp>,
+    /// Last applied decision the law produced.
+    law_target: Option<Stp>,
+    /// The law fired since the last `iteration_end` read the flag.
+    law_fired: bool,
+    /// The law's last decision differed from the raw target.
+    law_clamped: bool,
     /// When downstream feedback last arrived through
     /// [`AruController::receive_feedback_at`]; `None` until the first
     /// timestamped delivery (untimestamped feedback never goes stale).
@@ -204,8 +259,19 @@ impl AruController {
             pacer: Pacer::new(),
             cached_summary: None,
             staleness: config.staleness,
+            law: config.control.build(),
+            law_raw: None,
+            law_target: None,
+            law_fired: false,
+            law_clamped: false,
             last_feedback: None,
         }
+    }
+
+    /// Stable label of the configured control law (telemetry).
+    #[must_use]
+    pub fn law(&self) -> &'static str {
+        self.law.name()
     }
 
     #[must_use]
@@ -279,26 +345,61 @@ impl AruController {
         };
         self.cached_summary = raw.map(|s| self.filter.apply(s));
         if self.kind.is_thread() {
-            self.pacer.set_target(self.cached_summary);
+            self.retarget(false);
         }
+    }
+
+    /// Event-driven law invocation: fire [`ControlLaw::decide`] when the raw
+    /// pacing target changed, or — with `fire_pending`, once per iteration —
+    /// while the law is still approaching an earlier target. A converged
+    /// pipeline fires nothing; under `Direct` the applied target is always
+    /// the raw summary, byte-identical to the pre-law pipeline.
+    fn retarget(&mut self, fire_pending: bool) {
+        let Some(raw) = self.cached_summary else {
+            // Lost all knowledge: forget the law's trajectory so the next
+            // feedback anchors fresh instead of approaching from a ghost.
+            if self.law_raw.take().is_some() {
+                self.law.reset();
+                self.law_target = None;
+            }
+            self.pacer.set_target(None);
+            return;
+        };
+        if self.law_raw != Some(raw) || (fire_pending && self.law.pending()) {
+            let d = self.law.decide(raw);
+            self.law_raw = Some(raw);
+            self.law_target = Some(d.target);
+            self.law_clamped = d.clamped;
+            self.law_fired = true;
+        }
+        self.pacer.set_target(self.law_target);
     }
 
     // ---- thread-loop hooks -------------------------------------------------
 
     /// Start of a task-loop iteration.
+    ///
+    /// The controller drives the meter through its no-panic surface: a
+    /// degenerate hook sequence (e.g. a blocking window left open by an
+    /// interrupted op) is repaired here instead of panicking the supervised
+    /// task that owns this controller.
     pub fn iteration_begin(&mut self, now: SimTime) {
         debug_assert!(self.kind.is_thread(), "iteration hooks are thread-only");
-        self.meter.iteration_begin(now);
+        if self.meter.is_blocked() {
+            let _ = self.meter.try_block_end(now);
+        }
+        let _ = self.meter.try_iteration_begin(now);
     }
 
-    /// The thread starts blocking on upstream data.
+    /// The thread starts blocking on upstream data. A nested begin keeps
+    /// the original window (the earliest wait wins).
     pub fn block_begin(&mut self, now: SimTime) {
-        self.meter.block_begin(now);
+        let _ = self.meter.try_block_begin(now);
     }
 
-    /// Upstream data arrived.
+    /// Upstream data arrived. An unbalanced end is ignored.
     pub fn block_end(&mut self, now: SimTime) {
-        self.meter.block_end(now);
+        let _ = self.meter.try_block_end(now);
     }
 
     #[must_use]
@@ -318,7 +419,7 @@ impl AruController {
     /// production instead of pacing off a wedged value forever.
     pub fn iteration_end(&mut self, now: SimTime) -> IterationOutcome {
         debug_assert!(self.kind.is_thread(), "iteration hooks are thread-only");
-        let current = self.meter.iteration_end(now);
+        let current = self.meter.iteration_end_lenient(now);
         if self.enabled {
             self.recompute();
         }
@@ -326,6 +427,10 @@ impl AruController {
         if self.enabled && self.feedback_is_stale(now) {
             stale = true;
             self.decay_stale_summary(now, current);
+        } else if self.enabled && !self.law_fired {
+            // No decision since the last iteration (the raw target is
+            // constant): give a mid-approach law its per-iteration step.
+            self.retarget(true);
         }
         let paced = self.should_pace();
         let sleep = if paced {
@@ -339,6 +444,10 @@ impl AruController {
             sleep,
             paced,
             stale,
+            law_fired: std::mem::take(&mut self.law_fired),
+            raw_target: self.law_raw,
+            pace_target: self.pacer.target(),
+            clamped: self.law_clamped,
         }
     }
 
@@ -365,6 +474,13 @@ impl AruController {
         let decayed = Stp::from_micros((s + (own - s) * w).round() as u64);
         self.cached_summary = Some(decayed);
         if self.kind.is_thread() {
+            // The staleness guardrail overrides the control law: the decayed
+            // target goes straight to the pacer, and the law forgets its
+            // trajectory so revival on fresh feedback anchors cleanly at the
+            // oracle instead of approaching from a ghost of the frozen value.
+            self.law.reset();
+            self.law_raw = None;
+            self.law_target = None;
             // Fully aged out: clear the target so the thread is un-paced,
             // exactly as if ARU had never heard from downstream.
             self.pacer
@@ -552,6 +668,104 @@ mod tests {
         let revived = c.iteration_end(SimTime(50_300));
         assert!(!revived.stale);
         assert_eq!(revived.summary, Some(us(10_000)));
+    }
+
+    #[test]
+    fn law_fires_on_change_not_every_iteration() {
+        // Direct law, constant feedback: the law fires once for the first
+        // summary and once when the thread's own STP first enters the max —
+        // after that the raw target is constant and nothing fires.
+        let mut c = AruController::new(NodeKind::Thread, 1, true, &AruConfig::aru_min());
+        c.receive_feedback(0, us(10_000));
+        c.iteration_begin(SimTime(0));
+        let o1 = c.iteration_end(SimTime(100));
+        assert!(o1.law_fired, "first target is a change event");
+        assert_eq!(o1.raw_target, Some(us(10_000)));
+        assert_eq!(o1.pace_target, Some(us(10_000)));
+        assert!(!o1.clamped, "direct never clamps");
+        c.iteration_begin(SimTime(100));
+        let o2 = c.iteration_end(SimTime(200));
+        assert!(!o2.law_fired, "constant raw target: no event, no decision");
+        assert_eq!(o2.pace_target, Some(us(10_000)));
+    }
+
+    #[test]
+    fn aimd_controller_walks_toward_new_target() {
+        use crate::law::AimdParams;
+        let cfg = AruConfig::aru_min()
+            .with_control(ControllerConfig::Aimd(AimdParams::default()));
+        let mut c = AruController::new(NodeKind::Thread, 1, true, &cfg);
+        c.receive_feedback(0, us(100_000));
+        c.iteration_begin(SimTime(0));
+        let o1 = c.iteration_end(SimTime(100));
+        assert_eq!(o1.pace_target, Some(us(100_000)), "anchored at the oracle");
+        // Congestion: raw target doubles; the applied target backs off ×1.5
+        // per decision instead of jumping.
+        c.receive_feedback(0, us(200_000));
+        c.iteration_begin(SimTime(100));
+        let o2 = c.iteration_end(SimTime(200));
+        assert_eq!(o2.raw_target, Some(us(200_000)));
+        assert_eq!(o2.pace_target, Some(us(150_000)));
+        assert!(o2.clamped);
+        assert!(o2.law_fired);
+        // Constant raw target, pending approach: fires each iteration until
+        // it reaches Direct's fixed point.
+        c.iteration_begin(SimTime(200));
+        let o3 = c.iteration_end(SimTime(300));
+        assert!(o3.law_fired, "pending approach fires on the iteration tick");
+        assert_eq!(o3.pace_target, Some(us(200_000)));
+        c.iteration_begin(SimTime(300));
+        let o4 = c.iteration_end(SimTime(400));
+        assert!(!o4.law_fired, "settled: no more events");
+        assert!(!o4.clamped);
+    }
+
+    #[test]
+    fn staleness_overrides_law_and_revival_anchors_fresh() {
+        use crate::law::HysteresisParams;
+        let cfg = AruConfig::aru_min()
+            .with_staleness(Micros(1000))
+            .with_control(ControllerConfig::Hysteresis(HysteresisParams::default()));
+        let mut c = AruController::new(NodeKind::Thread, 1, true, &cfg);
+        c.receive_feedback_at(0, us(10_000), SimTime(0));
+        c.iteration_begin(SimTime(0));
+        c.iteration_end(SimTime(100));
+        // Past 2·horizon: the guardrail un-paces regardless of the law.
+        c.iteration_begin(SimTime(50_000));
+        let out = c.iteration_end(SimTime(50_100));
+        assert!(out.stale);
+        c.iteration_begin(SimTime(50_100));
+        let out2 = c.iteration_end(SimTime(50_200));
+        assert_eq!(out2.sleep, Micros::ZERO, "stale source runs un-paced");
+        // Fresh feedback: the law anchors at the new oracle immediately —
+        // no slew-limited walk from the pre-staleness value.
+        c.receive_feedback_at(0, us(40_000), SimTime(50_200));
+        c.iteration_begin(SimTime(50_200));
+        let revived = c.iteration_end(SimTime(50_300));
+        assert!(!revived.stale);
+        assert_eq!(revived.pace_target, Some(us(40_000)));
+        assert!(!revived.clamped);
+    }
+
+    #[test]
+    fn degenerate_hook_sequences_do_not_panic() {
+        let mut c = AruController::new(NodeKind::Thread, 1, true, &AruConfig::aru_min());
+        // iteration_end with no begin: zero-length iteration, no panic.
+        let out = c.iteration_end(SimTime(100));
+        assert_eq!(out.current_stp, us(0));
+        // Unbalanced block hooks inside an iteration: repaired, no panic.
+        c.iteration_begin(SimTime(100));
+        c.block_end(SimTime(110)); // unbalanced end → ignored
+        c.block_begin(SimTime(120));
+        c.block_begin(SimTime(130)); // nested begin → first window kept
+        let out = c.iteration_end(SimTime(200)); // open window closed here
+        assert_eq!(out.current_stp, us(20), "blocked [120,200) excluded");
+        // begin while a window is open (shutdown mid-wait): repaired.
+        c.iteration_begin(SimTime(200));
+        c.block_begin(SimTime(210));
+        c.iteration_begin(SimTime(300));
+        let out = c.iteration_end(SimTime(350));
+        assert_eq!(out.current_stp, us(50));
     }
 
     #[test]

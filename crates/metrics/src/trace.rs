@@ -176,6 +176,17 @@ impl Trace {
         self.push(TraceEvent::SummaryDropped { t, node });
     }
 
+    pub fn pace_decision(
+        &mut self,
+        t: SimTime,
+        node: NodeId,
+        raw: Micros,
+        target: Micros,
+        clamped: bool,
+    ) {
+        self.push(TraceEvent::PaceDecision { t, node, raw, target, clamped });
+    }
+
     /// All events in record order (runtimes record in nondecreasing time;
     /// merged traces are time-ordered).
     #[must_use]
@@ -539,6 +550,10 @@ impl SharedTrace {
 
     pub fn summary_dropped(&self, t: SimTime, node: NodeId) {
         self.shard.push(TraceEvent::SummaryDropped { t, node });
+    }
+
+    pub fn pace_decision(&self, t: SimTime, node: NodeId, raw: Micros, target: Micros, clamped: bool) {
+        self.shard.push(TraceEvent::PaceDecision { t, node, raw, target, clamped });
     }
 
     /// Snapshot into an owned [`Trace`] for postmortem analysis: all shards

@@ -69,7 +69,7 @@ impl TaskCtx {
         shutdown: Shutdown,
         dgc: Arc<RwLock<DgcResult>>,
     ) -> Self {
-        let tele = TaskTele::new(trace.telemetry(), &name);
+        let tele = TaskTele::new(trace.telemetry(), &name, config.control.label());
         TaskCtx {
             node,
             name,
@@ -242,6 +242,12 @@ impl TaskCtx {
             self.trace.iter_end(t1, key, outcome.current_stp.period());
             if outcome.stale {
                 self.trace.stale_summary(t1, key);
+            }
+            if outcome.law_fired {
+                if let (Some(raw), Some(target)) = (outcome.raw_target, outcome.pace_target) {
+                    self.trace
+                        .pace_decision(t1, self.node, raw.period(), target.period(), outcome.clamped);
+                }
             }
             self.seq += 1;
             match step {

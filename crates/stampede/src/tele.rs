@@ -186,6 +186,10 @@ pub(crate) struct TaskTele {
     pacing_skipped: Counter,
     stale: Counter,
     pace_sleep_us: Counter,
+    pace_raw_us: Gauge,
+    pace_target_us: Gauge,
+    law_fired: Counter,
+    law_clamped: Counter,
     busy_us: Counter,
     blocked_us: Counter,
     put_ns: Histogram,
@@ -200,9 +204,12 @@ pub(crate) struct TaskTele {
 }
 
 impl TaskTele {
-    pub(crate) fn new(tele: &Telemetry, name: &str) -> Self {
+    pub(crate) fn new(tele: &Telemetry, name: &str, law: &'static str) -> Self {
         let r = &tele.registry;
         let labels: &[(&str, &str)] = &[("thread", name)];
+        // Law-tagged series: which control law (DESIGN.md §13) drives this
+        // task's pacing, and how often it fired / clamped the oracle.
+        let law_labels: &[(&str, &str)] = &[("thread", name), ("law", law)];
         TaskTele {
             stp_current: r.gauge("aru_stp_current_us", labels),
             stp_summary: r.gauge("aru_stp_summary_us", labels),
@@ -211,6 +218,10 @@ impl TaskTele {
             pacing_skipped: r.counter("aru_pacing_skipped_total", labels),
             stale: r.counter("aru_stale_summaries_total", labels),
             pace_sleep_us: r.counter("aru_pace_sleep_us_total", labels),
+            pace_raw_us: r.gauge("aru_pace_raw_us", law_labels),
+            pace_target_us: r.gauge("aru_pace_target_us", law_labels),
+            law_fired: r.counter("aru_law_fired_total", law_labels),
+            law_clamped: r.counter("aru_law_clamped_total", law_labels),
             busy_us: r.counter("aru_busy_us_total", labels),
             blocked_us: r.counter("aru_blocked_us_total", labels),
             put_ns: r.histogram("aru_put_latency_ns", labels),
@@ -249,6 +260,18 @@ impl TaskTele {
         if outcome.stale {
             self.stale.inc();
         }
+        if outcome.law_fired {
+            self.law_fired.inc();
+            if outcome.clamped {
+                self.law_clamped.inc();
+            }
+            if let Some(raw) = outcome.raw_target {
+                self.pace_raw_us.set(raw.as_micros() as f64);
+            }
+            if let Some(tg) = outcome.pace_target {
+                self.pace_target_us.set(tg.as_micros() as f64);
+            }
+        }
         let busy = meter.total_busy();
         let blocked = meter.total_blocked();
         // saturating: the meter restarts from zero after a crash recovery
@@ -263,7 +286,9 @@ impl TaskTele {
         self.prev_blocked = blocked;
         if outcome.paced {
             if let Some(s) = outcome.summary {
-                let value = s.period();
+                // The hop carries what the pacer actually applies — the
+                // law's target when one is active, the raw summary otherwise.
+                let value = outcome.pace_target.map_or(s.period(), |t| t.period());
                 if self.last_pace != Some(value) {
                     self.last_pace = Some(value);
                     self.spans.record(FeedbackHop {

@@ -6,11 +6,23 @@
 //! operating point: the digitizer's paced production period after recovery
 //! must match its pre-fault steady state within 10%.
 
-use aru_core::{AruConfig, RetryPolicy};
+use aru_core::{
+    AimdParams, AruConfig, ControllerConfig, HysteresisParams, PidParams, RetryPolicy,
+};
 use aru_metrics::TraceEvent;
 use tracker::app_sim::{run_sim, SimTrackerParams, TrackerConfigId};
 use desim::FaultPlan;
 use vtime::Micros;
+
+/// Every control law (DESIGN.md §13), for the law × scenario matrix below.
+fn all_laws() -> Vec<ControllerConfig> {
+    vec![
+        ControllerConfig::Direct,
+        ControllerConfig::Aimd(AimdParams::default()),
+        ControllerConfig::Pid(PidParams::default()),
+        ControllerConfig::Hysteresis(HysteresisParams::default()),
+    ]
+}
 
 /// Mean gap between consecutive iteration-ends of `task` inside `[lo, hi)`
 /// microseconds — the task's observed production period in that window.
@@ -71,6 +83,88 @@ fn aru_min_reconverges_after_change_detection_crash() {
         .max()
         .unwrap();
     assert!(last_out > 110_000_000, "pipeline alive to the end: {last_out}");
+}
+
+/// Law × crash matrix: the re-convergence guarantee above is not a Direct
+/// artefact. Whatever guardrail shapes the pacing target — AIMD approach,
+/// PID tracking, hysteresis dead-band — the loop must pull the digitizer
+/// back to within 10% of its pre-fault operating point after the
+/// change-detection stage crashes and restarts.
+#[test]
+fn every_law_reconverges_after_change_detection_crash() {
+    for law in all_laws() {
+        let label = law.label();
+        let crash_at = Micros::from_secs(60);
+        let cfg = AruConfig::aru_min().with_control(law);
+        let params = SimTrackerParams::new(cfg, TrackerConfigId::OneNode)
+            .with_duration(Micros::from_secs(120))
+            .with_seed(2005)
+            .with_faults(FaultPlan::none().crash("change-detection", crash_at))
+            .with_retry(RetryPolicy::constant(3, Micros::from_millis(500)));
+        let r = run_sim(&params);
+
+        let faults = r.analyze().faults;
+        assert_eq!(faults.crashes, 1, "[{label}] {faults}");
+        assert_eq!(faults.restarts, 1, "[{label}] {faults}");
+
+        let before = mean_period(&r, "digitizer", 30_000_000, 60_000_000);
+        let after = mean_period(&r, "digitizer", 90_000_000, 120_000_000);
+        let drift = (after - before).abs() / before;
+        assert!(
+            drift < 0.10,
+            "[{label}] source pacing re-converged: before {before:.0}us, \
+             after {after:.0}us ({:.1}% drift)",
+            drift * 100.0
+        );
+        // The law actually ran: decisions were recorded for the digitizer.
+        let decisions = r
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::PaceDecision { .. }))
+            .count();
+        assert!(decisions > 0, "[{label}] pacing decisions recorded");
+    }
+}
+
+/// Law × staleness matrix: when the feedback path dies for good, every law
+/// must decay to un-paced — the guardrail shapes the pacing target, it must
+/// never pin the source to a stale one. The digitizer's period after the
+/// staleness horizon expires must fall back toward its natural (busy-bound)
+/// rate, well below the paced steady state.
+#[test]
+fn every_law_falls_back_to_unpaced_on_staleness() {
+    for law in all_laws() {
+        let label = law.label();
+        let cfg = AruConfig::aru_min()
+            .with_control(law)
+            .with_staleness(Micros::from_secs(2));
+        // Feedback to the digitizer dies at t=30s and never recovers.
+        let params = SimTrackerParams::new(cfg, TrackerConfigId::OneNode)
+            .with_duration(Micros::from_secs(60))
+            .with_seed(2005)
+            .with_faults(FaultPlan::none().drop_summaries(
+                "digitizer",
+                Micros::from_secs(30),
+                Micros::from_secs(60),
+            ));
+        let r = run_sim(&params);
+
+        let paced = mean_period(&r, "digitizer", 15_000_000, 30_000_000);
+        let revved = mean_period(&r, "digitizer", 45_000_000, 60_000_000);
+        assert!(
+            revved < paced * 0.5,
+            "[{label}] stale feedback released the pacer: paced {paced:.0}us, \
+             after staleness {revved:.0}us"
+        );
+        let stale = r
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::StaleSummary { .. }))
+            .count();
+        assert!(stale > 0, "[{label}] staleness was detected");
+    }
 }
 
 /// The same crash with no restart budget starves the pipeline: the GUI's
