@@ -337,6 +337,18 @@ impl AruController {
         }
     }
 
+    /// Report downstream buffer occupancy (items) to the control law.
+    /// Laws that don't regulate on occupancy ignore it; for
+    /// [`crate::law::PidInput::OccupancyError`] this feeds the error
+    /// signal and arms a pending decision that the next
+    /// [`AruController::iteration_end`] fires through the law.
+    pub fn observe_occupancy(&mut self, occ: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.law.observe_occupancy(occ);
+    }
+
     fn recompute(&mut self) {
         let compressed = self.backward.compressed(&self.compress);
         let raw = match self.kind {

@@ -64,6 +64,12 @@ pub trait ControlLaw: Debug + Send {
         false
     }
 
+    /// Feed a buffer-occupancy observation (items currently queued
+    /// downstream). Only laws that regulate on occupancy consume it
+    /// ([`PidInput::OccupancyError`]); the default is a no-op, so callers
+    /// may report occupancy unconditionally.
+    fn observe_occupancy(&mut self, _occ: f64) {}
+
     /// Drop all internal state (staleness expiry, task restart).
     fn reset(&mut self);
 }
@@ -197,10 +203,32 @@ impl ControlLaw for AimdLaw {
 // PID
 // ---------------------------------------------------------------------------
 
+/// Error-signal source for [`PidLaw`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PidInput {
+    /// Classic: the error is the period gap `raw − applied`, the same
+    /// signal the other laws regulate.
+    #[default]
+    SummaryError,
+    /// Regulate downstream buffer occupancy instead (fed through
+    /// [`ControlLaw::observe_occupancy`]): the error is
+    /// `(occupancy − setpoint) × gain_us`. A backlog above the setpoint
+    /// produces a positive error and raises the applied period (slow
+    /// down); occupancy below it speeds back up. Until the first
+    /// observation arrives the error is zero — the law holds rather than
+    /// steering on a guess.
+    OccupancyError {
+        /// Items the regulated buffer should hold at equilibrium.
+        setpoint: f64,
+        /// Microseconds of period correction per item of occupancy error.
+        gain_us: f64,
+    },
+}
+
 /// Parameters for [`PidLaw`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PidParams {
-    /// Proportional gain on the period error `raw − applied`.
+    /// Proportional gain on the error signal.
     pub kp: f64,
     /// Integral gain.
     pub ki: f64,
@@ -212,6 +240,8 @@ pub struct PidParams {
     pub min_period: Micros,
     /// Hard ceiling on the applied period.
     pub max_period: Micros,
+    /// Which error signal drives the loop (period gap by default).
+    pub input: PidInput,
 }
 
 impl Default for PidParams {
@@ -230,6 +260,7 @@ impl Default for PidParams {
             integral_limit: Micros::from_secs(5),
             min_period: Micros::ZERO,
             max_period: Micros::from_secs(3600),
+            input: PidInput::SummaryError,
         }
     }
 }
@@ -254,6 +285,20 @@ impl PidParams {
                 why: "must be <= max_period",
             });
         }
+        if let PidInput::OccupancyError { setpoint, gain_us } = self.input {
+            if !setpoint.is_finite() || setpoint < 0.0 {
+                return Err(AruError::InvalidParam {
+                    what: "pid.input.setpoint",
+                    why: "must be finite and >= 0",
+                });
+            }
+            if !gain_us.is_finite() || gain_us <= 0.0 {
+                return Err(AruError::InvalidParam {
+                    what: "pid.input.gain_us",
+                    why: "must be finite and > 0",
+                });
+            }
+        }
         Ok(())
     }
 
@@ -268,6 +313,7 @@ impl PidParams {
             integral_limit: self.integral_limit,
             min_period: self.min_period,
             max_period: self.max_period,
+            input: self.input,
         };
         if p.kp == 0.0 && p.ki == 0.0 {
             p.kp = d.kp;
@@ -275,12 +321,21 @@ impl PidParams {
         if p.min_period > p.max_period {
             p.max_period = p.min_period;
         }
+        if let PidInput::OccupancyError { setpoint, gain_us } = p.input {
+            // Degenerate occupancy parameters fall back to the classic
+            // input rather than steering on NaN/zero-gain error signals.
+            if !setpoint.is_finite() || setpoint < 0.0 || !gain_us.is_finite() || gain_us <= 0.0 {
+                p.input = PidInput::SummaryError;
+            }
+        }
         p
     }
 }
 
-/// Discrete PID on the period error with integral windup clamping and a
-/// hard output range. See the module docs.
+/// Discrete PID with integral windup clamping and a hard output range.
+/// The error signal is the period gap by default, or a scaled occupancy
+/// error when configured with [`PidInput::OccupancyError`]. See the
+/// module docs.
 #[derive(Debug, Clone)]
 pub struct PidLaw {
     params: PidParams,
@@ -288,6 +343,7 @@ pub struct PidLaw {
     integral: f64,
     prev_err: f64,
     pending: bool,
+    last_occ: Option<f64>,
 }
 
 impl PidLaw {
@@ -299,6 +355,19 @@ impl PidLaw {
             integral: 0.0,
             prev_err: 0.0,
             pending: false,
+            last_occ: None,
+        }
+    }
+
+    /// Current error signal in µs, per the configured input source.
+    fn error(&self, r: f64, a: f64) -> f64 {
+        match self.params.input {
+            PidInput::SummaryError => r - a,
+            PidInput::OccupancyError { setpoint, gain_us } => {
+                // No observation yet means no evidence of imbalance:
+                // hold instead of steering on a guess.
+                (self.last_occ.unwrap_or(setpoint) - setpoint) * gain_us
+            }
         }
     }
 }
@@ -318,7 +387,15 @@ impl ControlLaw for PidLaw {
             self.pending = false;
             return LawDecision { target: raw, clamped: false };
         };
-        let e = r - a;
+        let e = self.error(r, a);
+        if e == 0.0 && matches!(self.params.input, PidInput::OccupancyError { .. }) {
+            // Occupancy at the setpoint: hold the (integral-held) period
+            // offset rather than letting a non-zero integral keep walking
+            // the output with no error driving it.
+            self.pending = false;
+            let target = Stp::from_micros(a.round().max(0.0) as u64);
+            return LawDecision { target, clamped: target != raw };
+        }
         let lim = self.params.integral_limit.as_micros() as f64;
         self.integral = (self.integral + e).clamp(-lim, lim);
         let d = e - self.prev_err;
@@ -333,7 +410,13 @@ impl ControlLaw for PidLaw {
         next = next.clamp(lo, hi);
         self.applied = Some(next);
         let target = Stp::from_micros(next.round().max(0.0) as u64);
-        self.pending = target != raw;
+        self.pending = match self.params.input {
+            PidInput::SummaryError => target != raw,
+            // Occupancy regulation settles when the error does, not when
+            // the output matches the raw oracle (a standing offset is the
+            // point of the integral term).
+            PidInput::OccupancyError { .. } => true,
+        };
         LawDecision { target, clamped: target != raw }
     }
 
@@ -341,11 +424,24 @@ impl ControlLaw for PidLaw {
         self.pending
     }
 
+    fn observe_occupancy(&mut self, occ: f64) {
+        if !occ.is_finite() {
+            return;
+        }
+        self.last_occ = Some(occ);
+        if let PidInput::OccupancyError { setpoint, .. } = self.params.input {
+            if occ != setpoint {
+                self.pending = true;
+            }
+        }
+    }
+
     fn reset(&mut self) {
         self.applied = None;
         self.integral = 0.0;
         self.prev_err = 0.0;
         self.pending = false;
+        self.last_occ = None;
     }
 }
 
@@ -646,6 +742,81 @@ mod tests {
             let d = law.decide(us(0));
             assert!(d.target.as_micros() >= 50, "floor respected: {}", d.target);
         }
+    }
+
+    fn occ_params(setpoint: f64, gain_us: f64) -> PidParams {
+        PidParams {
+            input: PidInput::OccupancyError { setpoint, gain_us },
+            ..PidParams::default()
+        }
+    }
+
+    #[test]
+    fn pid_occupancy_backlog_raises_period_and_drain_lowers_it() {
+        let mut law = PidLaw::new(occ_params(8.0, 100.0));
+        law.decide(us(10_000)); // anchor
+        law.observe_occupancy(16.0);
+        assert!(law.pending(), "occupancy off the setpoint arms a decision");
+        let d = law.decide(us(10_000));
+        assert!(
+            d.target.as_micros() > 10_000,
+            "backlog above the setpoint slows the producer: {}",
+            d.target
+        );
+        assert!(d.clamped, "a standing offset from raw is reported as clamped");
+
+        let high = law.decide(us(10_000)).target;
+        law.observe_occupancy(2.0);
+        let mut cur = high;
+        for _ in 0..50 {
+            cur = law.decide(us(10_000)).target;
+        }
+        assert!(cur < high, "draining below the setpoint speeds back up: {cur} vs {high}");
+    }
+
+    #[test]
+    fn pid_occupancy_without_observation_holds_at_anchor() {
+        let mut law = PidLaw::new(occ_params(8.0, 100.0));
+        law.decide(us(10_000));
+        // No occupancy evidence yet: the error is zero, the law holds the
+        // anchor and reports settled rather than steering on a guess.
+        let d = law.decide(us(10_000));
+        assert_eq!(d.target, us(10_000));
+        assert!(!d.clamped);
+        assert!(!law.pending());
+    }
+
+    #[test]
+    fn pid_occupancy_at_setpoint_holds_integral_offset() {
+        let mut law = PidLaw::new(occ_params(8.0, 100.0));
+        law.decide(us(10_000));
+        law.observe_occupancy(20.0);
+        for _ in 0..10 {
+            law.decide(us(10_000));
+        }
+        law.observe_occupancy(8.0);
+        let held = law.decide(us(10_000));
+        assert!(!law.pending(), "zero error settles the law");
+        let held2 = law.decide(us(10_000));
+        assert_eq!(
+            held.target, held2.target,
+            "at the setpoint the integral-held offset stays put instead of drifting"
+        );
+    }
+
+    #[test]
+    fn pid_occupancy_params_validate_and_sanitize() {
+        assert!(occ_params(8.0, 100.0).validate().is_ok());
+        assert!(occ_params(f64::NAN, 100.0).validate().is_err());
+        assert!(occ_params(-1.0, 100.0).validate().is_err());
+        assert!(occ_params(8.0, 0.0).validate().is_err());
+        assert!(occ_params(8.0, f64::INFINITY).validate().is_err());
+        // Degenerate occupancy parameters fall back to the classic input.
+        assert_eq!(occ_params(8.0, -5.0).sanitized().input, PidInput::SummaryError);
+        assert_eq!(
+            occ_params(4.0, 250.0).sanitized().input,
+            PidInput::OccupancyError { setpoint: 4.0, gain_us: 250.0 }
+        );
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub use filter::{EwmaFilter, IdentityFilter, MedianFilter, StpFilter};
 pub use graph::{ConnId, NodeId, NodeKind, Topology};
 pub use law::{
     AimdLaw, AimdParams, ControlLaw, ControllerConfig, DirectLaw, HysteresisLaw,
-    HysteresisParams, LawDecision, PidLaw, PidParams,
+    HysteresisParams, LawDecision, PidInput, PidLaw, PidParams,
 };
 pub use pacing::Pacer;
 pub use retry::{Backoff, RetryPolicy};

@@ -214,7 +214,7 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 use aru_core::{
-    AimdLaw, AimdParams, ControlLaw, HysteresisLaw, HysteresisParams, PidLaw, PidParams,
+    AimdLaw, AimdParams, ControlLaw, HysteresisLaw, HysteresisParams, PidInput, PidLaw, PidParams,
 };
 
 fn raw_seq() -> impl Strategy<Value = Vec<Stp>> {
@@ -373,6 +373,58 @@ proptest! {
                 lo + span
             );
         }
+    }
+
+    /// Anti-windup on the occupancy input: hold a constant occupancy error
+    /// for arbitrarily many decisions and every single step of the applied
+    /// period stays bounded by `kp·e + ki·L + kd·e` — the integral term
+    /// contributes at most its clamp `L` no matter how long the backlog
+    /// persists (without the clamp the integral grows ∝ hold and the step
+    /// bound breaks for the small-`L` cases this strategy generates). Once
+    /// occupancy returns to the setpoint the law settles immediately
+    /// instead of bleeding off a wound-up integral.
+    #[test]
+    fn pid_occupancy_antiwindup_bounds_every_step(
+        pp in pid_params(),
+        lim_us in 100u64..10_000,
+        setpoint in 0.0f64..64.0,
+        excess in 1.0f64..64.0,
+        gain in 1.0f64..500.0,
+        hold in 4usize..128,
+    ) {
+        let params = PidParams {
+            input: PidInput::OccupancyError { setpoint, gain_us: gain },
+            integral_limit: Micros(lim_us),
+            ..pp
+        };
+        let lim = lim_us as f64;
+        let lo = params.min_period.as_micros() as f64;
+        let hi = params.max_period.as_micros() as f64;
+        let raw = Stp::from_micros(10_000);
+        let mut law = PidLaw::new(params);
+        let mut prev = law.decide(raw).target.as_micros() as f64; // anchor
+        law.observe_occupancy(setpoint + excess);
+        let e = excess * gain;
+        let step_bound = params.kp * e + params.ki * lim + params.kd * e + 2.0;
+        for _ in 0..hold {
+            let cur = law.decide(raw).target.as_micros() as f64;
+            prop_assert!(
+                (lo..=hi + 1.0).contains(&cur),
+                "occupancy pid target {cur} outside [{lo}, {hi}]"
+            );
+            prop_assert!(
+                cur - prev <= step_bound,
+                "step {prev} -> {cur} exceeds anti-windup bound {step_bound}"
+            );
+            prop_assert!(cur + 1.0 >= prev, "positive error must not speed up");
+            prev = cur;
+        }
+        // Occupancy back at the setpoint: zero error settles the law and
+        // the held offset does not drift decision-to-decision.
+        law.observe_occupancy(setpoint);
+        let held = law.decide(raw).target;
+        prop_assert!(!law.pending(), "zero occupancy error must settle");
+        prop_assert_eq!(law.decide(raw).target, held, "held offset drifted");
     }
 
     /// AIMD and PID converge to Direct's fixed point — the raw target

@@ -21,14 +21,27 @@
 //! * `fanout`    — frame to 3 channels: 3 puts with deep clones vs
 //!   `FanOut::put` (one `Arc`, one clock read)
 //!
+//! **Lock-free layer** (DESIGN.md §14): the mutex `Queue` against the
+//! lock-free `LfQueue` ring on the same op mix.
+//!
+//! * `put_lockfree`   — uncontended single put, one private queue per worker
+//! * `get_lockfree`   — uncontended single get (timed drains, untimed refills)
+//! * `mixed_lockfree` — one shared queue, half the threads put, half get
+//!
 //! ```text
 //! hotpath [--threads N] [--ops N] [--reps N] [--out FILE]
 //!         [--baseline FILE] [--max-regress F]
 //! ```
 //!
-//! Each cell is measured `--reps` times and the minimum duration is
-//! reported — the best-observed cost, which filters scheduler interference
-//! on shared/single-core runners.
+//! Trace/batch cells are measured `--reps` times and the minimum duration
+//! is reported — the best-observed cost, which filters scheduler
+//! interference on shared/single-core runners. The `get_batch` and
+//! lock-free cells instead run a per-worker warm-up round and trim at
+//! round granularity (each worker reports the trimmed mean of its
+//! per-round durations, scaled to the round count): their numbers were
+//! bimodal — on a single-core runner a preemption landing inside a timed
+//! window inflates it — and a minimum hides the slow mode instead of
+//! fixing it.
 //!
 //! Writes `BENCH_hotpath.json` (default) with the measured ns/op and a set
 //! of **shape checks** — event counts identical across implementations,
@@ -47,7 +60,7 @@ use aru_core::{AruConfig, Stp};
 use aru_gc::GcMode;
 use aru_metrics::{CoarseTrace, ItemId, IterKey, SharedTrace, Trace, TraceEvent};
 use json::{find_number_after, pretty, Fixed, JsonArr, JsonObj};
-use stampede::{bench_api, Channel, FanOut, Queue};
+use stampede::{bench_api, Channel, FanOut, LfQueue, Queue, TaskCtx};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
@@ -115,6 +128,28 @@ fn time_threads(threads: usize, f: impl Fn(usize) + Sync) -> Duration {
     let start = spans.iter().map(|s| s.0).min().expect("at least one thread");
     let end = spans.iter().map(|s| s.1).max().expect("at least one thread");
     end - start
+}
+
+/// Trimmed mean over timing samples: drop the top and bottom quarter
+/// (rounded down) and average the middle. Used for the cells whose
+/// distribution is bimodal — a sample inflated by a preemption landing
+/// inside the timed window (single-core runners timeshare the workers) is
+/// discarded instead of dragging the mean, and a lucky fast sample
+/// doesn't get reported as "the" cost the way a minimum would.
+fn trimmed_mean(samples: &[Duration]) -> Duration {
+    let mut s = samples.to_vec();
+    s.sort_unstable();
+    let trim = s.len() / 4;
+    let mid = &s[trim..s.len() - trim];
+    mid.iter().sum::<Duration>() / mid.len() as u32
+}
+
+/// Robust total for a round-based worker: the trimmed mean of the
+/// per-round durations, scaled back to the full round count. Rounds are
+/// equally sized, so preemption-inflated rounds are outliers the trim
+/// removes while the middle quantiles estimate the true per-round cost.
+fn trimmed_total(rounds: &[Duration]) -> Duration {
+    trimmed_mean(rounds) * rounds.len() as u32
 }
 
 /// Like [`time_threads`], but each worker returns its own accumulated
@@ -201,6 +236,20 @@ struct BatchRow {
 impl BatchRow {
     fn speedup(&self) -> f64 {
         self.singles_ns_per_op / self.batched_ns_per_op
+    }
+}
+
+struct LockfreeRow {
+    name: &'static str,
+    mutex_ns_per_op: f64,
+    lockfree_ns_per_op: f64,
+    /// Per-thread (uncontended cells) or per-producer (mixed) item count.
+    ops: u64,
+}
+
+impl LockfreeRow {
+    fn speedup(&self) -> f64 {
+        self.mutex_ns_per_op / self.lockfree_ns_per_op
     }
 }
 
@@ -374,14 +423,21 @@ fn bench_put_batch(threads: usize, ops: u64, reps: usize, checks: &mut Vec<Check
 /// exercises the feedback deposit). Steady-state measurement: the queue
 /// is refilled in cache-resident rounds and only the drains are timed, so
 /// the number is the dequeue-op cost, not memory streaming over a
-/// many-megabyte backlog.
+/// many-megabyte backlog. Each worker runs one untimed warm-up round
+/// (first-touch faults on the queue/store pages land there) and reports
+/// the trimmed mean of its per-round durations scaled to the round count;
+/// the rep values are trim-averaged again. This cell was bimodal under
+/// best-of-reps: on a single-core runner a preemption inside the timed
+/// drain inflates the whole rep, and round-level trimming discards
+/// exactly those windows.
 fn bench_get_batch(threads: usize, ops: u64, reps: usize, checks: &mut Vec<Check>) -> BatchRow {
     /// Items per refill round (~a few hundred kB of queue + payloads).
     const ROUND: u64 = 4096;
-    let ops = ops.max(ROUND);
+    // Equal-size rounds so per-round durations are comparable for trimming.
+    let ops = ops.max(ROUND).next_multiple_of(ROUND);
     let total_ops = threads as u64 * ops;
-    let mut d_singles = Duration::MAX;
-    let mut d_batched = Duration::MAX;
+    let mut s_samples = Vec::with_capacity(reps);
+    let mut b_samples = Vec::with_capacity(reps);
     let mut final_state = None;
     let order_violations = AtomicUsize::new(0);
 
@@ -434,11 +490,16 @@ fn bench_get_batch(threads: usize, ops: u64, reps: usize, checks: &mut Vec<Check
 
         let singles_trace = SharedTrace::new();
         let queues = make_queues(&singles_trace, &clock);
-        d_singles = d_singles.min(time_threads_accum(threads, |k| {
+        s_samples.push(time_threads_accum(threads, |k| {
             let q = &queues[k];
             let mut ctx = make_ctx(k, &singles_trace, &clock);
+            // Warm-up round, untimed: faults the queue pages in.
+            refill(q, k, 0, ROUND);
+            while !q.is_empty() {
+                q.get_batch(0, &mut ctx, 512).unwrap();
+            }
             let mut last = None;
-            let mut acc = Duration::ZERO;
+            let mut rounds = Vec::with_capacity((ops / ROUND) as usize);
             let mut done = 0u64;
             while done < ops {
                 let n = ROUND.min(ops - done);
@@ -451,19 +512,24 @@ fn bench_get_batch(threads: usize, ops: u64, reps: usize, checks: &mut Vec<Check
                     }
                     last = Some(item.ts);
                 }
-                acc += t0.elapsed();
+                rounds.push(t0.elapsed());
                 done += n;
             }
-            acc
+            trimmed_total(&rounds)
         }));
 
         let batched_trace = SharedTrace::new();
         let bqueues = make_queues(&batched_trace, &clock);
-        d_batched = d_batched.min(time_threads_accum(threads, |k| {
+        b_samples.push(time_threads_accum(threads, |k| {
             let q = &bqueues[k];
             let mut ctx = make_ctx(k, &batched_trace, &clock);
+            // Warm-up round, untimed (see the singles side).
+            refill(q, k, 0, ROUND);
+            while !q.is_empty() {
+                q.get_batch(0, &mut ctx, 512).unwrap();
+            }
             let mut last = None;
-            let mut acc = Duration::ZERO;
+            let mut rounds = Vec::with_capacity((ops / ROUND) as usize);
             let mut done = 0u64;
             while done < ops {
                 let n = ROUND.min(ops - done);
@@ -480,11 +546,11 @@ fn bench_get_batch(threads: usize, ops: u64, reps: usize, checks: &mut Vec<Check
                     }
                     taken += batch.len() as u64;
                 }
-                acc += t0.elapsed();
+                rounds.push(t0.elapsed());
                 assert_eq!(taken, n, "drained more than enqueued");
                 done += n;
             }
-            acc
+            trimmed_total(&rounds)
         }));
         final_state = Some((singles_trace, queues, batched_trace, bqueues));
     }
@@ -504,8 +570,8 @@ fn bench_get_batch(threads: usize, ops: u64, reps: usize, checks: &mut Vec<Check
             bqueues.iter().map(|q| q.len()).collect::<Vec<_>>()
         ),
     });
-    // alloc + get + free per item on both sides.
-    let expected_events = total_ops * 3;
+    // alloc + get + free per item on both sides, warm-up round included.
+    let expected_events = (total_ops + threads as u64 * ROUND) * 3;
     checks.push(Check {
         name: "get_batch: event counts identical to single-get loop".into(),
         passed: s_snap.len() as u64 == expected_events && b_snap.len() as u64 == expected_events,
@@ -524,8 +590,8 @@ fn bench_get_batch(threads: usize, ops: u64, reps: usize, checks: &mut Vec<Check
 
     BatchRow {
         name: "get_batch",
-        singles_ns_per_op: d_singles.as_nanos() as f64 / total_ops as f64,
-        batched_ns_per_op: d_batched.as_nanos() as f64 / total_ops as f64,
+        singles_ns_per_op: trimmed_mean(&s_samples).as_nanos() as f64 / total_ops as f64,
+        batched_ns_per_op: trimmed_mean(&b_samples).as_nanos() as f64 / total_ops as f64,
         ops,
     }
 }
@@ -639,6 +705,389 @@ fn bench_fanout(threads: usize, ops: u64, reps: usize, checks: &mut Vec<Check>) 
         name: "fanout",
         singles_ns_per_op: d_singles.as_nanos() as f64 / total_frames as f64,
         batched_ns_per_op: d_batched.as_nanos() as f64 / total_frames as f64,
+        ops,
+    }
+}
+
+/// Ring capacity for the lock-free bench queues (power of two, larger
+/// than a refill round so uncontended workers never park on a full ring).
+const LF_CAP: usize = 4096;
+/// Items per timed round in the uncontended lock-free cells.
+const LF_ROUND: u64 = 2048;
+
+/// Consumer context for the lock-free cells: warm summary so every get
+/// exercises the feedback deposit, generous op timeout like a supervised
+/// mid-pipeline task.
+fn lf_ctx(node: u32, trace: &SharedTrace, clock: &Arc<dyn Clock>) -> TaskCtx {
+    let mut ctx = bench_api::task_ctx(
+        NodeId(node),
+        "bench-lf",
+        1,
+        false,
+        &aru_min(),
+        Arc::clone(clock),
+        trace.clone(),
+    );
+    bench_api::warm_summary(&mut ctx, Stp(Micros(1_000)));
+    bench_api::set_op_timeout(&mut ctx, Micros(30_000_000));
+    ctx
+}
+
+/// `put_lockfree`: uncontended single-put cost — mutex `Queue::put` vs
+/// the lock-free `LfQueue::put` (DESIGN.md §14). Each worker owns its
+/// queue pair and alternates timed put rounds with untimed drains
+/// (steady state, bounded working set); payloads are pre-built outside
+/// the timed region so the number isolates the enqueue op itself.
+/// Warm-up round + per-round trimmed mean, like `get_batch`.
+fn bench_put_lockfree(threads: usize, ops: u64, reps: usize, checks: &mut Vec<Check>) -> LockfreeRow {
+    let ops = ops.max(LF_ROUND).next_multiple_of(LF_ROUND);
+    let total_ops = threads as u64 * ops;
+    let mut mx_samples = Vec::with_capacity(reps);
+    let mut lf_samples = Vec::with_capacity(reps);
+    let mut final_state = None;
+    for _ in 0..reps {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+
+        let mx_trace = SharedTrace::new();
+        let queues: Vec<Arc<Queue<Vec<u8>>>> = (0..threads)
+            .map(|k| {
+                bench_api::queue(
+                    NodeId(6000 + k as u32),
+                    "mx-q",
+                    &aru_min(),
+                    Arc::clone(&clock),
+                    mx_trace.clone(),
+                    1,
+                )
+            })
+            .collect();
+        mx_samples.push(time_threads_accum(threads, |k| {
+            let q = &queues[k];
+            let mut ctx = lf_ctx(6100 + k as u32, &mx_trace, &clock);
+            let p = IterKey::new(NodeId(k as u32), 0);
+            let mut rounds = Vec::with_capacity((ops / LF_ROUND) as usize);
+            let mut done = 0u64;
+            let mut warm = true;
+            while warm || done < ops {
+                let n = if warm { LF_ROUND } else { LF_ROUND.min(ops - done) };
+                let vals: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; ITEM_BYTES]).collect();
+                let t0 = Instant::now();
+                for (i, v) in vals.into_iter().enumerate() {
+                    q.put(Timestamp(done + i as u64), v, p).unwrap();
+                }
+                let dt = t0.elapsed();
+                while !q.is_empty() {
+                    q.get_batch(0, &mut ctx, 512).unwrap();
+                }
+                if warm {
+                    warm = false;
+                } else {
+                    rounds.push(dt);
+                    done += n;
+                }
+            }
+            trimmed_total(&rounds)
+        }));
+
+        let lf_trace = SharedTrace::new();
+        let lfqueues: Vec<Arc<LfQueue<Vec<u8>>>> = (0..threads)
+            .map(|k| {
+                bench_api::lfqueue(
+                    NodeId(6200 + k as u32),
+                    "lf-q",
+                    &aru_min(),
+                    LF_CAP,
+                    lf_trace.clone(),
+                    1,
+                )
+            })
+            .collect();
+        lf_samples.push(time_threads_accum(threads, |k| {
+            let q = &lfqueues[k];
+            let mut ctx = lf_ctx(6300 + k as u32, &lf_trace, &clock);
+            let p = IterKey::new(NodeId(k as u32), 0);
+            let mut rounds = Vec::with_capacity((ops / LF_ROUND) as usize);
+            let mut done = 0u64;
+            let mut warm = true;
+            while warm || done < ops {
+                let n = if warm { LF_ROUND } else { LF_ROUND.min(ops - done) };
+                let vals: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; ITEM_BYTES]).collect();
+                let t0 = Instant::now();
+                for (i, v) in vals.into_iter().enumerate() {
+                    q.put(Timestamp(done + i as u64), v, p).unwrap();
+                }
+                let dt = t0.elapsed();
+                while !q.is_empty() {
+                    q.get_batch(0, &mut ctx, 512).unwrap();
+                }
+                if warm {
+                    warm = false;
+                } else {
+                    rounds.push(dt);
+                    done += n;
+                }
+            }
+            trimmed_total(&rounds)
+        }));
+        final_state = Some((queues, lfqueues));
+    }
+
+    let (queues, lfqueues) = final_state.expect("reps >= 1");
+    checks.push(Check {
+        name: "put_lockfree: both sides fully drained, byte accounting zeroed".into(),
+        passed: queues.iter().all(|q| q.is_empty() && q.live_bytes() == 0)
+            && lfqueues.iter().all(|q| q.is_empty() && q.live_bytes() == 0),
+        detail: format!(
+            "mutex len {:?} / lockfree len {:?}",
+            queues.iter().map(|q| q.len()).collect::<Vec<_>>(),
+            lfqueues.iter().map(|q| q.len()).collect::<Vec<_>>()
+        ),
+    });
+
+    LockfreeRow {
+        name: "put_lockfree",
+        mutex_ns_per_op: trimmed_mean(&mx_samples).as_nanos() as f64 / total_ops as f64,
+        lockfree_ns_per_op: trimmed_mean(&lf_samples).as_nanos() as f64 / total_ops as f64,
+        ops,
+    }
+}
+
+/// `get_lockfree`: uncontended single-get cost — mutex `Queue::get` vs
+/// `LfQueue::get`, both depositing backward STP on every op. Untimed
+/// refills, timed drains, FIFO order asserted on both sides. Warm-up
+/// round + per-round trimmed mean, like `get_batch`.
+fn bench_get_lockfree(threads: usize, ops: u64, reps: usize, checks: &mut Vec<Check>) -> LockfreeRow {
+    let ops = ops.max(LF_ROUND).next_multiple_of(LF_ROUND);
+    let total_ops = threads as u64 * ops;
+    let mut mx_samples = Vec::with_capacity(reps);
+    let mut lf_samples = Vec::with_capacity(reps);
+    let mut final_state = None;
+    let order_violations = AtomicUsize::new(0);
+    for _ in 0..reps {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+
+        let mx_trace = SharedTrace::new();
+        let queues: Vec<Arc<Queue<Vec<u8>>>> = (0..threads)
+            .map(|k| {
+                bench_api::queue(
+                    NodeId(6400 + k as u32),
+                    "mx-q",
+                    &aru_min(),
+                    Arc::clone(&clock),
+                    mx_trace.clone(),
+                    1,
+                )
+            })
+            .collect();
+        mx_samples.push(time_threads_accum(threads, |k| {
+            let q = &queues[k];
+            let mut ctx = lf_ctx(6500 + k as u32, &mx_trace, &clock);
+            let p = IterKey::new(NodeId(k as u32), 0);
+            let mut rounds = Vec::with_capacity((ops / LF_ROUND) as usize);
+            let mut done = 0u64;
+            let mut warm = true;
+            while warm || done < ops {
+                let n = if warm { LF_ROUND } else { LF_ROUND.min(ops - done) };
+                for j in 0..n {
+                    q.put(Timestamp(done + j), vec![0u8; ITEM_BYTES], p).unwrap();
+                }
+                let mut last = None;
+                let t0 = Instant::now();
+                for _ in 0..n {
+                    let item = q.get(0, &mut ctx).unwrap();
+                    if last.is_some_and(|l| item.ts <= l) {
+                        order_violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    last = Some(item.ts);
+                }
+                let dt = t0.elapsed();
+                if warm {
+                    warm = false;
+                } else {
+                    rounds.push(dt);
+                    done += n;
+                }
+            }
+            trimmed_total(&rounds)
+        }));
+
+        let lf_trace = SharedTrace::new();
+        let lfqueues: Vec<Arc<LfQueue<Vec<u8>>>> = (0..threads)
+            .map(|k| {
+                bench_api::lfqueue(
+                    NodeId(6600 + k as u32),
+                    "lf-q",
+                    &aru_min(),
+                    LF_CAP,
+                    lf_trace.clone(),
+                    1,
+                )
+            })
+            .collect();
+        lf_samples.push(time_threads_accum(threads, |k| {
+            let q = &lfqueues[k];
+            let mut ctx = lf_ctx(6700 + k as u32, &lf_trace, &clock);
+            let p = IterKey::new(NodeId(k as u32), 0);
+            let mut rounds = Vec::with_capacity((ops / LF_ROUND) as usize);
+            let mut done = 0u64;
+            let mut warm = true;
+            while warm || done < ops {
+                let n = if warm { LF_ROUND } else { LF_ROUND.min(ops - done) };
+                for j in 0..n {
+                    q.put(Timestamp(done + j), vec![0u8; ITEM_BYTES], p).unwrap();
+                }
+                let mut last = None;
+                let t0 = Instant::now();
+                for _ in 0..n {
+                    let item = q.get(0, &mut ctx).unwrap();
+                    if last.is_some_and(|l| item.ts <= l) {
+                        order_violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    last = Some(item.ts);
+                }
+                let dt = t0.elapsed();
+                if warm {
+                    warm = false;
+                } else {
+                    rounds.push(dt);
+                    done += n;
+                }
+            }
+            trimmed_total(&rounds)
+        }));
+        final_state = Some((queues, lfqueues));
+    }
+
+    let (queues, lfqueues) = final_state.expect("reps >= 1");
+    checks.push(Check {
+        name: "get_lockfree: FIFO timestamp order preserved on both sides".into(),
+        passed: order_violations.load(Ordering::Relaxed) == 0,
+        detail: format!("{} violations", order_violations.load(Ordering::Relaxed)),
+    });
+    checks.push(Check {
+        name: "get_lockfree: both sides fully drained".into(),
+        passed: queues.iter().all(|q| q.is_empty()) && lfqueues.iter().all(|q| q.is_empty()),
+        detail: format!(
+            "mutex len {:?} / lockfree len {:?}",
+            queues.iter().map(|q| q.len()).collect::<Vec<_>>(),
+            lfqueues.iter().map(|q| q.len()).collect::<Vec<_>>()
+        ),
+    });
+
+    LockfreeRow {
+        name: "get_lockfree",
+        mutex_ns_per_op: trimmed_mean(&mx_samples).as_nanos() as f64 / total_ops as f64,
+        lockfree_ns_per_op: trimmed_mean(&lf_samples).as_nanos() as f64 / total_ops as f64,
+        ops,
+    }
+}
+
+/// `mixed_lockfree`: one shared queue per side, half the workers putting
+/// and half getting concurrently — the contended MPMC case the ring's
+/// slot-claim CAS exists for (at `--threads 4`: 2 producers + 2
+/// consumers). Wall-clock over the whole transfer, reported per item
+/// moved. Trimmed mean over the reps.
+fn bench_mixed_lockfree(
+    threads: usize,
+    ops: u64,
+    reps: usize,
+    checks: &mut Vec<Check>,
+) -> LockfreeRow {
+    let producers = (threads / 2).max(1);
+    let consumers = (threads / 2).max(1);
+    let workers = producers + consumers;
+    let total = producers as u64 * ops;
+    // Consumer quotas partition the total transfer.
+    let quota = |c: usize| total / consumers as u64 + u64::from((c as u64) < total % consumers as u64);
+    // Distinct monotone timestamp range per producer.
+    let ts_for = |p: usize, j: u64| Timestamp(((p as u64) << 40) | j);
+    let received = AtomicUsize::new(0);
+
+    let mut mx_samples = Vec::with_capacity(reps);
+    let mut lf_samples = Vec::with_capacity(reps);
+    let mut final_state = None;
+    for _ in 0..reps {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+
+        let mx_trace = SharedTrace::new();
+        let mx: Arc<Queue<Vec<u8>>> = bench_api::queue(
+            NodeId(6800),
+            "mx-mixed",
+            &aru_min(),
+            Arc::clone(&clock),
+            mx_trace.clone(),
+            consumers,
+        );
+        let vals: Vec<std::sync::Mutex<Vec<Vec<u8>>>> = (0..producers)
+            .map(|_| std::sync::Mutex::new((0..ops).map(|_| vec![0u8; ITEM_BYTES]).collect()))
+            .collect();
+        mx_samples.push(time_threads(workers, |k| {
+            if k < producers {
+                let p = IterKey::new(NodeId(k as u32), 0);
+                let vals = std::mem::take(&mut *vals[k].lock().unwrap());
+                for (j, v) in vals.into_iter().enumerate() {
+                    mx.put(ts_for(k, j as u64), v, p).unwrap();
+                }
+            } else {
+                let c = k - producers;
+                let mut ctx = lf_ctx(6900 + c as u32, &mx_trace, &clock);
+                for _ in 0..quota(c) {
+                    mx.get(c, &mut ctx).unwrap();
+                    received.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+
+        let lf_trace = SharedTrace::new();
+        let lf: Arc<LfQueue<Vec<u8>>> = bench_api::lfqueue(
+            NodeId(7000),
+            "lf-mixed",
+            &aru_min(),
+            LF_CAP,
+            lf_trace.clone(),
+            consumers,
+        );
+        let lvals: Vec<std::sync::Mutex<Vec<Vec<u8>>>> = (0..producers)
+            .map(|_| std::sync::Mutex::new((0..ops).map(|_| vec![0u8; ITEM_BYTES]).collect()))
+            .collect();
+        lf_samples.push(time_threads(workers, |k| {
+            if k < producers {
+                let p = IterKey::new(NodeId(k as u32), 0);
+                let vals = std::mem::take(&mut *lvals[k].lock().unwrap());
+                for (j, v) in vals.into_iter().enumerate() {
+                    lf.put(ts_for(k, j as u64), v, p).unwrap();
+                }
+            } else {
+                let c = k - producers;
+                let mut ctx = lf_ctx(7100 + c as u32, &lf_trace, &clock);
+                for _ in 0..quota(c) {
+                    lf.get(c, &mut ctx).unwrap();
+                    received.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+        final_state = Some((mx, lf));
+    }
+
+    let (mx, lf) = final_state.expect("reps >= 1");
+    checks.push(Check {
+        name: "mixed_lockfree: every item transferred, nothing stranded".into(),
+        passed: received.load(Ordering::Relaxed) as u64 == 2 * total * reps as u64
+            && mx.is_empty()
+            && lf.is_empty(),
+        detail: format!(
+            "received {} of {} / mutex left {} / lockfree left {}",
+            received.load(Ordering::Relaxed),
+            2 * total * reps as u64,
+            mx.len(),
+            lf.len()
+        ),
+    });
+
+    LockfreeRow {
+        name: "mixed_lockfree",
+        mutex_ns_per_op: trimmed_mean(&mx_samples).as_nanos() as f64 / total as f64,
+        lockfree_ns_per_op: trimmed_mean(&lf_samples).as_nanos() as f64 / total as f64,
         ops,
     }
 }
@@ -766,6 +1215,13 @@ fn main() {
         bench_fanout(threads, (ops / 8).max(1), reps, &mut checks),
     ];
 
+    // Lock-free layer: mutex Queue vs LfQueue ring (DESIGN.md §14).
+    let lockfree_rows = vec![
+        bench_put_lockfree(threads, ops, reps, &mut checks),
+        bench_get_lockfree(threads, ops, reps, &mut checks),
+        bench_mixed_lockfree(threads, ops, reps, &mut checks),
+    ];
+
     // Baseline regression gate (CI): every workload's ns/op must be within
     // (1 + max_regress) of the committed baseline. Workloads missing from
     // the baseline are skipped, so the gate survives adding workloads.
@@ -778,6 +1234,9 @@ fn main() {
         }
         for r in &batch_rows {
             gates.push((r.name, "batched_ns_per_op", r.batched_ns_per_op));
+        }
+        for r in &lockfree_rows {
+            gates.push((r.name, "lockfree_ns_per_op", r.lockfree_ns_per_op));
         }
         for (name, key, new_val) in gates {
             let anchor = format!("\"{name}\"");
@@ -820,6 +1279,19 @@ fn main() {
             r.name,
             r.singles_ns_per_op,
             r.batched_ns_per_op,
+            r.speedup()
+        );
+    }
+    println!(
+        "{:<14} {:>14} {:>16} {:>9}",
+        "lockfree", "mutex ns/op", "lockfree ns/op", "speedup"
+    );
+    for r in &lockfree_rows {
+        println!(
+            "{:<14} {:>14.1} {:>16.1} {:>8.2}x",
+            r.name,
+            r.mutex_ns_per_op,
+            r.lockfree_ns_per_op,
             r.speedup()
         );
     }
@@ -871,6 +1343,20 @@ fn main() {
             )
         })
         .raw();
+    let lockfree_workloads = lockfree_rows
+        .iter()
+        .fold(JsonArr::new(), |arr, r| {
+            arr.item(
+                JsonObj::new()
+                    .field("name", r.name)
+                    .field("mutex_ns_per_op", Fixed(r.mutex_ns_per_op, 2))
+                    .field("lockfree_ns_per_op", Fixed(r.lockfree_ns_per_op, 2))
+                    .field("speedup", Fixed(r.speedup(), 3))
+                    .field("ops_per_thread", r.ops)
+                    .raw(),
+            )
+        })
+        .raw();
     let check_arr = checks
         .iter()
         .fold(JsonArr::new(), |arr, c| {
@@ -889,6 +1375,7 @@ fn main() {
         .field("ops_per_thread", ops)
         .field("workloads", workloads)
         .field("batch_workloads", batch_workloads)
+        .field("lockfree_workloads", lockfree_workloads)
         .field(
             "snapshot",
             JsonObj::new()

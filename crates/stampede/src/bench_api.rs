@@ -10,6 +10,7 @@
 
 use crate::channel::{BufferAdmin, Channel, Input, Output};
 use crate::item::ItemData;
+use crate::lfqueue::{LfQueue, LfQueueInput, LfQueueOutput};
 use crate::queue::{Queue, QueueInput, QueueOutput};
 use crate::shutdown::Shutdown;
 use crate::sync::RwLock;
@@ -59,6 +60,22 @@ pub fn queue<T: ItemData>(
 ) -> Arc<Queue<T>> {
     let q = Arc::new(Queue::new(node, name.to_string(), config, clock, trace));
     q.configure_consumers(consumers);
+    q
+}
+
+/// A standalone lock-free queue with `consumers` consumer slots
+/// configured (DESIGN.md §14; capacity rounds up to a power of two).
+#[must_use]
+pub fn lfqueue<T: ItemData>(
+    node: NodeId,
+    name: &str,
+    config: &AruConfig,
+    capacity: usize,
+    trace: SharedTrace,
+    consumers: usize,
+) -> Arc<LfQueue<T>> {
+    let q = Arc::new(LfQueue::new(node, name.to_string(), config, capacity, trace));
+    BufferAdmin::configure_consumers(&*q, consumers);
     q
 }
 
@@ -122,6 +139,21 @@ pub fn queue_input<T: ItemData>(q: &Arc<Queue<T>>, chan_out_index: usize) -> Que
         q: Arc::clone(q),
         chan_out_index,
     }
+}
+
+/// Producer endpoint for a lock-free queue.
+#[must_use]
+pub fn lfqueue_output<T: ItemData>(
+    q: &Arc<LfQueue<T>>,
+    thread_out_index: usize,
+) -> LfQueueOutput<T> {
+    LfQueueOutput::new(Arc::clone(q), thread_out_index)
+}
+
+/// Consumer endpoint for a lock-free queue.
+#[must_use]
+pub fn lfqueue_input<T: ItemData>(q: &Arc<LfQueue<T>>, chan_out_index: usize) -> LfQueueInput<T> {
+    LfQueueInput::new(Arc::clone(q), chan_out_index)
 }
 
 /// Seed the context's summary-STP so subsequent gets exercise the feedback

@@ -31,12 +31,14 @@
 
 use crate::error::StampedeError;
 use crate::item::{ItemData, StampedItem};
+use crate::seqlock::{decode_summary, encode_summary, SeqCell};
 use crate::store::{ItemStore, Stored};
 use crate::task::TaskCtx;
 use crate::tele::BufTele;
 use aru_core::{AruConfig, AruController, NodeKind, Stp};
 use aru_gc::{ref_dead_before, ConsumerMarks, GcMode};
 use aru_metrics::{ItemId, IterKey, LocalTrace, SharedTrace};
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use crate::sync::{Condvar, Mutex, MutexGuard};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -74,6 +76,10 @@ struct ChannelState<T> {
     /// sampled occupancy histogram, recorded under this mutex and drained
     /// to the shared registry only on exporter ticks.
     tele: BufTele,
+    /// Last summary published to the lock-free cell (encoded) and the
+    /// cell's generation counter — the change gate for republishing.
+    published_summary: u64,
+    summary_gen: u64,
 }
 
 /// A timestamped, multi-consumer, get-latest buffer.
@@ -87,6 +93,14 @@ pub struct Channel<T: ItemData> {
     cons: Condvar,
     /// Producers blocked in a bounded put, waiting for capacity.
     prod: Condvar,
+    /// Lock-free read-side observables (DESIGN.md §14): item count and
+    /// byte total mirrored at the end of every mutating locked section,
+    /// plus the summary-STP behind a seqlock. `len`/`live_bytes`/
+    /// `summary` never take the state lock; monitors and exporters stop
+    /// contending with the data path.
+    obs_len: AtomicUsize,
+    obs_bytes: AtomicU64,
+    summary_cell: SeqCell,
 }
 
 impl<T: ItemData> Channel<T> {
@@ -119,9 +133,51 @@ impl<T: ItemData> Channel<T> {
                 closed: false,
                 live_bytes: 0,
                 tele,
+                published_summary: 0,
+                summary_gen: 0,
             }),
             cons: Condvar::new(),
             prod: Condvar::new(),
+            obs_len: AtomicUsize::new(0),
+            obs_bytes: AtomicU64::new(0),
+            summary_cell: SeqCell::new(0, 0),
+        }
+    }
+
+    /// Mirror the occupancy observables into the lock-free cells. Called
+    /// at the end of every locked section that moved items, so readers
+    /// of [`Channel::len`]/[`Channel::live_bytes`] never touch the lock.
+    fn publish_obs_locked(&self, st: &ChannelState<T>) {
+        self.obs_len.store(st.items.len(), Ordering::SeqCst);
+        self.obs_bytes.store(st.live_bytes, Ordering::SeqCst);
+    }
+
+    /// Republish the summary seqlock cell when the controller's
+    /// compression changed (callers hold the state mutex — the seqlock
+    /// writer invariant).
+    fn republish_summary_locked(&self, st: &mut ChannelState<T>) {
+        let enc = encode_summary(st.aru.summary());
+        if enc != st.published_summary {
+            st.published_summary = enc;
+            st.summary_gen += 1;
+            self.summary_cell.write(st.summary_gen, enc);
+        }
+    }
+
+    /// Shared deposit path for every get: fold the consumer's summary-STP
+    /// into the channel controller, record the hop, republish the
+    /// lock-free summary cell on change.
+    fn deposit_locked(
+        &self,
+        st: &mut ChannelState<T>,
+        chan_out_index: usize,
+        ctx: &TaskCtx,
+        now: SimTime,
+    ) {
+        if let Some(summary) = ctx.summary() {
+            st.aru.receive_feedback(chan_out_index, summary);
+            st.tele.on_deposit(ctx.node(), summary.period(), || now);
+            self.republish_summary_locked(st);
         }
     }
 
@@ -134,6 +190,8 @@ impl<T: ItemData> Channel<T> {
         st.marks = ConsumerMarks::new(n);
         st.purged_before = Timestamp::ZERO;
         st.aru.ensure_outputs(n);
+        self.republish_summary_locked(&mut st);
+        self.publish_obs_locked(&st);
     }
 
     #[must_use]
@@ -207,6 +265,7 @@ impl<T: ItemData> Channel<T> {
         self.reclaim_if_below_floor(st, ts, now);
         let len = st.items.len();
         st.tele.on_put(1, len);
+        self.publish_obs_locked(st);
     }
 
     /// Batch insert under one lock hold: one clock read, one batched trace
@@ -252,6 +311,7 @@ impl<T: ItemData> Channel<T> {
             }
         }
         tele.on_put(n, items.len());
+        self.publish_obs_locked(st);
     }
 
     /// Batch insert. The whole batch becomes visible atomically — the
@@ -513,10 +573,7 @@ impl<T: ItemData> Channel<T> {
                     ctx.block_end(self.clock.now());
                 }
                 let now = self.clock.now();
-                if let Some(summary) = ctx.summary() {
-                    st.aru.receive_feedback(chan_out_index, summary);
-                    st.tele.on_deposit(ctx.node(), summary.period(), || now);
-                }
+                self.deposit_locked(&mut st, chan_out_index, ctx, now);
                 let len = st.items.len();
                 st.tele.on_get(1, len);
                 st.trace.get(now, id, ctx.iter_key());
@@ -573,10 +630,7 @@ impl<T: ItemData> Channel<T> {
                     ctx.block_end(self.clock.now());
                 }
                 let now = self.clock.now();
-                if let Some(summary) = ctx.summary() {
-                    st.aru.receive_feedback(chan_out_index, summary);
-                    st.tele.on_deposit(ctx.node(), summary.period(), || now);
-                }
+                self.deposit_locked(&mut st, chan_out_index, ctx, now);
                 let len = st.items.len();
                 st.tele.on_get(1, len);
                 st.trace.get(now, id, ctx.iter_key());
@@ -626,10 +680,7 @@ impl<T: ItemData> Channel<T> {
                     ctx.block_end(self.clock.now());
                 }
                 let now = self.clock.now();
-                if let Some(summary) = ctx.summary() {
-                    st.aru.receive_feedback(chan_out_index, summary);
-                    st.tele.on_deposit(ctx.node(), summary.period(), || now);
-                }
+                self.deposit_locked(&mut st, chan_out_index, ctx, now);
                 let len = st.items.len();
                 st.tele.on_get(1, len);
                 st.trace.get(now, id, ctx.iter_key());
@@ -676,10 +727,7 @@ impl<T: ItemData> Channel<T> {
                     ctx.block_end(self.clock.now());
                 }
                 let now = self.clock.now();
-                if let Some(summary) = ctx.summary() {
-                    st.aru.receive_feedback(chan_out_index, summary);
-                    st.tele.on_deposit(ctx.node(), summary.period(), || now);
-                }
+                self.deposit_locked(&mut st, chan_out_index, ctx, now);
                 // Build the window directly (newest-first, then reverse) and
                 // record the gets as one batched trace append — no per-item
                 // `trace.get` calls, no intermediate picked Vec.
@@ -731,10 +779,7 @@ impl<T: ItemData> Channel<T> {
         match found {
             Some((ts, value, id)) => {
                 let now = self.clock.now();
-                if let Some(summary) = ctx.summary() {
-                    st.aru.receive_feedback(chan_out_index, summary);
-                    st.tele.on_deposit(ctx.node(), summary.period(), || now);
-                }
+                self.deposit_locked(&mut st, chan_out_index, ctx, now);
                 let len = st.items.len();
                 st.tele.on_get(1, len);
                 st.trace.get(now, id, ctx.iter_key());
@@ -768,6 +813,7 @@ impl<T: ItemData> Channel<T> {
         }
         st.live_bytes += bytes;
         self.reclaim_if_below_floor(&mut st, ts, now);
+        self.publish_obs_locked(&st);
         drop(st);
         self.cons.notify_all();
     }
@@ -797,10 +843,7 @@ impl<T: ItemData> Channel<T> {
                     ctx.block_end(self.clock.now());
                 }
                 let now = self.clock.now();
-                if let Some(summary) = ctx.summary() {
-                    st.aru.receive_feedback(chan_out_index, summary);
-                    st.tele.on_deposit(ctx.node(), summary.period(), || now);
-                }
+                self.deposit_locked(&mut st, chan_out_index, ctx, now);
                 let ChannelState { items, trace, tele, .. } = &mut *st;
                 let mut batch = Vec::new();
                 let mut ids = Vec::new();
@@ -884,6 +927,7 @@ impl<T: ItemData> Channel<T> {
             removed += 1;
         });
         st.tele.on_purged(removed as u64);
+        self.publish_obs_locked(st);
         removed
     }
 
@@ -962,6 +1006,7 @@ impl<T: ItemData> Channel<T> {
         st.items.drain(|stored| freed.push(stored.id));
         st.live_bytes = 0;
         st.trace.free_n(now, freed);
+        self.publish_obs_locked(&st);
         drop(st);
         // Close unblocks everyone, whichever side they wait on.
         self.cons.notify_all();
@@ -969,21 +1014,28 @@ impl<T: ItemData> Channel<T> {
     }
 
     /// The channel's current summary-STP (the value a put would return).
+    /// Served from the seqlock cell — lock-free unless the bounded retry
+    /// window keeps colliding with in-flight deposits, in which case the
+    /// reader falls back to the state mutex (whose holder is the only
+    /// possible writer).
     #[must_use]
     pub fn summary(&self) -> Option<Stp> {
-        self.state.lock().aru.summary()
+        match self.summary_cell.try_read() {
+            Some((_gen, enc)) => decode_summary(enc),
+            None => self.state.lock().aru.summary(),
+        }
     }
 
-    /// Bytes currently held.
+    /// Bytes currently held (lock-free mirror, exact at op boundaries).
     #[must_use]
     pub fn live_bytes(&self) -> u64 {
-        self.state.lock().live_bytes
+        self.obs_bytes.load(Ordering::SeqCst)
     }
 
-    /// Items currently held.
+    /// Items currently held (lock-free mirror, exact at op boundaries).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.state.lock().items.len()
+        self.obs_len.load(Ordering::SeqCst)
     }
 
     #[must_use]

@@ -61,9 +61,12 @@ pub mod channel;
 pub mod error;
 pub mod fanout;
 pub mod item;
+pub mod lfqueue;
 pub mod net;
 pub mod queue;
+mod ring;
 pub mod runtime;
+mod seqlock;
 pub mod shutdown;
 mod store;
 pub mod sync;
@@ -78,6 +81,7 @@ pub use channel::{Channel, Input, Output};
 pub use fanout::FanOut;
 pub use error::{Step, StampedeError, TaskResult};
 pub use item::{ItemData, Record, StampedItem};
+pub use lfqueue::{LfItem, LfQueue, LfQueueInput, LfQueueOutput};
 pub use net::{LinkModel, NetworkSim, RemoteOutput};
 pub use queue::{Queue, QueueInput, QueueOutput};
 pub use runtime::{BoxedJoinError, RunAnalysis, RunReport, Running, Runtime};
@@ -90,6 +94,7 @@ pub mod prelude {
     pub use crate::fanout::FanOut;
     pub use crate::error::{Step, StampedeError, TaskResult};
     pub use crate::item::{ItemData, Record, StampedItem};
+    pub use crate::lfqueue::{LfItem, LfQueueInput, LfQueueOutput};
     pub use crate::queue::{QueueInput, QueueOutput};
     pub use crate::runtime::{RunAnalysis, RunReport, Runtime};
     pub use crate::task::TaskCtx;

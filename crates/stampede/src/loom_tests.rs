@@ -29,6 +29,12 @@
 //! * **[`Shutdown`] set vs. timed sleep**: the timeout path and the
 //!   notified path are both explored; `set()` must win in every
 //!   interleaving.
+//! * **Lock-free queue** ([`crate::lfqueue::LfQueue`], DESIGN.md §14):
+//!   slot-claim sequence numbers across a ring wrap-around, the seqlock's
+//!   torn-read retry/fallback, close racing a capacity-blocked put, and
+//!   the epoch-parking handoff between a parked consumer and a completing
+//!   put — each would deadlock (lost wakeup) or assert (torn/duplicated
+//!   item) under a broken ordering.
 
 use crate::channel::Channel;
 use crate::queue::Queue;
@@ -54,6 +60,18 @@ fn test_ctx(trace: &SharedTrace, shutdown: &Shutdown) -> TaskCtx {
         shutdown.clone(),
         Arc::new(RwLock::new(DgcResult::default())),
     )
+}
+
+fn test_lfqueue(capacity: usize, trace: &SharedTrace) -> Arc<crate::lfqueue::LfQueue<Vec<u8>>> {
+    let q = Arc::new(crate::lfqueue::LfQueue::new(
+        NodeId(1),
+        "lfq".into(),
+        &AruConfig::aru_min(),
+        capacity,
+        trace.clone(),
+    ));
+    crate::channel::BufferAdmin::configure_consumers(&*q, 1);
+    q
 }
 
 fn test_channel(capacity: Option<usize>, trace: &SharedTrace) -> Arc<Channel<Vec<u8>>> {
@@ -332,6 +350,131 @@ fn loom_close_mid_batch_returns_closed() {
             matches!(res, Err(crate::error::StampedeError::Closed)),
             "blocked batch must observe the close"
         );
+    });
+}
+
+/// Slot-claim protocol across a ring wrap-around: capacity 2, three items,
+/// so slot 0 is reused with a bumped sequence number while the producer
+/// parks on full and the consumer parks on empty. A slot whose sequence
+/// lags its position would hand out a duplicate or drop an item (assert),
+/// and a lost epoch-parking wakeup on either side deadlocks the model.
+#[test]
+fn loom_lfqueue_slot_claim_survives_wraparound() {
+    loom::model(|| {
+        let trace = SharedTrace::new();
+        let shutdown = Shutdown::new();
+        let q = test_lfqueue(2, &trace);
+        let p = IterKey::new(NodeId(0), 0);
+
+        let producer = {
+            let q = Arc::clone(&q);
+            loom::thread::spawn(move || {
+                for i in 0..3u64 {
+                    q.put(Timestamp(i), vec![i as u8], p).unwrap();
+                }
+            })
+        };
+
+        let mut ctx = test_ctx(&trace, &shutdown);
+        for i in 0..3u64 {
+            let got = q.get(0, &mut ctx).unwrap();
+            assert_eq!(got.ts, Timestamp(i), "FIFO must hold across the wrap");
+            assert_eq!(*got.value, vec![i as u8]);
+        }
+
+        producer.join().unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q.live_bytes(), 0, "byte accounting drains to zero");
+    });
+}
+
+/// Seqlock torn-read protection: a reader racing two writes must either
+/// return a published (generation, payload) pair or give up (`None`, the
+/// fall-back-to-lock signal after bounded retries) — never a mix of the
+/// two writes. After the writer quiesces, a read must succeed.
+#[test]
+fn loom_seqlock_readers_never_observe_torn_pairs() {
+    loom::model(|| {
+        let c = Arc::new(crate::seqlock::SeqCell::new(0, 0));
+        let writer = {
+            let c = Arc::clone(&c);
+            // A single writer thread satisfies the cell's external-
+            // serialization invariant (normally the control mutex).
+            loom::thread::spawn(move || {
+                c.write(1, 2);
+                c.write(2, 4);
+            })
+        };
+        if let Some((g, v)) = c.try_read() {
+            assert_eq!(v, g * 2, "torn seqlock read: ({g}, {v})");
+        }
+        writer.join().unwrap();
+        assert_eq!(
+            c.try_read(),
+            Some((2, 4)),
+            "a quiescent cell must serve the bounded-optimistic read"
+        );
+    });
+}
+
+/// `close()` racing a put that parked on a full ring: the ring never
+/// opens (nothing pops), so the put must observe the close and return
+/// `Err(Closed)` in every interleaving — close-before-park, close-while-
+/// parked (the wakeup must not be lost), and close-between-retries.
+#[test]
+fn loom_lfqueue_close_races_blocked_put() {
+    loom::model(|| {
+        let trace = SharedTrace::new();
+        let q = test_lfqueue(2, &trace);
+        let p = IterKey::new(NodeId(0), 0);
+        q.put(Timestamp(0), vec![0u8], p).unwrap();
+        q.put(Timestamp(1), vec![1u8], p).unwrap();
+
+        let producer = {
+            let q = Arc::clone(&q);
+            loom::thread::spawn(move || q.put(Timestamp(2), vec![2u8], p))
+        };
+        let closer = {
+            let q = Arc::clone(&q);
+            loom::thread::spawn(move || q.close())
+        };
+
+        let res = producer.join().unwrap();
+        closer.join().unwrap();
+        assert!(
+            matches!(res, Err(crate::error::StampedeError::Closed)),
+            "a put blocked on a full ring must observe the close"
+        );
+        assert_eq!(q.len(), 2, "queued items stay drainable after close");
+    });
+}
+
+/// Epoch-parking handoff: a consumer that finds the ring empty loads the
+/// push epoch, re-checks it under the park lock, and sleeps only if no
+/// put completed in between; the put bumps the epoch *before* checking
+/// the waiter counter. The model explores the put landing before the
+/// epoch load, between load and park, and after the park — a lost wakeup
+/// in any of them deadlocks.
+#[test]
+fn loom_lfqueue_waiter_handoff_has_no_lost_wakeup() {
+    loom::model(|| {
+        let trace = SharedTrace::new();
+        let shutdown = Shutdown::new();
+        let q = test_lfqueue(2, &trace);
+        let p = IterKey::new(NodeId(0), 0);
+
+        let producer = {
+            let q = Arc::clone(&q);
+            loom::thread::spawn(move || {
+                q.put(Timestamp(9), vec![9u8], p).unwrap();
+            })
+        };
+
+        let mut ctx = test_ctx(&trace, &shutdown);
+        let got = q.get(0, &mut ctx).unwrap();
+        assert_eq!(got.ts, Timestamp(9));
+
+        producer.join().unwrap();
     });
 }
 

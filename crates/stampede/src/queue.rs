@@ -13,11 +13,13 @@
 use crate::channel::BufferAdmin;
 use crate::error::StampedeError;
 use crate::item::{ItemData, StampedItem};
+use crate::seqlock::{decode_summary, encode_summary, SeqCell};
 use crate::task::TaskCtx;
 use crate::tele::BufTele;
 use aru_core::{AruConfig, AruController, NodeId, NodeKind};
 use aru_gc::ConsumerMarks;
 use aru_metrics::{ItemId, IterKey, LocalTrace, SharedTrace};
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use crate::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -41,6 +43,10 @@ struct QueueState<T> {
     live_bytes: u64,
     /// Live-telemetry accumulator (see `crate::tele::BufTele`).
     tele: BufTele,
+    /// Last summary published to the lock-free cell (encoded) and the
+    /// cell's generation counter — the change gate for republishing.
+    published_summary: u64,
+    summary_gen: u64,
 }
 
 /// A FIFO buffer of timestamped items.
@@ -54,6 +60,12 @@ pub struct Queue<T: ItemData> {
     /// (`notify_one`): an item is consumed destructively by one consumer,
     /// so waking more would just stampede them back to sleep.
     cond: Condvar,
+    /// Lock-free read-side observables (DESIGN.md §14), mirrored at the
+    /// end of every mutating locked section — `len`/`live_bytes`/`summary`
+    /// never take the state lock.
+    obs_len: AtomicUsize,
+    obs_bytes: AtomicU64,
+    summary_cell: SeqCell,
 }
 
 impl<T: ItemData> Queue<T> {
@@ -77,8 +89,13 @@ impl<T: ItemData> Queue<T> {
                 closed: false,
                 live_bytes: 0,
                 tele,
+                published_summary: 0,
+                summary_gen: 0,
             }),
             cond: Condvar::new(),
+            obs_len: AtomicUsize::new(0),
+            obs_bytes: AtomicU64::new(0),
+            summary_cell: SeqCell::new(0, 0),
         }
     }
 
@@ -86,6 +103,43 @@ impl<T: ItemData> Queue<T> {
         let mut st = self.state.lock();
         st.marks = ConsumerMarks::new(n);
         st.aru.ensure_outputs(n);
+        self.republish_summary_locked(&mut st);
+        self.publish_obs_locked(&st);
+    }
+
+    /// Mirror the occupancy observables into the lock-free cells. Called
+    /// at the end of every locked section that moved items.
+    fn publish_obs_locked(&self, st: &QueueState<T>) {
+        self.obs_len.store(st.items.len(), Ordering::SeqCst);
+        self.obs_bytes.store(st.live_bytes, Ordering::SeqCst);
+    }
+
+    /// Republish the summary seqlock cell when the controller's
+    /// compression changed (callers hold the state mutex — the seqlock
+    /// writer invariant).
+    fn republish_summary_locked(&self, st: &mut QueueState<T>) {
+        let enc = encode_summary(st.aru.summary());
+        if enc != st.published_summary {
+            st.published_summary = enc;
+            st.summary_gen += 1;
+            self.summary_cell.write(st.summary_gen, enc);
+        }
+    }
+
+    /// Shared deposit path for every get variant: fold the consumer's
+    /// summary-STP, record the hop, republish the lock-free summary cell.
+    fn deposit_locked(
+        &self,
+        st: &mut QueueState<T>,
+        chan_out_index: usize,
+        ctx: &TaskCtx,
+        now: vtime::SimTime,
+    ) {
+        if let Some(summary) = ctx.summary() {
+            st.aru.receive_feedback(chan_out_index, summary);
+            st.tele.on_deposit(ctx.node(), summary.period(), || now);
+            self.republish_summary_locked(st);
+        }
     }
 
     #[must_use]
@@ -121,6 +175,7 @@ impl<T: ItemData> Queue<T> {
         st.live_bytes += bytes;
         let len = st.items.len();
         st.tele.on_put(1, len);
+        self.publish_obs_locked(&st);
         let summary = st.aru.summary();
         if let Some(s) = summary {
             st.tele.on_return(producer.node, s.period(), || now);
@@ -174,6 +229,7 @@ impl<T: ItemData> Queue<T> {
         }
         let len = st.items.len();
         st.tele.on_put(n as u64, len);
+        self.publish_obs_locked(&st);
         let summary = st.aru.summary();
         if let Some(s) = summary {
             st.tele.on_return(producer.node, s.period(), || now);
@@ -208,10 +264,7 @@ impl<T: ItemData> Queue<T> {
                     ctx.block_end(self.clock.now());
                 }
                 let now = self.clock.now();
-                if let Some(summary) = ctx.summary() {
-                    st.aru.receive_feedback(chan_out_index, summary);
-                    st.tele.on_deposit(ctx.node(), summary.period(), || now);
-                }
+                self.deposit_locked(&mut st, chan_out_index, ctx, now);
                 let take = max.min(st.items.len());
                 let mut batch = Vec::with_capacity(take);
                 let mut ids = Vec::with_capacity(take);
@@ -232,6 +285,7 @@ impl<T: ItemData> Queue<T> {
                 let len = st.items.len();
                 st.tele.on_get(take as u64, len);
                 st.trace.get_free_n(now, ctx.iter_key(), ids);
+                self.publish_obs_locked(&st);
                 return Ok(batch);
             }
             if st.closed {
@@ -278,14 +332,12 @@ impl<T: ItemData> Queue<T> {
                 st.live_bytes -= stored.bytes;
                 st.marks.advance(chan_out_index, stored.ts);
                 let now = self.clock.now();
-                if let Some(summary) = ctx.summary() {
-                    st.aru.receive_feedback(chan_out_index, summary);
-                    st.tele.on_deposit(ctx.node(), summary.period(), || now);
-                }
+                self.deposit_locked(&mut st, chan_out_index, ctx, now);
                 let len = st.items.len();
                 st.tele.on_get(1, len);
                 st.trace.get(now, stored.id, ctx.iter_key());
                 st.trace.free(now, stored.id);
+                self.publish_obs_locked(&st);
                 return Ok(StampedItem {
                     ts: stored.ts,
                     value: stored.value,
@@ -329,14 +381,12 @@ impl<T: ItemData> Queue<T> {
                 st.live_bytes -= stored.bytes;
                 st.marks.advance(chan_out_index, stored.ts);
                 let now = self.clock.now();
-                if let Some(summary) = ctx.summary() {
-                    st.aru.receive_feedback(chan_out_index, summary);
-                    st.tele.on_deposit(ctx.node(), summary.period(), || now);
-                }
+                self.deposit_locked(&mut st, chan_out_index, ctx, now);
                 let len = st.items.len();
                 st.tele.on_get(1, len);
                 st.trace.get(now, stored.id, ctx.iter_key());
                 st.trace.free(now, stored.id);
+                self.publish_obs_locked(&st);
                 Ok(Some(StampedItem {
                     ts: stored.ts,
                     value: stored.value,
@@ -347,9 +397,10 @@ impl<T: ItemData> Queue<T> {
         }
     }
 
+    /// Items currently queued (lock-free mirror, exact at op boundaries).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.state.lock().items.len()
+        self.obs_len.load(Ordering::SeqCst)
     }
 
     #[must_use]
@@ -357,9 +408,21 @@ impl<T: ItemData> Queue<T> {
         self.len() == 0
     }
 
+    /// Bytes currently held (lock-free mirror, exact at op boundaries).
     #[must_use]
     pub fn live_bytes(&self) -> u64 {
-        self.state.lock().live_bytes
+        self.obs_bytes.load(Ordering::SeqCst)
+    }
+
+    /// The queue's current summary-STP (the value a put would return),
+    /// served from the seqlock cell — lock-free unless the bounded retry
+    /// window keeps colliding with in-flight deposits.
+    #[must_use]
+    pub fn summary(&self) -> Option<aru_core::Stp> {
+        match self.summary_cell.try_read() {
+            Some((_gen, enc)) => decode_summary(enc),
+            None => self.state.lock().aru.summary(),
+        }
     }
 
     /// Snapshot the consumer marks (for DGC).
@@ -394,6 +457,7 @@ impl<T: ItemData> Queue<T> {
         }
         st.items = kept;
         st.tele.on_purged(dropped);
+        self.publish_obs_locked(&st);
     }
 
     /// Close: wake blocked getters; free queued items.
@@ -408,6 +472,7 @@ impl<T: ItemData> Queue<T> {
             st.trace.free(now, stored.id);
         }
         st.live_bytes = 0;
+        self.publish_obs_locked(&st);
         drop(st);
         self.cond.notify_all();
     }

@@ -194,21 +194,29 @@ impl Runtime {
             Some(
                 std::thread::Builder::new()
                     .name("dgc-driver".into())
-                    .spawn(move || loop {
-                        if sd.is_set() {
-                            break;
-                        }
-                        let marks: HashMap<NodeId, ConsumerMarks> = admins
-                            .iter()
-                            .map(|a| (a.node(), a.marks_snapshot()))
-                            .collect();
-                        let result = engine.compute(&topo, &marks);
-                        for a in &admins {
-                            a.apply_dead_before(result.buffer_dead_before(a.node()));
-                        }
-                        *shared.write() = result;
-                        if sd.sleep(interval) {
-                            break;
+                    .spawn(move || {
+                        // Fixed cadence: the next deadline advances by the
+                        // interval from the previous one, so a slow GC pass
+                        // shrinks the following sleep instead of pushing
+                        // the whole schedule out.
+                        let mut next_tick = std::time::Instant::now();
+                        loop {
+                            if sd.is_set() {
+                                break;
+                            }
+                            let marks: HashMap<NodeId, ConsumerMarks> = admins
+                                .iter()
+                                .map(|a| (a.node(), a.marks_snapshot()))
+                                .collect();
+                            let result = engine.compute(&topo, &marks);
+                            for a in &admins {
+                                a.apply_dead_before(result.buffer_dead_before(a.node()));
+                            }
+                            *shared.write() = result;
+                            next_tick += std::time::Duration::from(interval);
+                            if sd.sleep_until(next_tick) {
+                                break;
+                            }
                         }
                     })
                     .expect("spawn dgc driver"),
@@ -230,7 +238,12 @@ impl Runtime {
                     // budget: a panicking tick must never take the
                     // observed pipeline down, but an exporter that panics
                     // on every tick is abandoned rather than hot-looped.
+                    // Fixed-cadence deadlines (`next_tick += interval`)
+                    // keep the export schedule drift-free when a tick is
+                    // slow, and `sleep_until` wakes on shutdown so the
+                    // final flush below never waits out a poll interval.
                     let mut failures: u32 = 0;
+                    let mut next_tick = std::time::Instant::now();
                     while !sd.is_set() && failures < 3 {
                         if catch_unwind(AssertUnwindSafe(|| {
                             export_tick(&admins, &telemetry, &sink, epoch);
@@ -239,7 +252,8 @@ impl Runtime {
                         {
                             failures += 1;
                         }
-                        if sd.sleep(interval) {
+                        next_tick += std::time::Duration::from(interval);
+                        if sd.sleep_until(next_tick) {
                             break;
                         }
                     }

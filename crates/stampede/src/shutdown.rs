@@ -39,14 +39,22 @@ impl Shutdown {
 
     /// Sleep for `d`, waking early on shutdown. Returns `true` if shutdown
     /// was requested (before or during the sleep).
-    ///
-    /// Spurious condvar wakeups re-enter the wait for the remaining time
-    /// rather than cutting the pacing sleep short.
     pub fn sleep(&self, d: Micros) -> bool {
         if d.is_zero() {
             return self.is_set();
         }
-        let deadline = std::time::Instant::now() + Duration::from(d);
+        self.sleep_until(std::time::Instant::now() + Duration::from(d))
+    }
+
+    /// Sleep until `deadline`, waking early on shutdown. Returns `true` if
+    /// shutdown was requested (before or during the sleep). A deadline in
+    /// the past returns immediately with the current flag state, which lets
+    /// fixed-cadence loops (`next_tick += interval`) catch up after a slow
+    /// tick without drifting their schedule.
+    ///
+    /// Spurious condvar wakeups re-enter the wait for the remaining time
+    /// rather than cutting the sleep short.
+    pub fn sleep_until(&self, deadline: std::time::Instant) -> bool {
         let mut g = self.inner.flag.lock();
         while !*g {
             let now = std::time::Instant::now();
@@ -96,6 +104,16 @@ mod tests {
         s.set();
         assert!(s.sleep(Micros::ZERO));
         assert!(s.sleep(Micros::from_millis(50)), "already set: immediate");
+    }
+
+    #[test]
+    fn sleep_until_past_deadline_returns_immediately() {
+        let s = Shutdown::new();
+        let t0 = Instant::now();
+        assert!(!s.sleep_until(t0 - Duration::from_millis(50)));
+        assert!(t0.elapsed() < Duration::from_millis(20), "no wait on a lapsed deadline");
+        s.set();
+        assert!(s.sleep_until(Instant::now() + Duration::from_secs(10)), "already set: immediate");
     }
 
     #[test]

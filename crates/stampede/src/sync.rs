@@ -18,6 +18,25 @@ pub use parking_lot::{Condvar, Mutex, MutexGuard, RwLock, WaitTimeoutResult};
 #[cfg(loom)]
 pub use self::loom_shim::{Condvar, Mutex, MutexGuard, RwLock, WaitTimeoutResult};
 
+/// Atomic types routed through the same cfg switch as the locks, so the
+/// lock-free ring and seqlock (DESIGN.md §14) model-check under the same
+/// loom lane as the blocking protocols. The vendored loom stand-in
+/// executes every ordering as SeqCst; the `Ordering` re-export keeps the
+/// production orderings in the source where they are reviewed, while the
+/// model checks the SC over-approximation.
+///
+/// The loom stand-in implements `load`/`store`/`swap`/`compare_exchange`
+/// (plus `fetch_add`/`fetch_sub` on the integer types) — richer RMWs
+/// (`fetch_max`, `fetch_or`) must be written as `compare_exchange` loops
+/// by callers that need to model-check.
+pub mod atomic {
+    #[cfg(not(loom))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+    #[cfg(loom)]
+    pub use loom::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+}
+
 #[cfg(loom)]
 mod loom_shim {
     //! parking_lot-shaped facade over `loom::sync`.

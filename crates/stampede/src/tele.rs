@@ -175,6 +175,90 @@ impl BufTele {
     }
 }
 
+/// Endpoint-flush cadence for [`LfEndpointTele`] (power of two): deltas
+/// accumulate endpoint-privately and drain to the registry shards every N
+/// ops, so the lock-free hot path touches no shared cache line even for
+/// its own counters. Bounded staleness ≤ N ops; `Drop` flushes the tail.
+const LF_FLUSH: u64 = 64;
+
+/// Per-endpoint telemetry for the lock-free queue (DESIGN.md §14): the
+/// per-writer-shard replacement for [`BufTele`], which lives inside a
+/// state mutex the lock-free path doesn't have. Each endpoint owns
+/// private [`Counter`]/[`Histogram`] *shards* of the same series
+/// (`Registry::counter` returns a fresh shard per call; snapshots sum
+/// them), so two producers on one queue never share a telemetry cache
+/// line. Deltas are plain integers flushed every [`LF_FLUSH`] ops — the
+/// same publish-late discipline as `BufTele`, moved from the buffer to
+/// the writer.
+pub(crate) struct LfEndpointTele {
+    ops: Counter,
+    timeouts: Counter,
+    occupancy_hist: Histogram,
+    d_ops: u64,
+    d_timeouts: u64,
+    occ: Hist,
+    seq: u64,
+}
+
+impl LfEndpointTele {
+    /// Producer-side shard set (counts into `aru_channel_puts_total`).
+    pub(crate) fn output(tele: &Telemetry, name: &str) -> Self {
+        Self::new(tele, name, "aru_channel_puts_total")
+    }
+
+    /// Consumer-side shard set (counts into `aru_channel_gets_total`).
+    pub(crate) fn input(tele: &Telemetry, name: &str) -> Self {
+        Self::new(tele, name, "aru_channel_gets_total")
+    }
+
+    fn new(tele: &Telemetry, name: &str, ops_series: &str) -> Self {
+        let r = &tele.registry;
+        let labels: &[(&str, &str)] = &[("channel", name), ("kind", "lfqueue")];
+        LfEndpointTele {
+            ops: r.counter(ops_series, labels),
+            timeouts: r.counter("aru_channel_timeouts_total", labels),
+            occupancy_hist: r.histogram("aru_channel_occupancy", labels),
+            d_ops: 0,
+            d_timeouts: 0,
+            occ: Hist::new(),
+            seq: 0,
+        }
+    }
+
+    /// `n` items moved through this endpoint; `len` is only evaluated on
+    /// the 1-in-[`OCC_SAMPLE`] occupancy samples (it costs atomic loads
+    /// on the lock-free queue).
+    #[inline]
+    pub(crate) fn on_op(&mut self, n: u64, len: impl FnOnce() -> usize) {
+        self.d_ops += n;
+        self.seq = self.seq.wrapping_add(1);
+        if self.seq & (OCC_SAMPLE - 1) == 0 {
+            self.occ.record(len() as u64);
+        }
+        if self.seq & (LF_FLUSH - 1) == 0 {
+            self.flush();
+        }
+    }
+
+    /// A blocking op hit its deadline.
+    #[inline]
+    pub(crate) fn on_timeout(&mut self) {
+        self.d_timeouts += 1;
+    }
+
+    fn flush(&mut self) {
+        self.ops.add(std::mem::take(&mut self.d_ops));
+        self.timeouts.add(std::mem::take(&mut self.d_timeouts));
+        self.occupancy_hist.merge_plain(&mut self.occ);
+    }
+}
+
+impl Drop for LfEndpointTele {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 /// Per-task telemetry. Thread-private (lives in `TaskCtx`); records to the
 /// registry's wait-free handles at iteration cadence and samples endpoint
 /// op latency.
