@@ -27,6 +27,9 @@
 //! * `put_lockfree`   — uncontended single put, one private queue per worker
 //! * `get_lockfree`   — uncontended single get (timed drains, untimed refills)
 //! * `mixed_lockfree` — one shared queue, half the threads put, half get
+//! * `threaded_app`   — a full `RuntimeBuilder` src → mid → sink pipeline
+//!   per backend: queue transport as the supervised runtime actually
+//!   drives it (blocking endpoints, occupancy feedback, task loops)
 //!
 //! ```text
 //! hotpath [--threads N] [--ops N] [--reps N] [--out FILE]
@@ -1092,6 +1095,102 @@ fn bench_mixed_lockfree(
     }
 }
 
+/// `threaded_app`: the whole runtime stack — `RuntimeBuilder` wiring,
+/// supervised task loops, blocking endpoint wrappers, occupancy feedback
+/// — on a src → Q1 → mid → Q2 → sink pipeline, once per queue backend.
+/// Pacing is disabled so the number measures queue transport, not the
+/// controller. Wall-clock from start until the sink has drained every
+/// item, reported per item moved. Trimmed mean over the reps.
+fn bench_threaded_app(ops: u64, reps: usize, checks: &mut Vec<Check>) -> LockfreeRow {
+    use stampede::{QueueBackend, RuntimeBuilder, Step};
+
+    let run_once = |backend: QueueBackend| -> (Duration, u64) {
+        let mut b =
+            RuntimeBuilder::new(AruConfig::disabled(), GcMode::Ref).with_queue_backend(backend);
+        let q1 = b.queue::<Vec<u8>>("bench-q1");
+        let q2 = b.queue::<Vec<u8>>("bench-q2");
+        let src = b.thread("src");
+        let mid = b.thread("mid");
+        let snk = b.thread("snk");
+        let mut out1 = b.connect_queue_out(src, &q1).unwrap();
+        let mut in1 = b.connect_queue_in(&q1, mid).unwrap();
+        let mut out2 = b.connect_queue_out(mid, &q2).unwrap();
+        let mut in2 = b.connect_queue_in(&q2, snk).unwrap();
+        let total = ops;
+        let mut sent = 0u64;
+        b.spawn(src, move |ctx| {
+            if sent == total {
+                return Ok(Step::Stop);
+            }
+            out1.put(ctx, Timestamp(sent), vec![0u8; ITEM_BYTES])?;
+            sent += 1;
+            Ok(Step::Continue)
+        });
+        let mut moved = 0u64;
+        b.spawn(mid, move |ctx| {
+            let batch = in1.get_batch(ctx, BATCH)?;
+            moved += batch.len() as u64;
+            let relay: Vec<(Timestamp, Vec<u8>)> = batch
+                .into_iter()
+                .map(|it| (it.ts, it.value.as_ref().clone()))
+                .collect();
+            out2.put_batch(ctx, relay)?;
+            if moved == total {
+                Ok(Step::Stop)
+            } else {
+                Ok(Step::Continue)
+            }
+        });
+        let done = Arc::new(AtomicUsize::new(0));
+        let drained = Arc::clone(&done);
+        b.spawn(snk, move |ctx| {
+            let batch = in2.get_batch(ctx, BATCH)?;
+            for it in &batch {
+                ctx.emit_output(it.ts);
+            }
+            let n = drained.fetch_add(batch.len(), Ordering::Relaxed) + batch.len();
+            if n as u64 == total {
+                Ok(Step::Stop)
+            } else {
+                Ok(Step::Continue)
+            }
+        });
+        let t0 = Instant::now();
+        let running = b.build().expect("bench pipeline builds").start();
+        while (done.load(Ordering::Relaxed) as u64) < total {
+            std::thread::yield_now();
+        }
+        let dur = t0.elapsed();
+        running.stop().expect("clean shutdown");
+        (dur, done.load(Ordering::Relaxed) as u64)
+    };
+
+    let mut mx_samples = Vec::with_capacity(reps);
+    let mut lf_samples = Vec::with_capacity(reps);
+    let mut mx_delivered = 0u64;
+    let mut lf_delivered = 0u64;
+    for _ in 0..reps {
+        let (d, n) = run_once(QueueBackend::Mutex);
+        mx_samples.push(d);
+        mx_delivered = n;
+        let (d, n) = run_once(QueueBackend::lock_free());
+        lf_samples.push(d);
+        lf_delivered = n;
+    }
+    checks.push(Check {
+        name: "threaded_app: every item drained by the sink on both backends".into(),
+        passed: mx_delivered == ops && lf_delivered == ops,
+        detail: format!("mutex {mx_delivered} / lockfree {lf_delivered} of {ops}"),
+    });
+
+    LockfreeRow {
+        name: "threaded_app",
+        mutex_ns_per_op: trimmed_mean(&mx_samples).as_nanos() as f64 / ops as f64,
+        lockfree_ns_per_op: trimmed_mean(&lf_samples).as_nanos() as f64 / ops as f64,
+        ops,
+    }
+}
+
 fn main() {
     let mut threads = 4usize;
     let mut ops = 200_000u64;
@@ -1220,6 +1319,7 @@ fn main() {
         bench_put_lockfree(threads, ops, reps, &mut checks),
         bench_get_lockfree(threads, ops, reps, &mut checks),
         bench_mixed_lockfree(threads, ops, reps, &mut checks),
+        bench_threaded_app((ops / 8).max(1), reps, &mut checks),
     ];
 
     // Baseline regression gate (CI): every workload's ns/op must be within

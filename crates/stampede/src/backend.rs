@@ -1,0 +1,283 @@
+//! Backend-selectable queue endpoints (DESIGN.md §14).
+//!
+//! [`crate::RuntimeBuilder`] can construct a task graph's FIFO edges over
+//! either queue implementation:
+//!
+//! * [`QueueBackend::Mutex`] — the mutex+condvar [`Queue`]:
+//!   unbounded, full per-item lineage tracing, DGC purge. The default,
+//!   and the semantic oracle the differential suites compare against.
+//! * [`QueueBackend::LockFree`] — the bounded [`LfQueue`]
+//!   MPMC ring with epoch parking: the 7 ns/op put path, change-gated
+//!   summary folds, per-endpoint telemetry shards. Accepted divergences
+//!   (no per-item trace events, no DGC purge, capacity backpressure) are
+//!   documented in DESIGN.md §14 and pinned by
+//!   `tests/lockfree_equivalence.rs`.
+//!
+//! The [`QueueOutput`]/[`QueueInput`] endpoints below are what
+//! `connect_queue_out`/`connect_queue_in` hand to task bodies — one type
+//! regardless of backend, so the same task code runs on both and the
+//! backend parity suite (`tests/backend_parity.rs`) can drive identical
+//! schedules through each. Both also feed the occupancy observation the
+//! PID law's `PidInput::OccupancyError` consumes: every
+//! `OCC_FEEDBACK`-th put samples the queue's lock-free `len()` into
+//! [`TaskCtx::observe_occupancy`].
+
+use crate::error::StampedeError;
+use crate::item::{ItemData, StampedItem};
+use crate::lfqueue::{LfQueue, LfQueueInput, LfQueueOutput};
+use crate::queue::{MutexQueueInput, MutexQueueOutput, Queue};
+use crate::task::TaskCtx;
+use std::sync::Arc;
+use vtime::Timestamp;
+
+/// Default ring capacity for [`QueueBackend::lock_free`]: deep enough
+/// that ARU pacing (not ring backpressure) governs steady state, small
+/// enough that a runaway producer is bounded.
+pub const DEFAULT_LF_CAPACITY: usize = 1024;
+
+/// Producer-side occupancy-feedback cadence (power of two): every N-th
+/// put samples `len()` into the task controller for
+/// `PidInput::OccupancyError`.
+const OCC_FEEDBACK: u64 = 16;
+
+/// Which queue implementation [`crate::RuntimeBuilder`] constructs for a
+/// declared queue node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueBackend {
+    /// Mutex + condvar [`Queue`]: unbounded, per-item
+    /// lineage tracing, DGC purge. The default and the semantic oracle.
+    #[default]
+    Mutex,
+    /// Lock-free [`LfQueue`]: bounded MPMC ring + epoch
+    /// parking. Puts block at `capacity` (backpressure); no per-item
+    /// trace events; DGC purge is a no-op (accepted divergences,
+    /// DESIGN.md §14).
+    LockFree {
+        /// Ring capacity (rounded up to a power of two by the ring).
+        capacity: usize,
+    },
+}
+
+impl QueueBackend {
+    /// The lock-free backend with [`DEFAULT_LF_CAPACITY`].
+    #[must_use]
+    pub fn lock_free() -> Self {
+        QueueBackend::LockFree {
+            capacity: DEFAULT_LF_CAPACITY,
+        }
+    }
+
+    #[must_use]
+    pub fn is_lock_free(&self) -> bool {
+        matches!(self, QueueBackend::LockFree { .. })
+    }
+}
+
+pub(crate) enum OutInner<T: ItemData> {
+    Mutex(MutexQueueOutput<T>),
+    LockFree(LfQueueOutput<T>),
+}
+
+/// Backend-agnostic producer endpoint for a queue, handed out by
+/// [`crate::RuntimeBuilder::connect_queue_out`]. Same task-body code
+/// works over the mutex and the lock-free backend.
+pub struct QueueOutput<T: ItemData> {
+    inner: OutInner<T>,
+    /// Put counter for the sampled occupancy observation.
+    ops: u64,
+}
+
+impl<T: ItemData> QueueOutput<T> {
+    pub(crate) fn from_mutex(out: MutexQueueOutput<T>) -> Self {
+        QueueOutput {
+            inner: OutInner::Mutex(out),
+            ops: 0,
+        }
+    }
+
+    pub(crate) fn from_lock_free(out: LfQueueOutput<T>) -> Self {
+        QueueOutput {
+            inner: OutInner::LockFree(out),
+            ops: 0,
+        }
+    }
+
+    /// Enqueue an item, folding the queue's summary-STP back into the
+    /// producing thread and (every `OCC_FEEDBACK`-th put) feeding the
+    /// queue occupancy to the task controller for
+    /// `PidInput::OccupancyError`.
+    pub fn put(&mut self, ctx: &mut TaskCtx, ts: Timestamp, value: T) -> Result<(), StampedeError> {
+        match &mut self.inner {
+            OutInner::Mutex(o) => o.put(ctx, ts, value)?,
+            OutInner::LockFree(o) => o.put(ctx, ts, value)?,
+        }
+        self.observe_occupancy(ctx);
+        Ok(())
+    }
+
+    /// Batch enqueue: whole batch in one buffer operation, one backward
+    /// feedback fold, one occupancy observation at most.
+    pub fn put_batch(
+        &mut self,
+        ctx: &mut TaskCtx,
+        batch: impl IntoIterator<Item = (Timestamp, T)>,
+    ) -> Result<(), StampedeError> {
+        match &mut self.inner {
+            OutInner::Mutex(o) => o.put_batch(ctx, batch)?,
+            OutInner::LockFree(o) => o.put_batch(ctx, batch)?,
+        }
+        self.observe_occupancy(ctx);
+        Ok(())
+    }
+
+    fn observe_occupancy(&mut self, ctx: &mut TaskCtx) {
+        self.ops = self.ops.wrapping_add(1);
+        if self.ops & (OCC_FEEDBACK - 1) == 0 {
+            let occ = self.len();
+            ctx.observe_occupancy(occ);
+        }
+    }
+
+    #[must_use]
+    pub fn node(&self) -> aru_core::NodeId {
+        match &self.inner {
+            OutInner::Mutex(o) => o.queue().node(),
+            OutInner::LockFree(o) => o.queue().node(),
+        }
+    }
+
+    /// Items currently queued (lock-free read on both backends).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            OutInner::Mutex(o) => o.queue().len(),
+            OutInner::LockFree(o) => o.queue().len(),
+        }
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently held (lock-free read on both backends).
+    #[must_use]
+    pub fn live_bytes(&self) -> u64 {
+        match &self.inner {
+            OutInner::Mutex(o) => o.queue().live_bytes(),
+            OutInner::LockFree(o) => o.queue().live_bytes(),
+        }
+    }
+
+    #[must_use]
+    pub fn is_lock_free(&self) -> bool {
+        matches!(self.inner, OutInner::LockFree(_))
+    }
+
+    /// The underlying mutex queue, when this endpoint runs on the mutex
+    /// backend (monitoring / differential tests).
+    #[must_use]
+    pub fn mutex_queue(&self) -> Option<Arc<Queue<T>>> {
+        match &self.inner {
+            OutInner::Mutex(o) => Some(o.queue_arc()),
+            OutInner::LockFree(_) => None,
+        }
+    }
+
+    /// The underlying lock-free queue, when this endpoint runs on the
+    /// lock-free backend.
+    #[must_use]
+    pub fn lf_queue(&self) -> Option<Arc<LfQueue<T>>> {
+        match &self.inner {
+            OutInner::Mutex(_) => None,
+            OutInner::LockFree(o) => Some(o.queue_arc()),
+        }
+    }
+}
+
+pub(crate) enum InInner<T: ItemData> {
+    Mutex(MutexQueueInput<T>),
+    LockFree(LfQueueInput<T>),
+}
+
+/// Backend-agnostic consumer endpoint for a queue, handed out by
+/// [`crate::RuntimeBuilder::connect_queue_in`]. Gets return
+/// [`StampedItem`] on both backends: the mutex queue stores `Arc<T>`
+/// payloads; the lock-free ring stores payloads inline and wraps them on
+/// the way out (same one-allocation-per-item budget, paid at get instead
+/// of put).
+pub struct QueueInput<T: ItemData> {
+    inner: InInner<T>,
+}
+
+impl<T: ItemData> QueueInput<T> {
+    pub(crate) fn from_mutex(inp: MutexQueueInput<T>) -> Self {
+        QueueInput {
+            inner: InInner::Mutex(inp),
+        }
+    }
+
+    pub(crate) fn from_lock_free(inp: LfQueueInput<T>) -> Self {
+        QueueInput {
+            inner: InInner::LockFree(inp),
+        }
+    }
+
+    /// Blocking FIFO get (destructive: each item reaches one consumer).
+    pub fn get(&mut self, ctx: &mut TaskCtx) -> Result<StampedItem<T>, StampedeError> {
+        match &mut self.inner {
+            InInner::Mutex(i) => i.get(ctx),
+            InInner::LockFree(i) => {
+                let item = i.get(ctx)?;
+                Ok(StampedItem {
+                    ts: item.ts,
+                    value: Arc::new(item.value),
+                })
+            }
+        }
+    }
+
+    /// Non-blocking FIFO get.
+    pub fn try_get(&mut self, ctx: &mut TaskCtx) -> Result<Option<StampedItem<T>>, StampedeError> {
+        match &mut self.inner {
+            InInner::Mutex(i) => i.try_get(ctx),
+            InInner::LockFree(i) => Ok(i.try_get(ctx)?.map(|item| StampedItem {
+                ts: item.ts,
+                value: Arc::new(item.value),
+            })),
+        }
+    }
+
+    /// Drain-style batch dequeue: block while empty, then pop up to `max`
+    /// items in FIFO order.
+    pub fn get_batch(
+        &mut self,
+        ctx: &mut TaskCtx,
+        max: usize,
+    ) -> Result<Vec<StampedItem<T>>, StampedeError> {
+        match &mut self.inner {
+            InInner::Mutex(i) => i.get_batch(ctx, max),
+            InInner::LockFree(i) => Ok(i
+                .get_batch(ctx, max)?
+                .into_iter()
+                .map(|item| StampedItem {
+                    ts: item.ts,
+                    value: Arc::new(item.value),
+                })
+                .collect()),
+        }
+    }
+
+    #[must_use]
+    pub fn node(&self) -> aru_core::NodeId {
+        match &self.inner {
+            InInner::Mutex(i) => i.queue().node(),
+            InInner::LockFree(i) => i.queue().node(),
+        }
+    }
+
+    #[must_use]
+    pub fn is_lock_free(&self) -> bool {
+        matches!(self.inner, InInner::LockFree(_))
+    }
+}

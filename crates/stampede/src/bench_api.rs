@@ -11,7 +11,7 @@
 use crate::channel::{BufferAdmin, Channel, Input, Output};
 use crate::item::ItemData;
 use crate::lfqueue::{LfQueue, LfQueueInput, LfQueueOutput};
-use crate::queue::{Queue, QueueInput, QueueOutput};
+use crate::queue::{MutexQueueInput, MutexQueueOutput, Queue};
 use crate::shutdown::Shutdown;
 use crate::sync::RwLock;
 use crate::task::TaskCtx;
@@ -123,19 +123,24 @@ pub fn input<T: ItemData>(ch: &Arc<Channel<T>>, chan_out_index: usize) -> Input<
     }
 }
 
-/// Producer endpoint for a queue.
+/// Producer endpoint for a mutex queue (the oracle side of the
+/// differential suites; graph code gets the backend-agnostic
+/// `backend::QueueOutput` from the builder instead).
 #[must_use]
-pub fn queue_output<T: ItemData>(q: &Arc<Queue<T>>, thread_out_index: usize) -> QueueOutput<T> {
-    QueueOutput {
+pub fn queue_output<T: ItemData>(
+    q: &Arc<Queue<T>>,
+    thread_out_index: usize,
+) -> MutexQueueOutput<T> {
+    MutexQueueOutput {
         q: Arc::clone(q),
         thread_out_index,
     }
 }
 
-/// Consumer endpoint for a queue.
+/// Consumer endpoint for a mutex queue.
 #[must_use]
-pub fn queue_input<T: ItemData>(q: &Arc<Queue<T>>, chan_out_index: usize) -> QueueInput<T> {
-    QueueInput {
+pub fn queue_input<T: ItemData>(q: &Arc<Queue<T>>, chan_out_index: usize) -> MutexQueueInput<T> {
+    MutexQueueInput {
         q: Arc::clone(q),
         chan_out_index,
     }

@@ -5,9 +5,11 @@
 //! runtime learns the task graph — ARU assumption 2), attach task bodies,
 //! then freeze into a runnable [`crate::runtime::Runtime`].
 
+use crate::backend::{QueueBackend, QueueInput, QueueOutput};
 use crate::channel::{BufferAdmin, Channel, Input, Output};
 use crate::error::TaskResult;
-use crate::queue::{Queue, QueueInput, QueueOutput};
+use crate::lfqueue::{LfQueue, LfQueueInput, LfQueueOutput};
+use crate::queue::{MutexQueueInput, MutexQueueOutput, Queue};
 use crate::runtime::Runtime;
 use crate::task::TaskCtx;
 use aru_core::graph::TopologyError;
@@ -102,6 +104,11 @@ pub struct RuntimeBuilder {
     trace: SharedTrace,
     buffers: HashMap<NodeId, Arc<dyn Any + Send + Sync>>,
     admins: Vec<Arc<dyn BufferAdmin>>,
+    /// Default backend for queues declared via [`RuntimeBuilder::queue`].
+    queue_backend: QueueBackend,
+    /// Which backend each declared queue node actually got (so the
+    /// connect calls construct the matching endpoint).
+    queue_backends: HashMap<NodeId, QueueBackend>,
     bodies: HashMap<NodeId, Body>,
     retry: RetryPolicy,
     op_timeout: Option<Micros>,
@@ -122,6 +129,8 @@ impl RuntimeBuilder {
             trace: SharedTrace::new(),
             buffers: HashMap::new(),
             admins: Vec::new(),
+            queue_backend: QueueBackend::default(),
+            queue_backends: HashMap::new(),
             bodies: HashMap::new(),
             retry: RetryPolicy::none(),
             op_timeout: None,
@@ -225,19 +234,56 @@ impl RuntimeBuilder {
         }
     }
 
-    /// Declare a queue.
+    /// Default backend for queues declared after this call (per-queue
+    /// override: [`RuntimeBuilder::queue_with_backend`]). The mutex
+    /// backend is the default; `QueueBackend::lock_free()` routes the
+    /// graph's FIFO edges over the bounded MPMC ring.
+    #[must_use]
+    pub fn with_queue_backend(mut self, backend: QueueBackend) -> Self {
+        self.queue_backend = backend;
+        self
+    }
+
+    /// Declare a queue on the builder's current default backend.
     pub fn queue<T: ItemData>(&mut self, name: impl Into<String>) -> QueueRef<T> {
+        self.queue_with_backend(name, self.queue_backend)
+    }
+
+    /// Declare a queue on an explicit backend (mixed-backend graphs are
+    /// fine — each queue node records its own choice).
+    pub fn queue_with_backend<T: ItemData>(
+        &mut self,
+        name: impl Into<String>,
+        backend: QueueBackend,
+    ) -> QueueRef<T> {
         let name = name.into();
         let node = self.topo.add_queue(name.clone());
-        let q = Arc::new(Queue::<T>::new(
-            node,
-            name,
-            &self.config,
-            Arc::clone(&self.clock),
-            self.trace.clone(),
-        ));
-        self.admins.push(Arc::clone(&q) as Arc<dyn BufferAdmin>);
-        self.buffers.insert(node, q as Arc<dyn Any + Send + Sync>);
+        match backend {
+            QueueBackend::Mutex => {
+                let q = Arc::new(Queue::<T>::new(
+                    node,
+                    name,
+                    &self.config,
+                    Arc::clone(&self.clock),
+                    self.trace.clone(),
+                ));
+                self.admins.push(Arc::clone(&q) as Arc<dyn BufferAdmin>);
+                self.buffers.insert(node, q as Arc<dyn Any + Send + Sync>);
+            }
+            QueueBackend::LockFree { capacity } => {
+                assert!(capacity > 0, "lock-free queue capacity must be positive");
+                let q = Arc::new(LfQueue::<T>::new(
+                    node,
+                    name,
+                    &self.config,
+                    capacity,
+                    self.trace.clone(),
+                ));
+                self.admins.push(Arc::clone(&q) as Arc<dyn BufferAdmin>);
+                self.buffers.insert(node, q as Arc<dyn Any + Send + Sync>);
+            }
+        }
+        self.queue_backends.insert(node, backend);
         QueueRef {
             node,
             _marker: PhantomData,
@@ -259,6 +305,19 @@ impl RuntimeBuilder {
         Arc::clone(self.buffers.get(&r.node).expect("queue registered"))
             .downcast::<Queue<T>>()
             .expect("queue type")
+    }
+
+    fn lfqueue_arc<T: ItemData>(&self, r: &QueueRef<T>) -> Arc<LfQueue<T>> {
+        Arc::clone(self.buffers.get(&r.node).expect("queue registered"))
+            .downcast::<LfQueue<T>>()
+            .expect("queue type")
+    }
+
+    fn queue_backend_of<T>(&self, r: &QueueRef<T>) -> QueueBackend {
+        *self
+            .queue_backends
+            .get(&r.node)
+            .expect("queue backend recorded at declaration")
     }
 
     /// Connect a thread's output to a channel; returns the producer
@@ -292,7 +351,8 @@ impl RuntimeBuilder {
         })
     }
 
-    /// Connect a thread's output to a queue.
+    /// Connect a thread's output to a queue; the endpoint matches the
+    /// backend the queue was declared on.
     pub fn connect_queue_out<T: ItemData>(
         &mut self,
         th: ThreadRef,
@@ -300,9 +360,14 @@ impl RuntimeBuilder {
     ) -> Result<QueueOutput<T>, BuildError> {
         let edge = self.topo.connect(th.0, q.node)?;
         let out_index = self.topo.edge(edge).out_index;
-        Ok(QueueOutput {
-            q: self.queue_arc(q),
-            thread_out_index: out_index,
+        Ok(match self.queue_backend_of(q) {
+            QueueBackend::Mutex => QueueOutput::from_mutex(MutexQueueOutput {
+                q: self.queue_arc(q),
+                thread_out_index: out_index,
+            }),
+            QueueBackend::LockFree { .. } => {
+                QueueOutput::from_lock_free(LfQueueOutput::new(self.lfqueue_arc(q), out_index))
+            }
         })
     }
 
@@ -314,9 +379,14 @@ impl RuntimeBuilder {
     ) -> Result<QueueInput<T>, BuildError> {
         let edge = self.topo.connect(q.node, th.0)?;
         let out_index = self.topo.edge(edge).out_index;
-        Ok(QueueInput {
-            q: self.queue_arc(q),
-            chan_out_index: out_index,
+        Ok(match self.queue_backend_of(q) {
+            QueueBackend::Mutex => QueueInput::from_mutex(MutexQueueInput {
+                q: self.queue_arc(q),
+                chan_out_index: out_index,
+            }),
+            QueueBackend::LockFree { .. } => {
+                QueueInput::from_lock_free(LfQueueInput::new(self.lfqueue_arc(q), out_index))
+            }
         })
     }
 

@@ -38,7 +38,6 @@ use crate::tele::BufTele;
 use aru_core::{AruConfig, AruController, NodeKind, Stp};
 use aru_gc::{ref_dead_before, ConsumerMarks, GcMode};
 use aru_metrics::{ItemId, IterKey, LocalTrace, SharedTrace};
-use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use crate::sync::{Condvar, Mutex, MutexGuard};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -93,13 +92,15 @@ pub struct Channel<T: ItemData> {
     cons: Condvar,
     /// Producers blocked in a bounded put, waiting for capacity.
     prod: Condvar,
-    /// Lock-free read-side observables (DESIGN.md §14): item count and
-    /// byte total mirrored at the end of every mutating locked section,
-    /// plus the summary-STP behind a seqlock. `len`/`live_bytes`/
-    /// `summary` never take the state lock; monitors and exporters stop
-    /// contending with the data path.
-    obs_len: AtomicUsize,
-    obs_bytes: AtomicU64,
+    /// Lock-free read-side observables (DESIGN.md §14): `(len,
+    /// live_bytes)` mirrored as one coherent seqlock pair at the end of
+    /// every mutating locked section (two independent atomics would let a
+    /// sampler pair a new `len` with stale `bytes`), plus the summary-STP
+    /// behind its own seqlock. `len`/`live_bytes`/`summary` stay off the
+    /// state lock unless the bounded seqlock retry keeps colliding with
+    /// writers; monitors and exporters stop contending with the data
+    /// path.
+    obs_cell: SeqCell,
     summary_cell: SeqCell,
 }
 
@@ -138,18 +139,18 @@ impl<T: ItemData> Channel<T> {
             }),
             cons: Condvar::new(),
             prod: Condvar::new(),
-            obs_len: AtomicUsize::new(0),
-            obs_bytes: AtomicU64::new(0),
+            obs_cell: SeqCell::new(0, 0),
             summary_cell: SeqCell::new(0, 0),
         }
     }
 
-    /// Mirror the occupancy observables into the lock-free cells. Called
-    /// at the end of every locked section that moved items, so readers
-    /// of [`Channel::len`]/[`Channel::live_bytes`] never touch the lock.
+    /// Mirror the occupancy observables into the lock-free cell as one
+    /// coherent `(len, live_bytes)` pair. Called at the end of every
+    /// locked section that moved items (the seqlock writer invariant:
+    /// writers are serialized by the state mutex), so readers of
+    /// [`Channel::len`]/[`Channel::live_bytes`] rarely touch the lock.
     fn publish_obs_locked(&self, st: &ChannelState<T>) {
-        self.obs_len.store(st.items.len(), Ordering::SeqCst);
-        self.obs_bytes.store(st.live_bytes, Ordering::SeqCst);
+        self.obs_cell.write(st.items.len() as u64, st.live_bytes);
     }
 
     /// Republish the summary seqlock cell when the controller's
@@ -1029,13 +1030,28 @@ impl<T: ItemData> Channel<T> {
     /// Bytes currently held (lock-free mirror, exact at op boundaries).
     #[must_use]
     pub fn live_bytes(&self) -> u64 {
-        self.obs_bytes.load(Ordering::SeqCst)
+        self.occupancy().1
     }
 
     /// Items currently held (lock-free mirror, exact at op boundaries).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.obs_len.load(Ordering::SeqCst)
+        self.occupancy().0
+    }
+
+    /// A coherent `(len, live_bytes)` snapshot: both values come from the
+    /// same op boundary. Lock-free unless the bounded seqlock retry keeps
+    /// colliding with in-flight ops, in which case the reader falls back
+    /// to the state mutex (whose holder is the only possible writer).
+    #[must_use]
+    pub fn occupancy(&self) -> (usize, u64) {
+        match self.obs_cell.try_read() {
+            Some((len, bytes)) => (len as usize, bytes),
+            None => {
+                let st = self.state.lock();
+                (st.items.len(), st.live_bytes)
+            }
+        }
     }
 
     #[must_use]

@@ -40,10 +40,12 @@
 //! shards (`LfEndpointTele`) instead — and DGC purging
 //! (`apply_dead_before` is a no-op: a bounded ring's reclamation is
 //! bounded by construction, a popped slot is reused, never
-//! accumulated). One race is accepted by design: a `put` that claimed a
-//! slot before `close()` landed may strand its item in the ring until
-//! the queue is dropped; the ring's `Drop` drains and frees everything
-//! left.
+//! accumulated). Close never strands a drainable item: a `put` that
+//! claimed its slot before `close()` landed still completes, and the
+//! blocking gets treat "closed" as terminal only once the ring is
+//! observably empty (they park on the pre-pop epoch otherwise, which
+//! the completing push bumps). Items nobody asks for after close are
+//! freed by the ring's `Drop`.
 
 use crate::channel::{op_deadline, BufferAdmin};
 use crate::error::StampedeError;
@@ -346,12 +348,19 @@ impl<T: ItemData> LfQueue<T> {
                     value: stored.value,
                 });
             }
-            if self.closed.load(Ordering::SeqCst) {
+            if self.closed.load(Ordering::SeqCst) && self.ring.is_empty() {
                 if blocked {
                     ctx.block_end(ctx.now());
                 }
                 return Err(StampedeError::Closed);
             }
+            // Closed but not empty: a push claimed its slot but has not
+            // released it yet (`try_pop` saw the slot unready). Parking on
+            // the pre-pop epoch is safe — the completing push bumps
+            // `push_ops` and wakes us, and the park re-check refuses to
+            // sleep if it already did. Returning `Closed` here would
+            // strand a drainable item, breaking the close contract the
+            // mutex oracle keeps.
             if !blocked {
                 blocked = true;
                 ctx.block_begin(ctx.now());
@@ -423,7 +432,9 @@ impl<T: ItemData> LfQueue<T> {
                     })
                     .collect());
             }
-            if self.closed.load(Ordering::SeqCst) {
+            // Same empty-check as `get`: close with an in-flight push must
+            // not strand the item (see above).
+            if self.closed.load(Ordering::SeqCst) && self.ring.is_empty() {
                 if blocked {
                     ctx.block_end(ctx.now());
                 }

@@ -54,6 +54,7 @@
 //! assert!(report.outputs() > 0);
 //! ```
 
+pub mod backend;
 #[doc(hidden)]
 pub mod bench_api;
 pub mod builder;
@@ -76,6 +77,7 @@ mod tele;
 #[cfg(all(loom, test))]
 mod loom_tests;
 
+pub use backend::{QueueBackend, QueueInput, QueueOutput};
 pub use builder::{BuildError, ChannelRef, QueueRef, RuntimeBuilder, ThreadRef};
 pub use channel::{Channel, Input, Output};
 pub use fanout::FanOut;
@@ -83,19 +85,19 @@ pub use error::{Step, StampedeError, TaskResult};
 pub use item::{ItemData, Record, StampedItem};
 pub use lfqueue::{LfItem, LfQueue, LfQueueInput, LfQueueOutput};
 pub use net::{LinkModel, NetworkSim, RemoteOutput};
-pub use queue::{Queue, QueueInput, QueueOutput};
+pub use queue::{MutexQueueInput, MutexQueueOutput, Queue};
 pub use runtime::{BoxedJoinError, RunAnalysis, RunReport, Running, Runtime};
 pub use task::TaskCtx;
 
 /// Common imports for application code.
 pub mod prelude {
+    pub use crate::backend::{QueueBackend, QueueInput, QueueOutput};
     pub use crate::builder::{ChannelRef, QueueRef, RuntimeBuilder, ThreadRef};
     pub use crate::channel::{Input, Output};
     pub use crate::fanout::FanOut;
     pub use crate::error::{Step, StampedeError, TaskResult};
     pub use crate::item::{ItemData, Record, StampedItem};
     pub use crate::lfqueue::{LfItem, LfQueueInput, LfQueueOutput};
-    pub use crate::queue::{QueueInput, QueueOutput};
     pub use crate::runtime::{RunAnalysis, RunReport, Runtime};
     pub use crate::task::TaskCtx;
     pub use aru_core::{AruConfig, CompressOp, PacingPolicy, RetryPolicy};

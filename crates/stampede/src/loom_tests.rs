@@ -478,6 +478,76 @@ fn loom_lfqueue_waiter_handoff_has_no_lost_wakeup() {
     });
 }
 
+/// The task-loop wake path under shutdown: a consumer blocks in `get`
+/// (empty ring), a producer completes one `put` and immediately
+/// `close()`s. In every interleaving — close landing before the consumer
+/// parks, between its epoch load and park, or while it sleeps — the
+/// consumer must receive the item (never `Err(Closed)` with the item
+/// still drainable) and only then observe the close. Before the
+/// closed-check required `ring.is_empty()`, the schedule "failed
+/// try_pop → put completes → close lands → closed-check" stranded the
+/// item and this test failed.
+#[test]
+fn loom_lfqueue_close_never_strands_drainable_item() {
+    loom::model(|| {
+        let trace = SharedTrace::new();
+        let shutdown = Shutdown::new();
+        let q = test_lfqueue(2, &trace);
+        let p = IterKey::new(NodeId(0), 0);
+
+        let producer = {
+            let q = Arc::clone(&q);
+            loom::thread::spawn(move || {
+                q.put(Timestamp(3), vec![3u8], p).unwrap();
+                q.close();
+            })
+        };
+
+        let mut ctx = test_ctx(&trace, &shutdown);
+        let got = q.get(0, &mut ctx).expect("pre-close item stays drainable");
+        assert_eq!(got.ts, Timestamp(3));
+        assert!(
+            matches!(q.get(0, &mut ctx), Err(crate::error::StampedeError::Closed)),
+            "drained + closed must report Closed"
+        );
+
+        producer.join().unwrap();
+    });
+}
+
+/// The `(len, live_bytes)` read-side mirror publishes as one seqlock
+/// pair: a sampler racing two puts of 7-byte items must always see
+/// `bytes == len * 7` (or hit the bounded-retry lock fallback, which is
+/// coherent by construction). With the pair as two independent atomics
+/// this assert fails on the schedule "store len=2 → sample → store
+/// bytes=14".
+#[test]
+fn loom_channel_obs_pair_never_tears() {
+    loom::model(|| {
+        let trace = SharedTrace::new();
+        let ch = test_channel(None, &trace);
+        let p = IterKey::new(NodeId(0), 0);
+
+        let producer = {
+            let ch = Arc::clone(&ch);
+            loom::thread::spawn(move || {
+                ch.put(Timestamp(0), vec![0u8; 7], p).unwrap();
+                ch.put(Timestamp(1), vec![1u8; 7], p).unwrap();
+            })
+        };
+
+        let (len, bytes) = ch.occupancy();
+        assert_eq!(
+            bytes,
+            len as u64 * 7,
+            "torn occupancy pair: len {len}, bytes {bytes}"
+        );
+
+        producer.join().unwrap();
+        assert_eq!(ch.occupancy(), (2, 14));
+    });
+}
+
 /// Shutdown set vs. a concurrent timed sleep: whether the sleeper parks
 /// before or after the flag flips — and even if the model fires the
 /// timeout spuriously — the sleeper must observe the shutdown.

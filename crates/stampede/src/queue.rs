@@ -19,7 +19,6 @@ use crate::tele::BufTele;
 use aru_core::{AruConfig, AruController, NodeId, NodeKind};
 use aru_gc::ConsumerMarks;
 use aru_metrics::{ItemId, IterKey, LocalTrace, SharedTrace};
-use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use crate::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -61,10 +60,13 @@ pub struct Queue<T: ItemData> {
     /// so waking more would just stampede them back to sleep.
     cond: Condvar,
     /// Lock-free read-side observables (DESIGN.md §14), mirrored at the
-    /// end of every mutating locked section — `len`/`live_bytes`/`summary`
-    /// never take the state lock.
-    obs_len: AtomicUsize,
-    obs_bytes: AtomicU64,
+    /// end of every mutating locked section. `(len, live_bytes)` live in
+    /// one seqlock cell so samplers always see a coherent pair — two
+    /// independent atomics let a reader pair a new `len` with stale
+    /// `bytes` (or vice versa). Reads are lock-free unless the bounded
+    /// retry window keeps colliding with writers (then they fall back to
+    /// the state lock, like `summary`).
+    obs_cell: SeqCell,
     summary_cell: SeqCell,
 }
 
@@ -93,8 +95,7 @@ impl<T: ItemData> Queue<T> {
                 summary_gen: 0,
             }),
             cond: Condvar::new(),
-            obs_len: AtomicUsize::new(0),
-            obs_bytes: AtomicU64::new(0),
+            obs_cell: SeqCell::new(0, 0),
             summary_cell: SeqCell::new(0, 0),
         }
     }
@@ -107,11 +108,12 @@ impl<T: ItemData> Queue<T> {
         self.publish_obs_locked(&st);
     }
 
-    /// Mirror the occupancy observables into the lock-free cells. Called
-    /// at the end of every locked section that moved items.
+    /// Mirror the occupancy observables into the lock-free cell as one
+    /// coherent `(len, live_bytes)` pair. Called at the end of every
+    /// locked section that moved items (the seqlock writer invariant:
+    /// writers are serialized by the state mutex).
     fn publish_obs_locked(&self, st: &QueueState<T>) {
-        self.obs_len.store(st.items.len(), Ordering::SeqCst);
-        self.obs_bytes.store(st.live_bytes, Ordering::SeqCst);
+        self.obs_cell.write(st.items.len() as u64, st.live_bytes);
     }
 
     /// Republish the summary seqlock cell when the controller's
@@ -400,7 +402,7 @@ impl<T: ItemData> Queue<T> {
     /// Items currently queued (lock-free mirror, exact at op boundaries).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.obs_len.load(Ordering::SeqCst)
+        self.occupancy().0
     }
 
     #[must_use]
@@ -411,7 +413,21 @@ impl<T: ItemData> Queue<T> {
     /// Bytes currently held (lock-free mirror, exact at op boundaries).
     #[must_use]
     pub fn live_bytes(&self) -> u64 {
-        self.obs_bytes.load(Ordering::SeqCst)
+        self.occupancy().1
+    }
+
+    /// A coherent `(len, live_bytes)` snapshot: both values come from the
+    /// same op boundary. Lock-free unless the bounded seqlock retry keeps
+    /// colliding with in-flight ops.
+    #[must_use]
+    pub fn occupancy(&self) -> (usize, u64) {
+        match self.obs_cell.try_read() {
+            Some((len, bytes)) => (len as usize, bytes),
+            None => {
+                let st = self.state.lock();
+                (st.items.len(), st.live_bytes)
+            }
+        }
     }
 
     /// The queue's current summary-STP (the value a put would return),
@@ -508,13 +524,15 @@ impl<T: ItemData> BufferAdmin for Queue<T> {
     }
 }
 
-/// Producer endpoint for a queue.
-pub struct QueueOutput<T: ItemData> {
+/// Producer endpoint bound directly to the mutex [`Queue`] (the
+/// backend-agnostic endpoint the builder hands out is
+/// [`crate::backend::QueueOutput`], which wraps this).
+pub struct MutexQueueOutput<T: ItemData> {
     pub(crate) q: Arc<Queue<T>>,
     pub(crate) thread_out_index: usize,
 }
 
-impl<T: ItemData> QueueOutput<T> {
+impl<T: ItemData> MutexQueueOutput<T> {
     /// Enqueue an item, folding the queue's summary-STP back into the
     /// producing thread.
     pub fn put(&self, ctx: &mut TaskCtx, ts: Timestamp, value: T) -> Result<(), StampedeError> {
@@ -559,13 +577,14 @@ impl<T: ItemData> QueueOutput<T> {
     }
 }
 
-/// Consumer endpoint for a queue.
-pub struct QueueInput<T: ItemData> {
+/// Consumer endpoint bound directly to the mutex [`Queue`] (wrapped by
+/// [`crate::backend::QueueInput`]).
+pub struct MutexQueueInput<T: ItemData> {
     pub(crate) q: Arc<Queue<T>>,
     pub(crate) chan_out_index: usize,
 }
 
-impl<T: ItemData> QueueInput<T> {
+impl<T: ItemData> MutexQueueInput<T> {
     /// Blocking FIFO get.
     pub fn get(&mut self, ctx: &mut TaskCtx) -> Result<StampedItem<T>, StampedeError> {
         let t0 = ctx.op_sample();

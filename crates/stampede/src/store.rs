@@ -398,6 +398,56 @@ mod tests {
         assert_eq!(s.depths(), (101, 0));
     }
 
+    /// The bridging condition is `t - back <= MAX_RING_GAP + 1`: a jump to
+    /// `back + MAX_RING_GAP + 1` leaves exactly `MAX_RING_GAP` missing
+    /// timestamps, the largest run of holes the ring accepts. Pin both
+    /// sides of that boundary so an off-by-one in the condition (or a
+    /// redefinition of "gap") trips a test.
+    #[test]
+    fn gap_of_exactly_max_ring_gap_bridges() {
+        let mut s = ItemStore::new();
+        s.insert(Timestamp(0), stored(0, 1));
+        let t = MAX_RING_GAP + 1; // MAX_RING_GAP holes between 0 and t
+        assert!(s.insert(Timestamp(t), stored(t, 1)).is_none());
+        assert_eq!(s.depths(), (2, 0), "boundary gap must stay in the ring");
+        assert_eq!(s.get(Timestamp(t)).unwrap().id, ItemId(t));
+        // Every bridged slot is a hole, not an item.
+        for hole in 1..t {
+            assert!(s.get(Timestamp(hole)).is_none());
+        }
+        assert_eq!(s.latest().unwrap().0, Timestamp(t));
+    }
+
+    #[test]
+    fn gap_one_past_max_ring_gap_spills() {
+        let mut s = ItemStore::new();
+        s.insert(Timestamp(0), stored(0, 1));
+        let t = MAX_RING_GAP + 2; // one hole too many: must spill
+        assert!(s.insert(Timestamp(t), stored(t, 1)).is_none());
+        assert_eq!(s.depths(), (1, 1), "past-boundary gap must spill");
+        assert_eq!(s.get(Timestamp(t)).unwrap().id, ItemId(t));
+        assert_eq!(s.latest().unwrap().0, Timestamp(t));
+    }
+
+    #[test]
+    fn boundary_bridge_migrates_trapped_spill_entry() {
+        let mut s = ItemStore::new();
+        s.insert(Timestamp(0), stored(0, 1));
+        // Far jump spills (gap 39 > MAX_RING_GAP).
+        s.insert(Timestamp(40), stored(40, 1));
+        assert_eq!(s.depths(), (1, 1));
+        // Bridgeable jump: back becomes 20.
+        s.insert(Timestamp(20), stored(20, 1));
+        assert_eq!(s.depths(), (2, 1));
+        // Exactly-boundary jump from 20 to 20 + MAX_RING_GAP + 1 swallows
+        // the spilled 40 into the new span (invariant 1).
+        let t = 20 + MAX_RING_GAP + 1;
+        assert!(s.insert(Timestamp(t), stored(t, 1)).is_none());
+        assert_eq!(s.depths(), (4, 0), "trapped spill entry must migrate");
+        assert_eq!(s.get(Timestamp(40)).unwrap().id, ItemId(40));
+        assert_eq!(s.latest().unwrap().0, Timestamp(t));
+    }
+
     /// Reference model: the plain BTreeMap the ring store replaced.
     #[derive(Default)]
     struct Model {

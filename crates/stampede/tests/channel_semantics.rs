@@ -204,9 +204,9 @@ fn queue_dgc_drops_dead_queued_items() {
     let q = b.queue::<Vec<u8>>("q");
     let src = b.thread("src");
     let snk = b.thread("snk");
-    let out = b.connect_queue_out(src, &q).unwrap();
+    let mut out = b.connect_queue_out(src, &q).unwrap();
     let mut inp = b.connect_queue_in(&q, snk).unwrap();
-    let q_probe = out.queue_arc();
+    let q_probe = out.mutex_queue().expect("default backend is mutex");
     let mut ts = Timestamp::ZERO;
     b.spawn(src, move |ctx| {
         out.put(ctx, ts, vec![0u8; 100])?;

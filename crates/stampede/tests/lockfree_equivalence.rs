@@ -25,7 +25,7 @@ use proptest::test_runner::TestCaseError;
 use stampede::bench_api;
 use stampede::{LfQueue, Queue, StampedeError, TaskCtx};
 use std::sync::Arc;
-use vtime::{Clock, ManualClock, Micros, Timestamp};
+use vtime::{Clock, ManualClock, Micros, Timestamp, WallClock};
 
 /// Ring capacity for the lock-free side; the driver keeps occupancy
 /// safely below it so `LfQueue::put` never parks.
@@ -270,4 +270,113 @@ fn close_semantics_divergence_is_pinned() {
         pair.lf.put(Timestamp(99), vec![0; 4], p),
         Err(StampedeError::Closed)
     ));
+}
+
+/// Close racing a batch drain: a consumer looping `get_batch` while the
+/// producer is still putting (and then closes) must receive every item
+/// exactly once, in FIFO order, with no gap and no stranded tail — the
+/// same contract a batch claim has on the mutex oracle before its close
+/// frees the queue. Pins the close/`get_batch` race the single-threaded
+/// scripted tests above cannot reach.
+#[test]
+fn close_mid_batch_drains_contiguous_stream_then_closed() {
+    const ITEMS: u64 = 40; // stays under CAPACITY so puts never park
+    for round in 0..50 {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+        let trace = SharedTrace::new();
+        let lf =
+            bench_api::lfqueue::<Vec<u8>>(NodeId(1), "lf-close", &cfg(), CAPACITY, trace.clone(), 1);
+        let producer = IterKey::new(NodeId(7), 0);
+        let prod = {
+            let lf = Arc::clone(&lf);
+            std::thread::spawn(move || {
+                for i in 0..ITEMS {
+                    lf.put(Timestamp(i), vec![i as u8; 8], producer).unwrap();
+                }
+                lf.close();
+            })
+        };
+        let mut ctx = bench_api::task_ctx(
+            NodeId(9),
+            "drain-task",
+            1,
+            false,
+            &cfg(),
+            Arc::clone(&clock),
+            trace.clone(),
+        );
+        bench_api::warm_summary(&mut ctx, Stp(Micros(1_234)));
+        // A generous timeout so a lost wakeup fails the test instead of
+        // hanging it.
+        bench_api::set_op_timeout(&mut ctx, Micros::from_millis(5_000));
+        let mut seen = Vec::new();
+        loop {
+            match lf.get_batch(0, &mut ctx, 8) {
+                Ok(batch) => {
+                    assert!(!batch.is_empty(), "blocking get_batch returned empty");
+                    seen.extend(batch.iter().map(|it| it.ts.raw()));
+                }
+                Err(StampedeError::Closed) => break,
+                Err(e) => panic!("round {round}: unexpected error mid-drain: {e:?}"),
+            }
+        }
+        prod.join().unwrap();
+        let expect: Vec<u64> = (0..ITEMS).collect();
+        assert_eq!(seen, expect, "round {round}: stream torn or stranded");
+        assert_eq!(lf.live_bytes(), 0);
+        assert!(matches!(
+            lf.try_get(0, &mut ctx),
+            Err(StampedeError::Closed)
+        ));
+    }
+}
+
+/// The occupancy pair `(len, live_bytes)` must never tear: with every
+/// item the same size, any snapshot a concurrent observer takes satisfies
+/// `bytes == len * size` exactly. Hammers the seqlock-published mirror on
+/// the mutex queue from a racing reader (the loom suite pins the same
+/// invariant on the channel under exhaustive interleavings).
+#[test]
+fn occupancy_pair_never_tears_under_concurrent_ops() {
+    const SIZE: usize = 7;
+    const ITEMS: u64 = 4_000;
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+    let trace = SharedTrace::new();
+    let q = bench_api::queue::<Vec<u8>>(NodeId(1), "obs-q", &cfg(), Arc::clone(&clock), trace.clone(), 1);
+    let producer = IterKey::new(NodeId(7), 0);
+    let prod = {
+        let q = Arc::clone(&q);
+        std::thread::spawn(move || {
+            for i in 0..ITEMS {
+                q.put(Timestamp(i), vec![0u8; SIZE], producer).unwrap();
+            }
+        })
+    };
+    let cons = {
+        let q = Arc::clone(&q);
+        let clock = Arc::clone(&clock);
+        let trace = trace.clone();
+        std::thread::spawn(move || {
+            let mut ctx =
+                bench_api::task_ctx(NodeId(9), "obs-task", 1, false, &cfg(), clock, trace);
+            bench_api::warm_summary(&mut ctx, Stp(Micros(1_234)));
+            let mut drained = 0u64;
+            while drained < ITEMS {
+                if q.try_get(0, &mut ctx).unwrap().is_some() {
+                    drained += 1;
+                }
+            }
+        })
+    };
+    while !prod.is_finished() || !cons.is_finished() {
+        let (len, bytes) = q.occupancy();
+        assert_eq!(
+            bytes,
+            len as u64 * SIZE as u64,
+            "torn occupancy pair: len {len}, bytes {bytes}"
+        );
+    }
+    prod.join().unwrap();
+    cons.join().unwrap();
+    assert_eq!(q.occupancy(), (0, 0));
 }

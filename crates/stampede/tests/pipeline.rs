@@ -315,13 +315,12 @@ fn fan_out_min_sustains_fast_consumer() {
     );
 }
 
-#[test]
-fn queue_delivers_fifo_exactly_once() {
-    let mut b = RuntimeBuilder::new(AruConfig::aru_min(), GcMode::Dgc);
+fn queue_fifo_exactly_once_on(backend: stampede::QueueBackend) {
+    let mut b = RuntimeBuilder::new(AruConfig::aru_min(), GcMode::Dgc).with_queue_backend(backend);
     let q = b.queue::<Vec<u8>>("q");
     let src = b.thread("src");
     let snk = b.thread("snk");
-    let out = b.connect_queue_out(src, &q).unwrap();
+    let mut out = b.connect_queue_out(src, &q).unwrap();
     let mut inp = b.connect_queue_in(&q, snk).unwrap();
     let seen = Arc::new(parking_lot::Mutex::new(Vec::<u64>::new()));
     let seen2 = Arc::clone(&seen);
@@ -351,6 +350,18 @@ fn queue_delivers_fifo_exactly_once() {
     for (i, &ts) in seen.iter().enumerate() {
         assert_eq!(ts, i as u64, "FIFO order violated: {seen:?}");
     }
+}
+
+#[test]
+fn queue_delivers_fifo_exactly_once() {
+    queue_fifo_exactly_once_on(stampede::QueueBackend::Mutex);
+}
+
+/// Identical task-graph code over the lock-free ring: the backend seam
+/// must preserve FIFO exactly-once delivery.
+#[test]
+fn queue_delivers_fifo_exactly_once_lockfree() {
+    queue_fifo_exactly_once_on(stampede::QueueBackend::lock_free());
 }
 
 #[test]

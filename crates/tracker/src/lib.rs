@@ -25,10 +25,13 @@
 //! * [`graph`] — the 6-thread / 9-channel task graph of Figure 5;
 //! * [`app_threaded`] — the tracker wired onto the `stampede` threaded
 //!   runtime, computing for real;
+//! * [`app_queue`] — the same kernels as a FIFO work-queue pipeline,
+//!   parameterized by queue backend (mutex oracle or lock-free ring);
 //! * [`app_sim`] — the tracker wired onto the `desim` cluster simulator
 //!   with service-time models calibrated to the paper's 2005 testbed
 //!   regime, in both evaluation configurations (1 node / 5 nodes).
 
+pub mod app_queue;
 pub mod app_sim;
 pub mod app_threaded;
 pub mod graph;
@@ -38,6 +41,7 @@ pub mod model;
 pub mod types;
 pub mod video;
 
+pub use app_queue::{build_queue_tracker, QueueTracker, QueueTrackerParams};
 pub use app_sim::{build_sim, SimTrackerParams, TrackerConfigId};
 pub use app_threaded::{build_threaded, ThreadedTrackerParams};
 pub use graph::TrackerGraph;

@@ -27,7 +27,7 @@ fn run(label: &str, aru: AruConfig) {
     let logger = b.thread("logger");
     let out_samples = b.connect_out(camera, &samples).unwrap();
     let mut in_samples = b.connect_in(&samples, recognizer).unwrap();
-    let out_gestures = b.connect_queue_out(recognizer, &gestures).unwrap();
+    let mut out_gestures = b.connect_queue_out(recognizer, &gestures).unwrap();
     let mut in_gestures = b.connect_queue_in(&gestures, logger).unwrap();
 
     let produced = Arc::new(AtomicU64::new(0));

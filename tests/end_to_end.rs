@@ -152,7 +152,7 @@ fn prelude_is_sufficient_for_an_application() {
     let q = b.queue::<Vec<u8>>("q");
     let a = b.thread("a");
     let z = b.thread("z");
-    let out = b.connect_queue_out(a, &q).unwrap();
+    let mut out = b.connect_queue_out(a, &q).unwrap();
     let mut inp = b.connect_queue_in(&q, z).unwrap();
     let mut ts = Timestamp::ZERO;
     b.spawn(a, move |ctx| {
