@@ -21,6 +21,53 @@ pub struct ChanId(pub usize);
 #[derive(Debug, Clone)]
 pub(crate) struct NodeDecl {
     pub cores: u32,
+    /// Relative CPU speed (1.0 = the paper's reference node). The engine
+    /// divides every sampled service time by this.
+    pub speed: f64,
+}
+
+/// Node-speed distribution for heterogeneous clusters, after the
+/// Storm-throughput scheduling study (PAPERS.md): production clusters mix
+/// a few hardware generations, so speeds come either as discrete *classes*
+/// (weighted hardware generations) or as a uniform spread around the
+/// reference machine.
+#[derive(Debug, Clone)]
+pub enum SpeedDist {
+    /// Every node at the reference speed.
+    Homogeneous,
+    /// Speeds drawn uniformly from `[min, max)`.
+    Uniform { min: f64, max: f64 },
+    /// Weighted discrete classes `(weight, speed)` — e.g. three hardware
+    /// generations at `(0.5, 1.0), (0.3, 1.6), (0.2, 0.7)`.
+    Classes(Vec<(f64, f64)>),
+}
+
+impl SpeedDist {
+    /// The speed of node `i` under seed `seed` — a pure function, so a
+    /// sweep cell's cluster is reproducible from `(dist, seed)` alone.
+    #[must_use]
+    pub fn speed_of(&self, i: usize, seed: u64) -> f64 {
+        let u = {
+            // splitmix64 output mapped to [0, 1).
+            let z = crate::fault::splitmix64(seed ^ ((i as u64) << 21) ^ 0x5EED);
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        };
+        match self {
+            SpeedDist::Homogeneous => 1.0,
+            SpeedDist::Uniform { min, max } => min + u * (max - min),
+            SpeedDist::Classes(classes) => {
+                let total: f64 = classes.iter().map(|&(w, _)| w).sum();
+                let mut x = u * total;
+                for &(w, s) in classes {
+                    if x < w {
+                        return s;
+                    }
+                    x -= w;
+                }
+                classes.last().map_or(1.0, |&(_, s)| s)
+            }
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -66,6 +113,8 @@ pub enum SimBuildError {
     /// Source task with zero service time would live-lock the simulator.
     ZeroServiceSource(String),
     UnknownNode(SimNodeId),
+    /// Node speed must be finite and positive.
+    BadNodeSpeed(SimNodeId),
 }
 
 impl fmt::Display for SimBuildError {
@@ -80,6 +129,9 @@ impl fmt::Display for SimBuildError {
                 write!(f, "source task '{n}' must have positive service time")
             }
             SimBuildError::UnknownNode(n) => write!(f, "unknown cluster node {n:?}"),
+            SimBuildError::BadNodeSpeed(n) => {
+                write!(f, "cluster node {n:?} needs a finite positive speed")
+            }
         }
     }
 }
@@ -107,10 +159,30 @@ impl SimBuilder {
         Self::default()
     }
 
-    /// Add a cluster node with `cores` CPUs.
+    /// Add a cluster node with `cores` CPUs at the reference speed.
     pub fn node(&mut self, cores: u32) -> SimNodeId {
-        self.nodes.push(NodeDecl { cores });
+        self.node_with_speed(cores, 1.0)
+    }
+
+    /// Add a cluster node with `cores` CPUs and a relative CPU `speed`
+    /// (1.0 = reference; 2.0 halves service times, 0.5 doubles them).
+    pub fn node_with_speed(&mut self, cores: u32, speed: f64) -> SimNodeId {
+        self.nodes.push(NodeDecl { cores, speed });
         SimNodeId(self.nodes.len() - 1)
+    }
+
+    /// Add `n` nodes whose speeds are drawn from `dist` under `seed` —
+    /// the heterogeneous-cluster builder for the scale sweeps.
+    pub fn heterogeneous_nodes(
+        &mut self,
+        n: usize,
+        cores: u32,
+        dist: &SpeedDist,
+        seed: u64,
+    ) -> Vec<SimNodeId> {
+        (0..n)
+            .map(|i| self.node_with_speed(cores, dist.speed_of(i, seed)))
+            .collect()
     }
 
     /// Add a channel placed on `node` (the paper places each channel on its
@@ -193,6 +265,11 @@ impl SimBuilder {
 
     pub(crate) fn validate(&self) -> Result<(), SimBuildError> {
         self.topo.validate()?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.speed.is_finite() || n.speed <= 0.0 {
+                return Err(SimBuildError::BadNodeSpeed(SimNodeId(i)));
+            }
+        }
         for t in &self.tasks {
             if t.cluster_node.0 >= self.nodes.len() {
                 return Err(SimBuildError::UnknownNode(t.cluster_node));
@@ -270,6 +347,59 @@ mod tests {
         b.input(t, c1, InputPolicy::JoinExact).unwrap();
         b.input(t, c2, InputPolicy::DriverLatest).unwrap();
         assert!(matches!(b.validate(), Err(SimBuildError::BadDriver(_))));
+    }
+
+    #[test]
+    fn rejects_non_positive_node_speed() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let mut b = SimBuilder::new();
+            let _n = b.node_with_speed(4, bad);
+            assert!(
+                matches!(b.validate(), Err(SimBuildError::BadNodeSpeed(_))),
+                "speed {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn heterogeneous_nodes_are_seed_deterministic() {
+        let dist = SpeedDist::Uniform { min: 0.5, max: 2.0 };
+        let mut a = SimBuilder::new();
+        let mut b = SimBuilder::new();
+        a.heterogeneous_nodes(32, 8, &dist, 42);
+        b.heterogeneous_nodes(32, 8, &dist, 42);
+        let sa: Vec<f64> = a.nodes.iter().map(|n| n.speed).collect();
+        let sb: Vec<f64> = b.nodes.iter().map(|n| n.speed).collect();
+        assert_eq!(sa, sb, "same (dist, seed) must rebuild the same cluster");
+        assert!(sa.iter().all(|&s| (0.5..2.0).contains(&s)));
+        // A different seed must actually produce a different cluster.
+        let mut c = SimBuilder::new();
+        c.heterogeneous_nodes(32, 8, &dist, 43);
+        let sc: Vec<f64> = c.nodes.iter().map(|n| n.speed).collect();
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn speed_classes_cover_all_weights() {
+        let dist = SpeedDist::Classes(vec![(0.5, 1.0), (0.3, 1.6), (0.2, 0.7)]);
+        let mut b = SimBuilder::new();
+        b.heterogeneous_nodes(200, 8, &dist, 7);
+        let mut seen = std::collections::BTreeSet::new();
+        for n in &b.nodes {
+            assert!(
+                [1.0, 1.6, 0.7].contains(&n.speed),
+                "class draw produced a speed outside the class set"
+            );
+            seen.insert(n.speed.to_bits());
+        }
+        assert_eq!(seen.len(), 3, "200 draws should hit every class");
+    }
+
+    #[test]
+    fn homogeneous_dist_is_all_reference_speed() {
+        let mut b = SimBuilder::new();
+        b.heterogeneous_nodes(5, 8, &SpeedDist::Homogeneous, 1);
+        assert!(b.nodes.iter().all(|n| n.speed == 1.0));
     }
 
     #[test]

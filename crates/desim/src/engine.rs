@@ -8,6 +8,7 @@
 
 use crate::builder::{ChanId, SimBuilder, SimBuildError, TaskDecl, TaskId};
 use crate::cost::CostModel;
+use crate::equeue::{EventQueue, EventQueueKind};
 use crate::fault::{Fault, FaultPlan};
 use crate::net::NetModel;
 use crate::noise::Noise;
@@ -17,8 +18,7 @@ use crate::spec::InputPolicy;
 use aru_core::{AruConfig, AruController, NodeId, NodeKind, RetryPolicy, Topology};
 use aru_gc::{ref_dead_before, ConsumerMarks, DgcEngine, DgcResult, GcMode};
 use aru_metrics::{Counter, Histogram, IterKey, Telemetry, Trace};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use vtime::{Micros, SimTime, Timestamp};
 
 /// Configuration of one simulated run.
@@ -45,6 +45,10 @@ pub struct SimConfig {
     pub faults: FaultPlan,
     /// Supervised-restart policy applied to injected crashes.
     pub retry: RetryPolicy,
+    /// Priority structure backing the event loop. [`EventQueueKind::Calendar`]
+    /// by default; the binary heap stays compiled as the differential
+    /// oracle (the equivalence suite pins byte-identical reports).
+    pub queue: EventQueueKind,
 }
 
 impl SimConfig {
@@ -61,6 +65,7 @@ impl SimConfig {
             seed: 0xA2_05,
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            queue: EventQueueKind::default(),
         }
     }
 }
@@ -177,30 +182,6 @@ enum EvKind {
     Restart(TaskId),
 }
 
-#[derive(Debug, Clone)]
-struct Ev {
-    time: SimTime,
-    seq: u64,
-    kind: EvKind,
-}
-
-impl PartialEq for Ev {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Ev {}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
 /// The simulator.
 ///
 /// ```
@@ -229,20 +210,55 @@ pub struct Sim {
     tasks: Vec<TaskState>,
     chans: Vec<SimChannel>,
     node_cores: Vec<u32>,
+    node_speed: Vec<f64>,
     node_busy: Vec<usize>,
     node_live: Vec<u64>,
-    events: BinaryHeap<Reverse<Ev>>,
+    events: EventQueue<EvKind>,
     ev_seq: u64,
+    events_dispatched: u64,
+    peak_pending: usize,
     dgc_engine: DgcEngine,
     dgc_result: DgcResult,
     trace: Trace,
     tele: SimTele,
     now: SimTime,
+    /// When `Some`, every queue push/pop is recorded for the replay bench.
+    cap: Option<Vec<QueueOp>>,
+}
+
+/// One event-queue operation from a captured run, for the replay bench
+/// (`desim_bench`): the exact push/pop interleaving the engine performed,
+/// with payloads elided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueOp {
+    /// `schedule()` pushed an event at this `(time, seq)`.
+    Push(SimTime, u64),
+    /// The run loop popped the queue minimum.
+    Pop,
 }
 
 impl Sim {
     /// Build and run a simulation to completion; returns the trace report.
     pub fn run(builder: SimBuilder, config: SimConfig) -> Result<SimReport, SimBuildError> {
+        Sim::run_impl(builder, config, false).map(|(r, _)| r)
+    }
+
+    /// [`Sim::run`], also returning the event-queue op sequence the run
+    /// performed. The captured schedule lets the bench measure queue
+    /// throughput on the *real* workload (clustered times, same-timestamp
+    /// storms) rather than a synthetic distribution.
+    pub fn run_with_queue_capture(
+        builder: SimBuilder,
+        config: SimConfig,
+    ) -> Result<(SimReport, Vec<QueueOp>), SimBuildError> {
+        Sim::run_impl(builder, config, true)
+    }
+
+    fn run_impl(
+        builder: SimBuilder,
+        config: SimConfig,
+        capture: bool,
+    ) -> Result<(SimReport, Vec<QueueOp>), SimBuildError> {
         builder.validate()?;
         let SimBuilder {
             topo,
@@ -262,7 +278,7 @@ impl Sim {
                     name: c.name,
                     graph_node: c.graph_node,
                     cluster_node: c.cluster_node,
-                    items: std::collections::BTreeMap::new(),
+                    store: crate::store::SimStore::new(),
                     marks: ConsumerMarks::new(n_out),
                     aru,
                     dgc_dead_before: Timestamp::ZERO,
@@ -308,17 +324,21 @@ impl Sim {
         let dgc_engine = DgcEngine::new(&topo);
         let mut sim = Sim {
             node_cores: nodes.iter().map(|n| n.cores).collect(),
+            node_speed: nodes.iter().map(|n| n.speed).collect(),
             node_busy: vec![0; nodes.len()],
             node_live: vec![0; nodes.len()],
             tasks: sim_tasks,
             chans: sim_chans,
-            events: BinaryHeap::new(),
+            events: EventQueue::new(config.queue),
             ev_seq: 0,
+            events_dispatched: 0,
+            peak_pending: 0,
             dgc_engine,
             dgc_result: DgcResult::default(),
             trace: Trace::new(),
             tele: SimTele::new(),
             now: SimTime::ZERO,
+            cap: capture.then(Vec::new),
             topo,
             config,
         };
@@ -355,30 +375,43 @@ impl Sim {
         }
 
         let horizon = SimTime::ZERO + sim.config.duration;
-        while let Some(Reverse(ev)) = sim.events.pop() {
-            if ev.time > horizon {
+        while let Some((time, _seq, kind)) = sim.events.pop() {
+            if let Some(c) = sim.cap.as_mut() {
+                c.push(QueueOp::Pop);
+            }
+            if time > horizon {
                 break;
             }
-            sim.now = ev.time;
-            sim.dispatch(ev.kind);
+            sim.now = time;
+            sim.events_dispatched += 1;
+            sim.dispatch(kind);
         }
 
-        Ok(SimReport {
-            skipped_iterations: sim.tasks.iter().map(|t| t.skips).sum(),
-            trace: sim.trace,
-            topo: sim.topo,
-            t_end: horizon,
-            telemetry: sim.tele.bundle,
-        })
+        let ops = sim.cap.take().unwrap_or_default();
+        Ok((
+            SimReport {
+                skipped_iterations: sim.tasks.iter().map(|t| t.skips).sum(),
+                trace: sim.trace,
+                topo: sim.topo,
+                t_end: horizon,
+                telemetry: sim.tele.bundle,
+                events_dispatched: sim.events_dispatched,
+                peak_pending: sim.peak_pending,
+            },
+            ops,
+        ))
     }
 
     fn schedule(&mut self, time: SimTime, kind: EvKind) {
         self.ev_seq += 1;
-        self.events.push(Reverse(Ev {
-            time,
-            seq: self.ev_seq,
-            kind,
-        }));
+        if let Some(c) = self.cap.as_mut() {
+            c.push(QueueOp::Push(time, self.ev_seq));
+        }
+        self.events.push(time, self.ev_seq, kind);
+        let pending = self.events.len();
+        if pending > self.peak_pending {
+            self.peak_pending = pending;
+        }
     }
 
     fn dispatch(&mut self, kind: EvKind) {
@@ -580,9 +613,17 @@ impl Sim {
         let busy_others = self.node_busy[node];
         let cores = self.node_cores[node];
         let live = self.node_live[node];
+        let speed = self.node_speed[node];
         let task = &mut self.tasks[t.0];
         let model = task.decl.spec.service_at(now);
-        let service = task.noise.jitter(model.base, model.noise_sigma);
+        let mut service = task.noise.jitter(model.base, model.noise_sigma);
+        // Heterogeneous clusters: a node's relative CPU speed divides the
+        // sampled service time (speed 2.0 halves it, 0.5 doubles it),
+        // floored at 1 µs so a fast node can never produce a zero-length
+        // source iteration (which would live-lock the virtual clock).
+        if speed != 1.0 {
+            service = service.mul_f64(1.0 / speed).max(Micros(1));
+        }
         let out_bytes: u64 = task.decl.outputs.iter().map(|o| o.bytes).sum();
         let fetch = std::mem::take(&mut task.pending_fetch);
         let stall = std::mem::take(&mut task.pending_stall);

@@ -35,18 +35,23 @@
 pub mod builder;
 pub mod cost;
 pub mod engine;
+pub mod equeue;
 pub mod fault;
 pub mod net;
 pub mod noise;
 pub mod report;
 pub mod schannel;
 pub mod spec;
+pub mod store;
 
-pub use builder::{ChanId, SimBuilder, SimNodeId, TaskId};
+pub use builder::{ChanId, SimBuilder, SimNodeId, SpeedDist, TaskId};
 pub use cost::CostModel;
-pub use engine::{Sim, SimConfig};
+pub use engine::{QueueOp, Sim, SimConfig};
+pub use equeue::{EventQueue, EventQueueKind};
 pub use fault::{Fault, FaultPlan};
 pub use net::NetModel;
 pub use noise::Noise;
 pub use report::{SimAnalysis, SimReport};
+pub use schannel::SimItem;
 pub use spec::{InputPolicy, ServiceModel, TaskSpec};
+pub use store::SimStore;

@@ -19,6 +19,13 @@ pub struct SimReport {
     /// count, recovery-latency histogram) — snapshot its registry and feed
     /// it to the [`aru_metrics::export`] serializers to persist it.
     pub telemetry: Telemetry,
+    /// Total events the engine dispatched (the numerator of the events/s
+    /// throughput figure in `BENCH_desim.json`).
+    pub events_dispatched: u64,
+    /// High-water mark of the pending-event set — the population the event
+    /// queue actually had to order, which is what the hold-model bench
+    /// reproduces.
+    pub peak_pending: usize,
 }
 
 impl SimReport {

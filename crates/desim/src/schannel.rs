@@ -1,10 +1,10 @@
 //! Simulated channel state (single-threaded; the engine serializes access).
 
 use crate::builder::{SimNodeId, TaskId};
+use crate::store::SimStore;
 use aru_core::{AruController, NodeId};
 use aru_gc::ConsumerMarks;
 use aru_metrics::ItemId;
-use std::collections::BTreeMap;
 use vtime::Timestamp;
 
 /// One stored item.
@@ -15,14 +15,16 @@ pub struct SimItem {
 }
 
 /// Channel state mirroring `stampede::Channel` semantics under the virtual
-/// clock.
+/// clock. Items live in the dense-timestamp ring store ([`SimStore`], the
+/// PR 4 `stampede::store` pattern) rather than a `BTreeMap` — the per-item
+/// map is on the simulated hot path too.
 pub struct SimChannel {
     pub name: String,
     /// Task-graph identity (for DGC and the trace).
     pub graph_node: NodeId,
     /// Placement (for memory accounting and network transfers).
     pub cluster_node: SimNodeId,
-    pub items: BTreeMap<Timestamp, SimItem>,
+    pub store: SimStore,
     pub marks: ConsumerMarks,
     pub aru: AruController,
     pub dgc_dead_before: Timestamp,
@@ -34,7 +36,7 @@ pub struct SimChannel {
 impl SimChannel {
     /// Insert an item; returns the replaced item if `ts` already existed.
     pub fn insert(&mut self, ts: Timestamp, item: SimItem) -> Option<SimItem> {
-        let old = self.items.insert(ts, item);
+        let old = self.store.insert(ts, item);
         if let Some(o) = old {
             self.live_bytes -= o.bytes;
         }
@@ -42,46 +44,38 @@ impl SimChannel {
         old
     }
 
-    /// Newest item with `ts >= floor`.
+    /// Newest item with `ts >= floor` — necessarily the newest overall.
     #[must_use]
     pub fn latest_at_or_above(&self, floor: Timestamp) -> Option<(Timestamp, SimItem)> {
-        self.items
-            .range(floor..)
-            .next_back()
-            .map(|(&ts, &it)| (ts, it))
+        self.store.latest().filter(|&(ts, _)| ts >= floor)
     }
 
     /// Newest item overall.
     #[must_use]
     pub fn latest(&self) -> Option<(Timestamp, SimItem)> {
-        self.items.iter().next_back().map(|(&ts, &it)| (ts, it))
+        self.store.latest()
     }
 
     /// Exact lookup.
     #[must_use]
     pub fn exact(&self, ts: Timestamp) -> Option<SimItem> {
-        self.items.get(&ts).copied()
+        self.store.get(ts)
     }
 
     /// Newest item with `ts <= bound`.
     #[must_use]
     pub fn latest_at_or_before(&self, bound: Timestamp) -> Option<(Timestamp, SimItem)> {
-        self.items
-            .range(..=bound)
-            .next_back()
-            .map(|(&ts, &it)| (ts, it))
+        self.store.latest_at_or_before(bound)
     }
 
     /// Remove and return every item below `bound`.
     pub fn drain_below(&mut self, bound: Timestamp) -> Vec<SimItem> {
-        let dead: Vec<Timestamp> = self.items.range(..bound).map(|(&ts, _)| ts).collect();
-        let mut out = Vec::with_capacity(dead.len());
-        for ts in dead {
-            if let Some(item) = self.items.remove(&ts) {
-                self.live_bytes -= item.bytes;
-                out.push(item);
-            }
-        }
+        let mut out = Vec::new();
+        let live = &mut self.live_bytes;
+        self.store.purge_before(bound, |item| {
+            *live -= item.bytes;
+            out.push(item);
+        });
         out
     }
 }
@@ -96,7 +90,7 @@ mod tests {
             name: "c".into(),
             graph_node: NodeId(0),
             cluster_node: SimNodeId(0),
-            items: BTreeMap::new(),
+            store: SimStore::new(),
             marks: ConsumerMarks::new(1),
             aru: AruController::new(NodeKind::Channel, 1, false, &AruConfig::aru_min()),
             dgc_dead_before: Timestamp::ZERO,
@@ -145,8 +139,22 @@ mod tests {
         let dead = c.drain_below(Timestamp(3));
         assert_eq!(dead.len(), 3);
         assert_eq!(c.live_bytes, 20);
-        assert_eq!(c.items.len(), 2);
+        assert_eq!(c.store.len(), 2);
         assert!(c.exact(Timestamp(2)).is_none());
         assert!(c.exact(Timestamp(3)).is_some());
+    }
+
+    #[test]
+    fn spilled_out_of_order_items_stay_queryable() {
+        let mut c = chan();
+        c.insert(Timestamp(100), item(0, 10));
+        c.insert(Timestamp(2), item(1, 10)); // below base: spills
+        assert_eq!(c.live_bytes, 20);
+        assert_eq!(c.exact(Timestamp(2)).unwrap().id, ItemId(1));
+        assert_eq!(c.latest().unwrap().0, Timestamp(100));
+        assert_eq!(c.latest_at_or_before(Timestamp(50)).unwrap().0, Timestamp(2));
+        let dead = c.drain_below(Timestamp(101));
+        assert_eq!(dead.len(), 2);
+        assert_eq!(c.live_bytes, 0);
     }
 }

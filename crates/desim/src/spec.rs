@@ -125,6 +125,78 @@ impl TaskSpec {
         self
     }
 
+    /// Generate a diurnal load profile: the service time swells smoothly
+    /// from the base to `peak_factor × base` and back once per `period`,
+    /// discretized into `steps_per_period` piecewise-constant load steps
+    /// until `horizon`. Models the day/night cycle of a long-running
+    /// deployment (the scale sweeps compress "days" into simulated
+    /// seconds) so the feedback loop's re-convergence is exercised at
+    /// every point of the swing.
+    #[must_use]
+    pub fn with_diurnal_load(
+        mut self,
+        period: Micros,
+        peak_factor: f64,
+        steps_per_period: usize,
+        horizon: Micros,
+    ) -> Self {
+        assert!(period.0 > 0, "diurnal period must be positive");
+        assert!(steps_per_period >= 2, "need at least 2 steps per period");
+        assert!(peak_factor >= 1.0, "peak factor is relative to the base");
+        let base = self.service;
+        let step_len = (period.0 / steps_per_period as u64).max(1);
+        let mut t = 0u64;
+        while t < horizon.0 {
+            let phase = (t % period.0) as f64 / period.0 as f64;
+            // Raised cosine: 0 at the period boundary, 1 mid-period.
+            let lift = 0.5 - 0.5 * (std::f64::consts::TAU * phase).cos();
+            let factor = 1.0 + (peak_factor - 1.0) * lift;
+            let svc = ServiceModel {
+                base: base.base.mul_f64(factor).max(Micros(1)),
+                noise_sigma: base.noise_sigma,
+            };
+            self = self.with_load_step(vtime::SimTime(t), svc);
+            t += step_len;
+        }
+        self
+    }
+
+    /// Generate a bursty (square-wave) load profile: for the first
+    /// `duty` fraction of every `period` the service time is
+    /// `burst_factor × base`, then drops back, until `horizon`. The abrupt
+    /// edges — unlike the diurnal ramp — force the pacing law to react to
+    /// step changes, the paper's §1 "dynamic phenomena" in their harshest
+    /// form.
+    #[must_use]
+    pub fn with_bursty_load(
+        mut self,
+        period: Micros,
+        duty: f64,
+        burst_factor: f64,
+        horizon: Micros,
+    ) -> Self {
+        assert!(period.0 > 0, "burst period must be positive");
+        assert!((0.0..=1.0).contains(&duty), "duty cycle must be in [0, 1]");
+        assert!(burst_factor >= 1.0, "burst factor is relative to the base");
+        let base = self.service;
+        let burst = ServiceModel {
+            base: base.base.mul_f64(burst_factor).max(Micros(1)),
+            noise_sigma: base.noise_sigma,
+        };
+        let burst_len = (period.0 as f64 * duty) as u64;
+        let mut t = 0u64;
+        while t < horizon.0 {
+            if burst_len > 0 {
+                self = self.with_load_step(vtime::SimTime(t), burst);
+            }
+            if burst_len < period.0 {
+                self = self.with_load_step(vtime::SimTime(t + burst_len), base);
+            }
+            t += period.0;
+        }
+        self
+    }
+
     /// The service model in effect at time `now`.
     #[must_use]
     pub fn service_at(&self, now: vtime::SimTime) -> ServiceModel {
@@ -166,6 +238,54 @@ mod tests {
     #[test]
     fn fifo_is_a_driver() {
         assert!(InputPolicy::FifoNext.is_driver());
+    }
+
+    #[test]
+    fn diurnal_load_peaks_mid_period_and_repeats() {
+        use vtime::SimTime;
+        let period = Micros::from_secs(10);
+        let spec = TaskSpec::new(ServiceModel::fixed(Micros(1000))).with_diurnal_load(
+            period,
+            3.0,
+            20,
+            Micros::from_secs(30),
+        );
+        // Period boundary: back at the base.
+        assert_eq!(spec.service_at(SimTime(0)).base, Micros(1000));
+        // Mid-period: at (or within one discretization step of) the peak.
+        let mid = spec.service_at(SimTime(period.0 / 2)).base;
+        assert!(
+            mid.0 > 2900 && mid.0 <= 3000,
+            "mid-period service {mid:?} should be ~3× base"
+        );
+        // Second period repeats the first.
+        assert_eq!(
+            spec.service_at(SimTime(period.0 + period.0 / 2)).base,
+            mid,
+            "profile must be periodic"
+        );
+        // Quarter-period sits strictly between base and peak.
+        let quarter = spec.service_at(SimTime(period.0 / 4)).base;
+        assert!(quarter > Micros(1000) && quarter < mid);
+    }
+
+    #[test]
+    fn bursty_load_toggles_between_base_and_burst() {
+        use vtime::SimTime;
+        let period = Micros::from_secs(1);
+        let spec = TaskSpec::new(ServiceModel::fixed(Micros(500))).with_bursty_load(
+            period,
+            0.25,
+            4.0,
+            Micros::from_secs(3),
+        );
+        // First quarter of each period bursts; the rest is the base.
+        assert_eq!(spec.service_at(SimTime(0)).base, Micros(2000));
+        assert_eq!(spec.service_at(SimTime(100_000)).base, Micros(2000));
+        assert_eq!(spec.service_at(SimTime(250_000)).base, Micros(500));
+        assert_eq!(spec.service_at(SimTime(999_999)).base, Micros(500));
+        assert_eq!(spec.service_at(SimTime(1_000_000)).base, Micros(2000));
+        assert_eq!(spec.service_at(SimTime(1_300_000)).base, Micros(500));
     }
 
     #[test]

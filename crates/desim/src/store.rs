@@ -1,0 +1,387 @@
+//! Hybrid item store for simulated channels: a dense timestamp ring with
+//! BTreeMap spill — the `stampede::store` pattern under the virtual clock.
+//!
+//! Simulated sources issue timestamps `0, 1, 2, …`, so a channel's content
+//! is almost always a dense in-order run with short gaps where frames were
+//! skipped — exactly the workload where a `BTreeMap` wastes O(log n)
+//! pointer chasing per put/get/purge on the *simulated* hot path. The scale
+//! sweeps put thousands of channels through millions of operations per run,
+//! so the simulator gets the same hybrid the real runtime got in PR 4:
+//!
+//! * **ring** — `VecDeque<Option<SimItem>>`, slot `i` holding timestamp
+//!   `base + i`; O(1) append, O(1) lookup, O(1) newest, front-pop purge.
+//!   Gaps of at most `MAX_RING_GAP` missing timestamps become `None`
+//!   holes.
+//! * **spill** — a `BTreeMap` for what the ring cannot hold cheaply:
+//!   below-base arrivals and over-large jumps.
+//!
+//! Invariants (same four as `stampede::store`, pinned by the spill-boundary
+//! tests and the model proptest below): (1) a timestamp inside the ring
+//! span is never also in the spill; (2) the ring's front and back slots are
+//! occupied; (3) bridging a gap migrates trapped spill entries into the new
+//! span; (4) `drain_below(b)` leaves nothing `< b` on either side.
+
+use crate::schannel::SimItem;
+use std::collections::{BTreeMap, VecDeque};
+use vtime::Timestamp;
+
+/// Largest run of missing timestamps the ring bridges with holes; a larger
+/// jump (a long skip run under heavy pacing) spills instead.
+pub(crate) const MAX_RING_GAP: u64 = 32;
+
+/// Timestamp-indexed item store backing [`crate::schannel::SimChannel`].
+#[derive(Debug, Clone, Default)]
+pub struct SimStore {
+    /// Timestamp of `ring[0]`; meaningful only while the ring is non-empty.
+    base: u64,
+    ring: VecDeque<Option<SimItem>>,
+    /// Occupied (`Some`) ring slots.
+    occupied: usize,
+    spill: BTreeMap<Timestamp, SimItem>,
+}
+
+impl SimStore {
+    #[must_use]
+    pub fn new() -> Self {
+        SimStore::default()
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.occupied + self.spill.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Timestamp of the last ring slot (callers check `!ring.is_empty()`).
+    fn back_ts(&self) -> u64 {
+        self.base + self.ring.len() as u64 - 1
+    }
+
+    fn in_ring_span(&self, ts: u64) -> bool {
+        !self.ring.is_empty() && ts >= self.base && ts <= self.back_ts()
+    }
+
+    #[must_use]
+    pub fn get(&self, ts: Timestamp) -> Option<SimItem> {
+        if self.in_ring_span(ts.0) {
+            self.ring[(ts.0 - self.base) as usize]
+        } else {
+            self.spill.get(&ts).copied()
+        }
+    }
+
+    /// Insert, returning the displaced item when `ts` was already present.
+    pub fn insert(&mut self, ts: Timestamp, item: SimItem) -> Option<SimItem> {
+        let t = ts.0;
+        if self.ring.is_empty() {
+            // Anchor a fresh dense run here; the same timestamp may still
+            // sit in the spill from before the last purge emptied the ring.
+            let old = self.spill.remove(&ts);
+            self.base = t;
+            self.ring.push_back(Some(item));
+            self.occupied = 1;
+            return old;
+        }
+        if t >= self.base {
+            let back = self.back_ts();
+            if t <= back {
+                let slot = &mut self.ring[(t - self.base) as usize];
+                let old = slot.replace(item);
+                if old.is_none() {
+                    self.occupied += 1;
+                }
+                return old;
+            }
+            if t - back <= MAX_RING_GAP + 1 {
+                // Dense append or a bridgeable gap: grow the ring, pulling
+                // in any out-of-order spill entries the new span swallows.
+                for _ in back + 1..t {
+                    self.ring.push_back(None);
+                }
+                if t > back + 1 && !self.spill.is_empty() {
+                    let trapped: Vec<Timestamp> = self
+                        .spill
+                        .range(Timestamp(back + 1)..ts)
+                        .map(|(&k, _)| k)
+                        .collect();
+                    for k in trapped {
+                        let v = self.spill.remove(&k).expect("key just seen");
+                        self.ring[(k.0 - self.base) as usize] = Some(v);
+                        self.occupied += 1;
+                    }
+                }
+                let old = self.spill.remove(&ts);
+                self.ring.push_back(Some(item));
+                self.occupied += 1;
+                return old;
+            }
+        }
+        self.spill.insert(ts, item)
+    }
+
+    /// The newest item (greatest timestamp) — O(1) in the dense case.
+    #[must_use]
+    pub fn latest(&self) -> Option<(Timestamp, SimItem)> {
+        let ring_back = self
+            .ring
+            .back()
+            .and_then(|s| s.map(|v| (Timestamp(self.back_ts()), v)));
+        let spill_back = self.spill.iter().next_back().map(|(&k, &v)| (k, v));
+        match (ring_back, spill_back) {
+            (Some(r), Some(s)) => Some(if r.0 >= s.0 { r } else { s }),
+            (r, s) => r.or(s),
+        }
+    }
+
+    /// The newest item with timestamp `<= ts`.
+    #[must_use]
+    pub fn latest_at_or_before(&self, ts: Timestamp) -> Option<(Timestamp, SimItem)> {
+        let t = ts.0;
+        let ring_hit = if !self.ring.is_empty() && t >= self.base {
+            let start = (t.min(self.back_ts()) - self.base) as usize;
+            (0..=start)
+                .rev()
+                .find_map(|i| self.ring[i].map(|v| (Timestamp(self.base + i as u64), v)))
+        } else {
+            None
+        };
+        let spill_hit = self.spill.range(..=ts).next_back().map(|(&k, &v)| (k, v));
+        match (ring_hit, spill_hit) {
+            (Some(r), Some(s)) => Some(if r.0 >= s.0 { r } else { s }),
+            (r, s) => r.or(s),
+        }
+    }
+
+    /// Remove every item with `ts < bound`, handing each to `f`. Front
+    /// pops on the ring, one `split_off` on the spill.
+    pub fn purge_before(&mut self, bound: Timestamp, mut f: impl FnMut(SimItem)) {
+        let b = bound.0;
+        while !self.ring.is_empty() && self.base < b {
+            if let Some(Some(item)) = self.ring.pop_front() {
+                self.occupied -= 1;
+                f(item);
+            }
+            self.base += 1;
+        }
+        self.trim();
+        if self.spill.first_key_value().is_some_and(|(&k, _)| k < bound) {
+            let keep = self.spill.split_off(&bound);
+            for (_ts, item) in std::mem::replace(&mut self.spill, keep) {
+                f(item);
+            }
+        }
+    }
+
+    /// Restore the front/back-occupied invariant after removals.
+    fn trim(&mut self) {
+        if self.occupied == 0 {
+            self.ring.clear();
+            return;
+        }
+        while matches!(self.ring.front(), Some(None)) {
+            self.ring.pop_front();
+            self.base += 1;
+        }
+        while matches!(self.ring.back(), Some(None)) {
+            self.ring.pop_back();
+        }
+    }
+
+    /// (ring-resident, spill-resident) item counts — observability for the
+    /// spill-boundary tests.
+    #[must_use]
+    pub fn depths(&self) -> (usize, usize) {
+        (self.occupied, self.spill.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aru_metrics::ItemId;
+    use proptest::prelude::*;
+
+    fn item(id: u64, bytes: u64) -> SimItem {
+        SimItem {
+            id: ItemId(id),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn dense_stream_stays_in_ring() {
+        let mut s = SimStore::new();
+        for t in 0..100u64 {
+            assert!(s.insert(Timestamp(t), item(t, 1)).is_none());
+        }
+        assert_eq!(s.depths(), (100, 0));
+        assert_eq!(s.latest().unwrap().0, Timestamp(99));
+        assert_eq!(s.get(Timestamp(42)).unwrap().id, ItemId(42));
+        let mut purged = 0;
+        s.purge_before(Timestamp(90), |_| purged += 1);
+        assert_eq!(purged, 90);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.depths(), (10, 0));
+    }
+
+    #[test]
+    fn small_gap_becomes_hole_large_gap_spills() {
+        let mut s = SimStore::new();
+        s.insert(Timestamp(0), item(0, 1));
+        s.insert(Timestamp(3), item(3, 1)); // gap of 2: bridged
+        assert_eq!(s.depths(), (2, 0));
+        assert!(s.get(Timestamp(1)).is_none());
+        s.insert(Timestamp(500), item(500, 1)); // far jump: spills
+        assert_eq!(s.depths(), (2, 1));
+        assert_eq!(s.latest().unwrap().0, Timestamp(500));
+    }
+
+    /// The bridging condition is `t - back <= MAX_RING_GAP + 1`: a jump to
+    /// `back + MAX_RING_GAP + 1` leaves exactly `MAX_RING_GAP` missing
+    /// timestamps, the largest hole run the ring accepts. Pin both sides.
+    #[test]
+    fn gap_of_exactly_max_ring_gap_bridges() {
+        let mut s = SimStore::new();
+        s.insert(Timestamp(0), item(0, 1));
+        let t = MAX_RING_GAP + 1;
+        assert!(s.insert(Timestamp(t), item(t, 1)).is_none());
+        assert_eq!(s.depths(), (2, 0), "boundary gap must stay in the ring");
+        assert_eq!(s.get(Timestamp(t)).unwrap().id, ItemId(t));
+        for hole in 1..t {
+            assert!(s.get(Timestamp(hole)).is_none());
+        }
+        assert_eq!(s.latest().unwrap().0, Timestamp(t));
+    }
+
+    #[test]
+    fn gap_one_past_max_ring_gap_spills() {
+        let mut s = SimStore::new();
+        s.insert(Timestamp(0), item(0, 1));
+        let t = MAX_RING_GAP + 2;
+        assert!(s.insert(Timestamp(t), item(t, 1)).is_none());
+        assert_eq!(s.depths(), (1, 1), "past-boundary gap must spill");
+        assert_eq!(s.get(Timestamp(t)).unwrap().id, ItemId(t));
+        assert_eq!(s.latest().unwrap().0, Timestamp(t));
+    }
+
+    #[test]
+    fn boundary_bridge_migrates_trapped_spill_entry() {
+        let mut s = SimStore::new();
+        s.insert(Timestamp(0), item(0, 1));
+        // Far jump spills (gap 39 > MAX_RING_GAP).
+        s.insert(Timestamp(40), item(40, 1));
+        assert_eq!(s.depths(), (1, 1));
+        // Bridgeable jump: back becomes 20.
+        s.insert(Timestamp(20), item(20, 1));
+        assert_eq!(s.depths(), (2, 1));
+        // Exactly-boundary jump swallows the spilled 40 into the new span.
+        let t = 20 + MAX_RING_GAP + 1;
+        assert!(s.insert(Timestamp(t), item(t, 1)).is_none());
+        assert_eq!(s.depths(), (4, 0), "trapped spill entry must migrate");
+        assert_eq!(s.get(Timestamp(40)).unwrap().id, ItemId(40));
+        assert_eq!(s.latest().unwrap().0, Timestamp(t));
+    }
+
+    #[test]
+    fn reanchor_after_purge_displaces_spilled_duplicate() {
+        let mut s = SimStore::new();
+        s.insert(Timestamp(10), item(10, 1));
+        s.insert(Timestamp(60), item(60, 1)); // far jump: spills
+        assert_eq!(s.depths(), (1, 1));
+        // Purge empties the ring but leaves the spilled 60; re-anchoring
+        // on the spilled timestamp must displace, not duplicate.
+        s.purge_before(Timestamp(11), |_| {});
+        assert_eq!(s.depths(), (0, 1));
+        let old = s.insert(Timestamp(60), item(99, 1));
+        assert_eq!(old.unwrap().id, ItemId(60));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.depths(), (1, 0));
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Insert(u64),
+        PurgeBefore(u64),
+        GetLatest,
+        AtOrBefore(u64),
+        Get(u64),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        (0u64..7, 0u64..200).prop_map(|(k, ts)| match k {
+            0..=2 => Op::Insert(ts), // bias toward inserts
+            3 => Op::PurgeBefore(ts),
+            4 => Op::GetLatest,
+            5 => Op::AtOrBefore(ts),
+            _ => Op::Get(ts),
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        // Mixed in-order / out-of-order / purge interleavings must be
+        // observably identical to the BTreeMap the store replaced. Half
+        // the inserts are rewritten into dense appends so the ring path is
+        // genuinely exercised.
+        fn sim_store_equals_btreemap_model(
+            ops in prop::collection::vec(op_strategy(), 1..120),
+            dense_bias in prop::collection::vec(0u8..2, 1..120),
+        ) {
+            let mut store = SimStore::new();
+            let mut model: BTreeMap<Timestamp, SimItem> = BTreeMap::new();
+            let mut next_id = 0u64;
+            let mut next_dense = 0u64;
+            for (i, op) in ops.iter().enumerate() {
+                let op = match (op, dense_bias.get(i).copied().unwrap_or(0)) {
+                    (Op::Insert(_), 1) => {
+                        next_dense += 1;
+                        Op::Insert(next_dense)
+                    }
+                    (o, _) => *o,
+                };
+                match op {
+                    Op::Insert(t) => {
+                        let ts = Timestamp(t);
+                        let it = item(next_id, t + 1);
+                        next_id += 1;
+                        prop_assert_eq!(store.insert(ts, it), model.insert(ts, it));
+                    }
+                    Op::PurgeBefore(t) => {
+                        let bound = Timestamp(t);
+                        let mut got: Vec<u64> = Vec::new();
+                        store.purge_before(bound, |it| got.push(it.id.0));
+                        got.sort_unstable();
+                        let keep = model.split_off(&bound);
+                        let mut want: Vec<u64> = std::mem::replace(&mut model, keep)
+                            .into_values()
+                            .map(|it| it.id.0)
+                            .collect();
+                        want.sort_unstable();
+                        prop_assert_eq!(got, want);
+                    }
+                    Op::GetLatest => {
+                        let a = store.latest();
+                        let b = model.iter().next_back().map(|(&ts, &it)| (ts, it));
+                        prop_assert_eq!(a, b);
+                    }
+                    Op::AtOrBefore(t) => {
+                        let ts = Timestamp(t);
+                        let a = store.latest_at_or_before(ts);
+                        let b = model.range(..=ts).next_back().map(|(&ts, &it)| (ts, it));
+                        prop_assert_eq!(a, b);
+                    }
+                    Op::Get(t) => {
+                        let ts = Timestamp(t);
+                        prop_assert_eq!(store.get(ts), model.get(&ts).copied());
+                    }
+                }
+                prop_assert_eq!(store.len(), model.len());
+                prop_assert_eq!(store.is_empty(), model.is_empty());
+            }
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! | [`fig10`] | Figure 10 — latency / throughput / jitter |
 //! | [`sweep`] | Sensitivity sweep: production ratio vs ARU benefit (extension) |
 //! | [`chaos`] | Fault injection: crash-recovery & feedback loss (extension) |
+//! | [`scale`] | Cluster-scale sweep: 10→1000 nodes on the calendar-queue engine (extension) |
 //! | [`tables`] | The paper's published numbers + shape checks |
 //!
 //! The binary `repro` drives everything:
@@ -24,6 +25,7 @@ pub mod fig10;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8_9;
+pub mod scale;
 pub mod stability;
 pub mod sweep;
 pub mod tables;

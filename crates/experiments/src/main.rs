@@ -17,7 +17,7 @@
 
 use experiments::config::ExpParams;
 use experiments::tables::render_checks;
-use experiments::{chaos, fig10, fig6, fig7, fig8_9, stability, sweep, watch};
+use experiments::{chaos, fig10, fig6, fig7, fig8_9, scale, stability, sweep, watch};
 use std::path::PathBuf;
 use tracker::TrackerConfigId;
 use vtime::Micros;
@@ -69,7 +69,7 @@ fn parse_args() -> Args {
             "--out" => out = PathBuf::from(it.next().expect("--out needs a value")),
             "--help" | "-h" => {
                 println!(
-                    "repro [--exp all|fig6|fig7|fig8|fig9|fig10|sweep|chaos|stability|threads|smoke] \
+                    "repro [--exp all|fig6|fig7|fig8|fig9|fig10|sweep|chaos|stability|scale|threads|smoke] \
                      [--watch] [--quick] [--smoke] [--duration-secs N] [--seeds N] [--out DIR]"
                 );
                 std::process::exit(0);
@@ -192,6 +192,22 @@ fn main() {
         };
         fig.export_jsonl(&sink)
             .expect("write stability telemetry jsonl");
+        all_checks.extend(fig.shape_checks());
+    }
+    if want("scale") {
+        let fig = scale::run(&args.params);
+        print!("{}", fig.render());
+        std::fs::write(args.out.join("scale_sweep.csv"), fig.to_csv())
+            .expect("write scale csv");
+        // Per-cell telemetry through the exporter serializers, next to the
+        // CSV. JSONL appends, so start fresh for this invocation.
+        let jsonl = args.out.join("scale_telemetry.jsonl");
+        std::fs::remove_file(&jsonl).ok();
+        let sink = aru_metrics::ExportSink {
+            prometheus_path: None,
+            jsonl_path: Some(jsonl),
+        };
+        fig.export_jsonl(&sink).expect("write scale telemetry jsonl");
         all_checks.extend(fig.shape_checks());
     }
     if args.exp == "threads" {
