@@ -17,7 +17,8 @@ use crate::schannel::{SimChannel, SimItem};
 use crate::spec::InputPolicy;
 use aru_core::{AruConfig, AruController, NodeId, NodeKind, RetryPolicy, Topology};
 use aru_gc::{ref_dead_before, ConsumerMarks, DgcEngine, DgcResult, GcMode};
-use aru_metrics::{Counter, Histogram, IterKey, Telemetry, Trace};
+use aru_metrics::journal::{law_code, FaultClass, HopLeg};
+use aru_metrics::{Counter, Histogram, IterKey, JournalKind, JournalShard, Telemetry, Trace};
 use std::collections::HashMap;
 use vtime::{Micros, SimTime, Timestamp};
 
@@ -119,6 +120,11 @@ struct TaskState {
     /// When the current crash happened (sim time) — taken by the restart
     /// handler to measure crash→restart recovery latency.
     crashed_at: Option<SimTime>,
+    /// Staleness edge tracker for the flight-recorder journal (enter/leave
+    /// transitions, not per-iteration area).
+    was_stale: bool,
+    /// Change gate for the journal's Fold hop records.
+    last_fold: Option<Micros>,
 }
 
 /// Fault-injection telemetry: how many faults took effect (by kind), how
@@ -134,10 +140,16 @@ struct SimTele {
     faults_link_spike: Counter,
     restarts: Counter,
     recovery_latency_us: Histogram,
+    /// Flight-recorder journal shard: the sim is single-threaded, so one
+    /// shard serves every record site (same schema as the threaded runtime
+    /// — DESIGN.md §16 — making sim and live journals directly comparable).
+    journal: JournalShard,
+    /// Encoded control-law label, stamped into Pace records.
+    law: u8,
 }
 
 impl SimTele {
-    fn new() -> Self {
+    fn new(law: u8) -> Self {
         let bundle = Telemetry::new();
         let reg = &bundle.registry;
         let fault = |kind: &str| reg.counter("aru_faults_injected_total", &[("kind", kind)]);
@@ -148,6 +160,8 @@ impl SimTele {
             faults_link_spike: fault("link_spike"),
             restarts: reg.counter("aru_restarts_total", &[]),
             recovery_latency_us: reg.histogram("aru_recovery_latency_us", &[]),
+            journal: bundle.journal.shard(),
+            law,
             bundle,
         }
     }
@@ -317,6 +331,8 @@ impl Sim {
                     dead: false,
                     pending_stall: Micros::ZERO,
                     crashed_at: None,
+                    was_stale: false,
+                    last_fold: None,
                 }
             })
             .collect();
@@ -336,7 +352,7 @@ impl Sim {
             dgc_engine,
             dgc_result: DgcResult::default(),
             trace: Trace::new(),
-            tele: SimTele::new(),
+            tele: SimTele::new(law_code(config.aru.control.label())),
             now: SimTime::ZERO,
             cap: capture.then(Vec::new),
             topo,
@@ -364,12 +380,35 @@ impl Sim {
         for (at, i) in fault_events {
             sim.schedule(at, EvKind::Fault(i));
         }
-        // Window faults never fire as events, so they are counted here;
-        // point faults are counted when their event actually takes effect.
+        // Window faults never fire as events, so they are counted (and
+        // journaled, stamped at window start) here; point faults are
+        // counted when their event actually takes effect.
         for f in &sim.config.faults.faults {
+            let t0 = SimTime::ZERO + f.starts_at();
             match f {
-                Fault::DropSummaries { .. } => sim.tele.faults_drop_summaries.inc(),
-                Fault::LinkSpike { .. } => sim.tele.faults_link_spike.inc(),
+                Fault::DropSummaries { task, .. } => {
+                    sim.tele.faults_drop_summaries.inc();
+                    if let Some(ti) = sim.task_by_name(task) {
+                        sim.tele.journal.record(
+                            t0,
+                            sim.tasks[ti].decl.graph_node,
+                            JournalKind::Fault {
+                                class: FaultClass::DropSummaries,
+                            },
+                        );
+                    }
+                }
+                Fault::LinkSpike { .. } => {
+                    sim.tele.faults_link_spike.inc();
+                    // A link spike is global, not tied to a task node.
+                    sim.tele.journal.record(
+                        t0,
+                        NodeId(u32::MAX),
+                        JournalKind::Fault {
+                            class: FaultClass::LinkSpike,
+                        },
+                    );
+                }
                 Fault::Crash { .. } | Fault::Stall { .. } => {}
             }
         }
@@ -708,7 +747,25 @@ impl Sim {
                 if let Some(s) = self.chans[o.chan.0].aru.summary() {
                     if drop_fb {
                         self.trace.summary_dropped(now, task_graph_node);
+                        self.tele
+                            .journal
+                            .record(now, task_graph_node, JournalKind::SummaryDropped);
                     } else {
+                        // Change-gated Fold hop, mirroring the threaded
+                        // runtime's `TaskTele::on_fold`.
+                        let value = s.period();
+                        if self.tasks[t.0].last_fold != Some(value) {
+                            self.tasks[t.0].last_fold = Some(value);
+                            self.tele.journal.record(
+                                now,
+                                task_graph_node,
+                                JournalKind::Hop {
+                                    leg: HopLeg::Fold,
+                                    peer: graph_node,
+                                    value,
+                                },
+                            );
+                        }
                         self.tasks[t.0].controller.receive_feedback_at(
                             o.thread_out_index,
                             s,
@@ -729,6 +786,18 @@ impl Sim {
         if outcome.stale {
             self.trace.stale_summary(now, key);
         }
+        // Journal the staleness *transitions* (edges, not area — same
+        // discipline as the threaded `TaskTele`).
+        if outcome.stale != self.tasks[t.0].was_stale {
+            self.tasks[t.0].was_stale = outcome.stale;
+            self.tele.journal.record(
+                now,
+                key.node,
+                JournalKind::Stale {
+                    entered: outcome.stale,
+                },
+            );
+        }
         if outcome.law_fired {
             if let (Some(raw), Some(target)) = (outcome.raw_target, outcome.pace_target) {
                 self.trace.pace_decision(
@@ -737,6 +806,17 @@ impl Sim {
                     raw.period(),
                     target.period(),
                     outcome.clamped,
+                );
+                self.tele.journal.record(
+                    now,
+                    key.node,
+                    JournalKind::Pace {
+                        law: self.tele.law,
+                        raw: raw.period(),
+                        target: target.period(),
+                        sleep: outcome.sleep,
+                        clamped: outcome.clamped,
+                    },
                 );
             }
         }
@@ -798,17 +878,39 @@ impl Sim {
                 t.crashed_at = Some(now);
                 self.tele.faults_crash.inc();
                 self.trace.task_crash(now, graph, attempt);
+                self.tele.journal.record(
+                    now,
+                    graph,
+                    JournalKind::Fault {
+                        class: FaultClass::Crash,
+                    },
+                );
+                self.tele
+                    .journal
+                    .record(now, graph, JournalKind::Crash { attempt });
                 if self.config.retry.allows(attempt) {
                     let backoff = self.config.retry.delay(attempt);
                     self.schedule(now + backoff, EvKind::Restart(TaskId(ti)));
                 } else {
                     self.tasks[ti].dead = true;
+                    // The sim's escalation: no restart budget left, the
+                    // task never runs again.
+                    self.tele
+                        .journal
+                        .record(now, graph, JournalKind::Escalate { attempt });
                 }
             }
             Fault::Stall { task, extra, .. } => {
                 if let Some(ti) = self.task_by_name(&task) {
                     self.tasks[ti].pending_stall += extra;
                     self.tele.faults_stall.inc();
+                    self.tele.journal.record(
+                        self.now,
+                        self.tasks[ti].decl.graph_node,
+                        JournalKind::Fault {
+                            class: FaultClass::Stall,
+                        },
+                    );
                 }
             }
             Fault::DropSummaries { .. } | Fault::LinkSpike { .. } => {
@@ -841,6 +943,9 @@ impl Sim {
                 .record(now.since(crashed).as_micros());
         }
         self.trace.task_restart(now, graph, attempt, backoff);
+        self.tele
+            .journal
+            .record(now, graph, JournalKind::Restart { attempt, backoff });
         let gen = self.tasks[t.0].generation;
         self.schedule(now, EvKind::Wake(t, gen));
     }

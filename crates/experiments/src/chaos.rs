@@ -265,6 +265,22 @@ impl Chaos {
         Ok(())
     }
 
+    /// Persist each scenario's flight-recorder journal (DESIGN.md §16)
+    /// next to the CSVs, for `repro doctor` and CI's doctor-smoke lane.
+    pub fn write_journals(&self, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        let crash = dir.join("chaos_crash.journal.jsonl");
+        self.crash
+            .telemetry
+            .journal
+            .write_snapshot_file(&crash, "sim", self.crash.epoch_unix_us)?;
+        let loss = dir.join("chaos_loss.journal.jsonl");
+        self.loss
+            .telemetry
+            .journal
+            .write_snapshot_file(&loss, "sim", self.loss.epoch_unix_us)?;
+        Ok(vec![crash, loss])
+    }
+
     /// The qualitative invariants this experiment must uphold.
     #[must_use]
     pub fn shape_checks(&self) -> Vec<ShapeCheck> {
@@ -333,6 +349,26 @@ mod tests {
         assert!(text.contains("\"aru_faults_injected_total{kind=\\\"drop_summaries\\\"}\":1"));
         assert!(text.contains("\"aru_restarts_total\":1"));
         assert!(text.contains("\"kind\":\"fault_report\""));
+
+        // The journal + doctor path: the injected mid-run crash must be
+        // visible in the persisted journal, and the doctor must name it
+        // with its recovery latency (the PR's acceptance scenario).
+        let paths = chaos.write_journals(&dir).unwrap();
+        assert_eq!(paths.len(), 2);
+        let crash_j = aru_metrics::load_journal(&paths[0]).unwrap();
+        assert_eq!(crash_j.source, "sim");
+        let d = crate::doctor::diagnose(&crash_j);
+        assert!(d.has("crash"), "doctor findings: {:?}", d.findings);
+        assert!(d.has("fault_injection"), "doctor findings: {:?}", d.findings);
+        let crash_finding = d.findings.iter().find(|f| f.code == "crash").unwrap();
+        assert!(
+            crash_finding.message.contains("recovered"),
+            "recovery latency surfaced: {}",
+            crash_finding.message
+        );
+        let loss_j = aru_metrics::load_journal(&paths[1]).unwrap();
+        let d = crate::doctor::diagnose(&loss_j);
+        assert!(d.has("feedback_loss"), "doctor findings: {:?}", d.findings);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -10,6 +10,7 @@
 //! | [`sweep`] | Sensitivity sweep: production ratio vs ARU benefit (extension) |
 //! | [`chaos`] | Fault injection: crash-recovery & feedback loss (extension) |
 //! | [`scale`] | Cluster-scale sweep: 10→1000 nodes on the calendar-queue engine (extension) |
+//! | [`doctor`] | `repro doctor` — postmortem analysis of flight-recorder journals (extension) |
 //! | [`tables`] | The paper's published numbers + shape checks |
 //!
 //! The binary `repro` drives everything:
@@ -20,6 +21,7 @@
 
 pub mod chaos;
 pub mod config;
+pub mod doctor;
 pub mod driver;
 pub mod fig10;
 pub mod fig6;

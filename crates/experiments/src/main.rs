@@ -17,7 +17,7 @@
 
 use experiments::config::ExpParams;
 use experiments::tables::render_checks;
-use experiments::{chaos, fig10, fig6, fig7, fig8_9, scale, stability, sweep, watch};
+use experiments::{chaos, doctor, fig10, fig6, fig7, fig8_9, scale, stability, sweep, watch};
 use std::path::PathBuf;
 use tracker::TrackerConfigId;
 use vtime::Micros;
@@ -70,7 +70,9 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "repro [--exp all|fig6|fig7|fig8|fig9|fig10|sweep|chaos|stability|scale|threads|smoke] \
-                     [--watch] [--quick] [--smoke] [--duration-secs N] [--seeds N] [--out DIR]"
+                     [--watch] [--quick] [--smoke] [--duration-secs N] [--seeds N] [--out DIR]\n\
+                     repro doctor <journal.jsonl> [--baseline J] [--expect codes] [--forbid codes] \
+                     [--json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -90,6 +92,13 @@ fn parse_args() -> Args {
 }
 
 fn main() {
+    // `repro doctor <journal> ...` — postmortem analysis of a persisted
+    // flight-recorder journal; its flag grammar is its own (see doctor.rs).
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("doctor") {
+        std::process::exit(doctor::run_cli(&argv[1..]));
+    }
+
     let args = parse_args();
     std::fs::create_dir_all(&args.out).expect("create output dir");
 
@@ -175,6 +184,10 @@ fn main() {
             jsonl_path: Some(jsonl),
         };
         fig.export_jsonl(&sink).expect("write chaos telemetry jsonl");
+        // Flight-recorder journals for `repro doctor` (one per scenario).
+        for p in fig.write_journals(&args.out).expect("write chaos journals") {
+            println!("chaos journal written to {}", p.display());
+        }
         all_checks.extend(fig.shape_checks());
     }
     if want("stability") {
@@ -192,6 +205,11 @@ fn main() {
         };
         fig.export_jsonl(&sink)
             .expect("write stability telemetry jsonl");
+        // Per-cell flight-recorder journals for `repro doctor`.
+        let journals = fig
+            .write_journals(&args.out)
+            .expect("write stability journals");
+        println!("{} stability journals written to {}", journals.len(), args.out.display());
         all_checks.extend(fig.shape_checks());
     }
     if want("scale") {

@@ -45,6 +45,9 @@ pub struct StabilityCell {
     pub decisions: usize,
     /// Decisions that clamped (differed from) the raw oracle target.
     pub clamped: usize,
+    /// The cell's run telemetry — carries the flight-recorder journal
+    /// (DESIGN.md §16) that `repro doctor` analyses.
+    pub telemetry: aru_metrics::Telemetry,
 }
 
 /// The full matrix.
@@ -123,6 +126,7 @@ fn run_chaos_cell(law: &'static str, control: ControllerConfig, seed: u64, dur: 
         report,
         decisions,
         clamped,
+        telemetry: r.telemetry,
     }
 }
 
@@ -162,6 +166,7 @@ fn run_volatile_cell(
         report,
         decisions,
         clamped,
+        telemetry: r.telemetry,
     }
 }
 
@@ -284,6 +289,22 @@ impl Stability {
         sink.append_jsonl(&jsonl_line(&reg.snapshot(), self.epoch_unix_us, now))
     }
 
+    /// Persist each cell's flight-recorder journal (DESIGN.md §16) as
+    /// `stability_<law>_<scenario>.journal.jsonl`, for `repro doctor` and
+    /// CI's doctor-smoke lane (Direct must oscillate under the volatile
+    /// link; Hysteresis must stay clean).
+    pub fn write_journals(&self, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        let mut paths = Vec::new();
+        for c in &self.cells {
+            let path = dir.join(format!("stability_{}_{}.journal.jsonl", c.law, c.scenario));
+            c.telemetry
+                .journal
+                .write_snapshot_file(&path, "sim", self.epoch_unix_us)?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+
     /// The qualitative invariants this experiment must uphold.
     #[must_use]
     pub fn shape_checks(&self) -> Vec<ShapeCheck> {
@@ -361,6 +382,28 @@ mod tests {
         assert_eq!(text.lines().count(), 2, "marker + one snapshot line");
         assert!(text.contains("aru_stability_reversals"));
         assert!(text.contains("law=\\\"hysteresis\\\""));
+
+        // Doctor acceptance: from the persisted journals alone, the
+        // Direct volatile-link cell must be diagnosed as oscillating and
+        // the Hysteresis cell must come back clean.
+        let paths = fig.write_journals(&dir).unwrap();
+        assert_eq!(paths.len(), 8);
+        let find = |law: &str| {
+            let p = dir.join(format!("stability_{law}_volatile_link.journal.jsonl"));
+            crate::doctor::diagnose(&aru_metrics::load_journal(&p).unwrap())
+        };
+        let direct = find("direct");
+        assert!(
+            direct.has("oscillation"),
+            "direct volatile cell flagged: {:?}",
+            direct.findings
+        );
+        let hyst = find("hysteresis");
+        assert!(
+            !hyst.has("oscillation"),
+            "hysteresis volatile cell clean: {:?}",
+            hyst.findings
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

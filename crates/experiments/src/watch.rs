@@ -105,7 +105,9 @@ fn tracker_params(out: &Path) -> ThreadedTrackerParams {
     if let Some(p) = &sink.jsonl_path {
         std::fs::remove_file(p).ok();
     }
-    ThreadedTrackerParams::new(AruConfig::aru_min()).with_export(sink, EXPORT_INTERVAL)
+    ThreadedTrackerParams::new(AruConfig::aru_min())
+        .with_export(sink, EXPORT_INTERVAL)
+        .with_journal(out.join("watch.journal.jsonl"))
 }
 
 /// `repro --watch`: run the threaded tracker for `duration` of wall time
@@ -142,6 +144,13 @@ pub fn run_watch(duration: Micros, out: &Path) {
         report.outputs(),
         out.display()
     );
+    // The clean-stop journal snapshot was just cut; close with the
+    // doctor's postmortem of the run we watched live.
+    let journal = out.join("watch.journal.jsonl");
+    match aru_metrics::load_journal(&journal) {
+        Ok(j) => print!("\n{}", crate::doctor::render(&crate::doctor::diagnose(&j))),
+        Err(e) => eprintln!("no journal postmortem ({}: {e})", journal.display()),
+    }
 }
 
 fn series_value(prom_text: &str, series: &str, thread: &str) -> Option<f64> {
@@ -221,6 +230,23 @@ pub fn run_smoke(out: &Path) -> Vec<String> {
     }
     if !jsonl.lines().all(|l| l.starts_with('{') && l.ends_with('}')) {
         failures.push("JSONL artifact has a malformed line".into());
+    }
+    // Clean stop must leave a loadable flight-recorder journal with the
+    // feedback chain on record (the threaded runtime journals through the
+    // same schema the sim uses).
+    match aru_metrics::load_journal(&out.join("watch.journal.jsonl")) {
+        Ok(j) => {
+            if j.source != "threaded" {
+                failures.push(format!("journal source '{}', expected 'threaded'", j.source));
+            }
+            if j.snapshot.records.is_empty() {
+                failures.push("journal snapshot has no records".into());
+            }
+            if j.skipped > 0 {
+                failures.push(format!("journal has {} unparseable line(s)", j.skipped));
+            }
+        }
+        Err(e) => failures.push(format!("journal missing or unloadable: {e}")),
     }
     println!(
         "exporter smoke: {} prom lines, {} jsonl snapshots, {} failure(s)",

@@ -88,6 +88,22 @@ pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
             && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
             && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
     }
+    // Inside the quotes only `\\`, `\"` and `\n` are legal escapes, and a
+    // bare `"` (which the serializer would have escaped) is malformed —
+    // an adversarial task name that leaked through unescaped shows up as
+    // exactly these shapes.
+    fn valid_label_value(quoted: &str) -> bool {
+        let inner = &quoted[1..quoted.len() - 1];
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' if !matches!(chars.next(), Some('\\' | '"' | 'n')) => return false,
+                '"' => return false,
+                _ => {}
+            }
+        }
+        true
+    }
     for (no, line) in text.lines().enumerate() {
         let err = |msg: &str| Err(format!("line {}: {msg}: {line:?}", no + 1));
         if line.is_empty() {
@@ -125,6 +141,9 @@ pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
                     }
                     if !(v.len() >= 2 && v.starts_with('"') && v.ends_with('"')) {
                         return err("unquoted label value");
+                    }
+                    if !valid_label_value(v) {
+                        return err("bad escaping in label value");
                     }
                 }
                 (&line[..b], &line[close + 1..])
@@ -334,6 +353,41 @@ mod tests {
             );
         }
         validate_prometheus_text("ok{a=\"b,c\",d=\"e\"} 1.5\nplain 2").unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_bad_label_escaping() {
+        for bad in [
+            // unescaped inner quote (a task named `a"b` leaked raw)
+            "name{x=\"a\"b\"} 1",
+            // illegal escape sequence
+            "name{x=\"a\\qb\"} 1",
+            // trailing backslash eats the closing quote
+            "name{x=\"a\\\"} 1",
+        ] {
+            assert!(
+                validate_prometheus_text(bad).is_err(),
+                "accepted bad escaping: {bad}"
+            );
+        }
+        // The legal escapes pass.
+        validate_prometheus_text("name{x=\"a\\\\b\\\"c\\nd\"} 1").unwrap();
+    }
+
+    #[test]
+    fn adversarial_task_names_round_trip_the_validator() {
+        // Label values with every character the exposition format must
+        // escape: the serializer (Series::fmt) escapes them, and the
+        // tightened validator accepts exactly that output.
+        let reg = Registry::new();
+        for name in ["quo\"te", "back\\slash", "new\nline", "all\\\"\n"] {
+            reg.counter("aru_iterations_total", &[("thread", name)]).inc();
+        }
+        let text = prometheus_text(&reg.snapshot(), 1, 2);
+        validate_prometheus_text(&text).expect("escaped output must validate");
+        assert!(text.contains("thread=\"quo\\\"te\""));
+        assert!(text.contains("thread=\"back\\\\slash\""));
+        assert!(text.contains("thread=\"new\\nline\""));
     }
 
     #[test]

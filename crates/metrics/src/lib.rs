@@ -44,6 +44,7 @@ pub mod export;
 pub mod fault;
 pub mod footprint;
 pub mod hist;
+pub mod journal;
 // The std-only JSON writer shared with the bench binaries; included by
 // path because `crates/bench` is excluded from the workspace (its criterion
 // dev-dependency is registry-only — see that file's module docs).
@@ -68,6 +69,10 @@ pub use export::ExportSink;
 pub use fault::{FaultReport, NodeFaults};
 pub use footprint::{FootprintReport, IGC_LABEL};
 pub use hist::{Hist, HistSnapshot};
+pub use journal::{
+    load_journal, FaultClass, HopLeg, Journal, JournalKind, JournalRecord, JournalShard,
+    JournalSnapshot, LoadedJournal,
+};
 pub use lineage::Lineage;
 pub use perf::PerfReport;
 pub use registry::{Counter, Gauge, Histogram, Registry, RegistrySnapshot, Series, Telemetry};

@@ -277,12 +277,14 @@ impl RegistrySnapshot {
     }
 }
 
-/// The live-telemetry bundle the runtimes carry: metrics registry plus the
-/// feedback-loop span recorder. Cloning shares both (they are handles).
+/// The live-telemetry bundle the runtimes carry: metrics registry, the
+/// feedback-loop span recorder, and the flight-recorder journal. Cloning
+/// shares all three (they are handles).
 #[derive(Clone, Debug, Default)]
 pub struct Telemetry {
     pub registry: Registry,
     pub spans: SpanRecorder,
+    pub journal: crate::journal::Journal,
 }
 
 impl Telemetry {

@@ -113,6 +113,7 @@ pub struct RuntimeBuilder {
     retry: RetryPolicy,
     op_timeout: Option<Micros>,
     export: Option<(ExportSink, Micros)>,
+    journal_path: Option<std::path::PathBuf>,
 }
 
 impl RuntimeBuilder {
@@ -135,6 +136,7 @@ impl RuntimeBuilder {
             retry: RetryPolicy::none(),
             op_timeout: None,
             export: None,
+            journal_path: None,
         }
     }
 
@@ -182,6 +184,16 @@ impl RuntimeBuilder {
     #[must_use]
     pub fn with_export(mut self, sink: ExportSink, interval: Micros) -> Self {
         self.export = Some((sink, interval));
+        self
+    }
+
+    /// Persist the flight-recorder journal (DESIGN.md §16) to `path` as
+    /// JSONL: a snapshot is cut on clean stop, and a crash dump is written
+    /// to the `<path>.crash.jsonl` sibling when a supervisor exhausts its
+    /// restart budget and escalates. Both writes are atomic (tmp + rename).
+    #[must_use]
+    pub fn with_journal(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.journal_path = Some(path.into());
         self
     }
 
@@ -442,6 +454,7 @@ impl RuntimeBuilder {
             self.retry,
             self.op_timeout,
             self.export,
+            self.journal_path,
         ))
     }
 }

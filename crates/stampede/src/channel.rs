@@ -1081,7 +1081,9 @@ pub(crate) trait BufferAdmin: Send + Sync {
     fn flush_trace(&self);
     /// Drain the buffer's telemetry accumulators into the shared metrics
     /// registry and refresh the occupancy gauges (exporter tick / stop).
-    fn publish_telemetry(&self);
+    /// `now` stamps the journal's occupancy records — passed in because
+    /// not every backend owns a clock (the lock-free ring does not).
+    fn publish_telemetry(&self, now: SimTime);
 }
 
 impl<T: ItemData> BufferAdmin for Channel<T> {
@@ -1106,11 +1108,11 @@ impl<T: ItemData> BufferAdmin for Channel<T> {
     fn flush_trace(&self) {
         self.state.lock().trace.flush();
     }
-    fn publish_telemetry(&self) {
+    fn publish_telemetry(&self, now: SimTime) {
         let mut st = self.state.lock();
         let len = st.items.len();
         let live = st.live_bytes;
-        st.tele.publish(len, live);
+        st.tele.publish(now, len, live);
     }
 }
 

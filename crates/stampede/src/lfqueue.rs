@@ -58,11 +58,15 @@ use crate::task::TaskCtx;
 use crate::tele::LfEndpointTele;
 use aru_core::{AruConfig, AruController, NodeId, NodeKind, Stp};
 use aru_gc::ConsumerMarks;
-use aru_metrics::{Gauge, IterKey, SharedTrace};
+use aru_metrics::journal::HopLeg;
+use aru_metrics::{
+    FeedbackHop, Gauge, HopKind, IterKey, Journal, JournalKind, JournalShard, SharedTrace,
+    SpanShard,
+};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
-use vtime::Timestamp;
+use vtime::{Micros, SimTime, Timestamp};
 
 /// Deposit/mark slots pre-allocated per queue, so consumer endpoints
 /// reach their slot without locking or resizing. `configure_consumers`
@@ -100,11 +104,18 @@ struct ConsumerSlot {
 }
 
 /// Control-plane state: reached only on summary change and by admin ops.
+/// The span/journal shards live here so the control mutex is the single
+/// writer they require — and recording stays off the lock-free hot path
+/// by construction (only summary *changes* reach this struct at all).
 struct LfControl {
     aru: AruController,
     /// Seqlock generation (word 0 of the summary cell), bumped per write.
     generation: u64,
     consumers: usize,
+    spans: SpanShard,
+    journal: JournalShard,
+    last_deposit_hop: Option<Micros>,
+    last_occ: Option<(u64, bool)>,
 }
 
 /// Bounded lock-free MPMC FIFO queue with out-of-band summary-STP.
@@ -132,6 +143,8 @@ pub struct LfQueue<T: ItemData> {
     trace: SharedTrace,
     occupancy_gauge: Gauge,
     live_bytes_gauge: Gauge,
+    /// Shared journal handle — read for the occupancy watermark config.
+    journal_cfg: Journal,
 }
 
 impl<T: ItemData> LfQueue<T> {
@@ -142,10 +155,14 @@ impl<T: ItemData> LfQueue<T> {
         capacity: usize,
         trace: SharedTrace,
     ) -> Self {
-        let r = &trace.telemetry().registry;
+        let tele = trace.telemetry();
+        let r = &tele.registry;
         let labels: &[(&str, &str)] = &[("channel", name.as_str()), ("kind", "lfqueue")];
         let occupancy_gauge = r.gauge("aru_channel_occupancy_items", labels);
         let live_bytes_gauge = r.gauge("aru_channel_live_bytes", labels);
+        let spans = tele.spans.shard();
+        let journal = tele.journal.shard();
+        let journal_cfg = tele.journal.clone();
         LfQueue {
             node,
             name,
@@ -164,6 +181,10 @@ impl<T: ItemData> LfQueue<T> {
                 aru: AruController::new(NodeKind::Queue, 0, false, config),
                 generation: 0,
                 consumers: 0,
+                spans,
+                journal,
+                last_deposit_hop: None,
+                last_occ: None,
             }),
             summary_cell: SeqCell::new(0, 0),
             slots: std::array::from_fn(|_| ConsumerSlot {
@@ -173,6 +194,7 @@ impl<T: ItemData> LfQueue<T> {
             trace,
             occupancy_gauge,
             live_bytes_gauge,
+            journal_cfg,
         }
     }
 
@@ -528,6 +550,33 @@ impl<T: ItemData> LfQueue<T> {
         c.generation += 1;
         // Seqlock writer invariant: we hold the control mutex.
         self.summary_cell.write(c.generation, encode_summary(folded));
+        // Feedback-lineage recording (same change gate as the fold we just
+        // did — we only get here when the deposited summary moved). This
+        // closes the LF path's observability gap: the deposit hop lands in
+        // the span ring and flight-recorder journal exactly as the mutex
+        // buffers' `BufTele::on_deposit` does.
+        let value = summary.period();
+        if c.last_deposit_hop != Some(value) {
+            c.last_deposit_hop = Some(value);
+            let t = ctx.now();
+            c.spans.record(FeedbackHop {
+                t,
+                kind: HopKind::Deposit,
+                node: self.node,
+                peer: ctx.node(),
+                value,
+                extra: Micros::ZERO,
+            });
+            c.journal.record(
+                t,
+                self.node,
+                JournalKind::Hop {
+                    leg: HopLeg::Deposit,
+                    peer: ctx.node(),
+                    value,
+                },
+            );
+        }
     }
 
     /// Park until a push completes (the epoch moves), close lands, or the
@@ -628,13 +677,32 @@ impl<T: ItemData> BufferAdmin for LfQueue<T> {
         // (documented tradeoff, module docs).
     }
 
-    fn publish_telemetry(&self) {
+    fn publish_telemetry(&self, now: SimTime) {
         // Counters live in per-endpoint registry shards and merge at
         // snapshot time; only the point-in-time gauges are refreshed
         // here, from lock-free state.
-        self.occupancy_gauge.set(self.ring.len() as f64);
+        let len = self.ring.len() as u64;
+        self.occupancy_gauge.set(len as f64);
         self.live_bytes_gauge
             .set(self.live_bytes.load(Ordering::SeqCst) as f64);
+        // Occupancy journal record on change / watermark crossing —
+        // exporter-tick cadence only, so locking the control mutex for
+        // its journal shard is off the hot path.
+        let watermark = self.journal_cfg.occ_watermark();
+        let high = len >= watermark;
+        let mut c = self.control.lock();
+        if c.last_occ != Some((len, high)) {
+            c.last_occ = Some((len, high));
+            c.journal.record(
+                now,
+                self.node,
+                JournalKind::Occupancy {
+                    len,
+                    watermark,
+                    high,
+                },
+            );
+        }
     }
 }
 
@@ -648,17 +716,28 @@ pub struct LfQueueOutput<T: ItemData> {
     tele: LfEndpointTele,
     last_gen: Option<u64>,
     ops: u64,
+    // Per-endpoint recording shards: the producer endpoint is the single
+    // writer, so the Return hop (queue summary handed back on put) can be
+    // recorded without touching the queue's control mutex.
+    spans: SpanShard,
+    journal: JournalShard,
+    last_return: Option<Micros>,
 }
 
 impl<T: ItemData> LfQueueOutput<T> {
     pub(crate) fn new(q: Arc<LfQueue<T>>, thread_out_index: usize) -> Self {
         let tele = LfEndpointTele::output(q.telemetry(), q.name());
+        let spans = q.telemetry().spans.shard();
+        let journal = q.telemetry().journal.shard();
         LfQueueOutput {
             q,
             thread_out_index,
             tele,
             last_gen: None,
             ops: 0,
+            spans,
+            journal,
+            last_return: None,
         }
     }
 
@@ -700,6 +779,30 @@ impl<T: ItemData> LfQueueOutput<T> {
         }
         self.last_gen = Some(gen);
         if let Some(s) = summary {
+            // Return hop on value change: the queue's summary reached this
+            // producer. Mirrors `BufTele::on_return` on the mutex buffers.
+            let value = s.period();
+            if self.last_return != Some(value) {
+                self.last_return = Some(value);
+                let t = ctx.now();
+                self.spans.record(FeedbackHop {
+                    t,
+                    kind: HopKind::Return,
+                    node: self.q.node(),
+                    peer: ctx.node(),
+                    value,
+                    extra: Micros::ZERO,
+                });
+                self.journal.record(
+                    t,
+                    self.q.node(),
+                    JournalKind::Hop {
+                        leg: HopLeg::Return,
+                        peer: ctx.node(),
+                        value,
+                    },
+                );
+            }
             ctx.receive_feedback_from(self.thread_out_index, s, self.q.node());
         }
     }

@@ -22,7 +22,7 @@ use aru_metrics::{ItemId, IterKey, LocalTrace, SharedTrace};
 use crate::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
-use vtime::{Clock, Timestamp};
+use vtime::{Clock, SimTime, Timestamp};
 
 struct QStored<T> {
     ts: Timestamp,
@@ -516,11 +516,11 @@ impl<T: ItemData> BufferAdmin for Queue<T> {
     fn flush_trace(&self) {
         self.state.lock().trace.flush();
     }
-    fn publish_telemetry(&self) {
+    fn publish_telemetry(&self, now: SimTime) {
         let mut st = self.state.lock();
         let len = st.items.len();
         let live = st.live_bytes;
-        st.tele.publish(len, live);
+        st.tele.publish(now, len, live);
     }
 }
 

@@ -10,13 +10,14 @@ use aru_gc::{ConsumerMarks, DgcEngine, DgcResult, GcMode, IdealGc};
 use aru_metrics::export::fault_report_jsonl;
 use aru_metrics::trace::wall_clock_unix_us;
 use aru_metrics::{
-    ExportSink, FaultReport, FootprintReport, Lineage, PerfReport, SharedTrace, Telemetry, Trace,
-    TraceEvent, WasteReport,
+    ExportSink, FaultReport, FootprintReport, JournalKind, Lineage, PerfReport, SharedTrace,
+    Telemetry, Trace, TraceEvent, WasteReport,
 };
 use crate::sync::RwLock;
 use std::any::Any;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use vtime::{Clock, Micros, SimTime};
@@ -45,9 +46,10 @@ fn export_tick(
     telemetry: &Telemetry,
     sink: &ExportSink,
     epoch: u64,
+    now: SimTime,
 ) {
     for a in admins {
-        a.publish_telemetry();
+        a.publish_telemetry(now);
     }
     let snap = telemetry.registry.snapshot();
     let _ = sink.write_snapshot(&snap, epoch, wall_clock_unix_us());
@@ -68,6 +70,7 @@ pub struct Runtime {
     retry: RetryPolicy,
     op_timeout: Option<Micros>,
     export: Option<(ExportSink, Micros)>,
+    journal_path: Option<PathBuf>,
 }
 
 impl Runtime {
@@ -85,6 +88,7 @@ impl Runtime {
         retry: RetryPolicy,
         op_timeout: Option<Micros>,
         export: Option<(ExportSink, Micros)>,
+        journal_path: Option<PathBuf>,
     ) -> Self {
         Runtime {
             topo,
@@ -99,6 +103,7 @@ impl Runtime {
             retry,
             op_timeout,
             export,
+            journal_path,
         }
     }
 
@@ -143,6 +148,12 @@ impl Runtime {
             let trace = self.trace.clone();
             let sd = shutdown.clone();
             let admins: Vec<Arc<dyn BufferAdmin>> = self.admins.clone();
+            let journal = self.trace.telemetry().journal.clone();
+            let crash_path = self
+                .journal_path
+                .as_ref()
+                .map(|p| p.with_extension("crash.jsonl"));
+            let epoch = self.trace.epoch_unix_us();
             // Supervisor loop: a panicking body is caught, the context is
             // recovered and the loop re-entered under the retry policy;
             // when the restart budget is exhausted the supervisor escalates
@@ -151,6 +162,10 @@ impl Runtime {
             let handle = std::thread::Builder::new()
                 .name(name.clone())
                 .spawn(move || {
+                    // Per-task journal shard: the supervisor is this
+                    // thread's only writer, honoring the shard's
+                    // single-writer contract.
+                    let jshard = journal.shard();
                     let mut attempt: u32 = 0;
                     loop {
                         match catch_unwind(AssertUnwindSafe(|| ctx.run(&mut *body))) {
@@ -159,6 +174,7 @@ impl Runtime {
                                 attempt += 1;
                                 let msg = panic_message(payload.as_ref());
                                 trace.task_crash(clock.now(), node, attempt);
+                                jshard.record(clock.now(), node, JournalKind::Crash { attempt });
                                 if sd.is_set() {
                                     return Err(msg);
                                 }
@@ -166,10 +182,31 @@ impl Runtime {
                                     let backoff = policy.delay(attempt);
                                     ctx.recover();
                                     trace.task_restart(clock.now(), node, attempt, backoff);
+                                    jshard.record(
+                                        clock.now(),
+                                        node,
+                                        JournalKind::Restart { attempt, backoff },
+                                    );
                                     if sd.sleep(backoff) {
                                         return Err(msg);
                                     }
                                 } else {
+                                    jshard.record(
+                                        clock.now(),
+                                        node,
+                                        JournalKind::Escalate { attempt },
+                                    );
+                                    // Black-box crash dump: cut the journal
+                                    // snapshot *now*, before shutdown tears
+                                    // the pipeline down — the postmortem
+                                    // artifact survives even if the clean
+                                    // stop path never runs. Atomic write
+                                    // (tmp + rename); IO errors swallowed
+                                    // like the exporter's.
+                                    if let Some(p) = &crash_path {
+                                        let _ =
+                                            journal.write_snapshot_file(p, "threaded", epoch);
+                                    }
                                     sd.set();
                                     for a in &admins {
                                         a.close();
@@ -231,6 +268,7 @@ impl Runtime {
             let trace = self.trace.clone();
             let epoch = self.trace.epoch_unix_us();
             let sd = shutdown.clone();
+            let clock = Arc::clone(&self.clock);
             std::thread::Builder::new()
                 .name("telemetry-exporter".into())
                 .spawn(move || {
@@ -246,7 +284,7 @@ impl Runtime {
                     let mut next_tick = std::time::Instant::now();
                     while !sd.is_set() && failures < 3 {
                         if catch_unwind(AssertUnwindSafe(|| {
-                            export_tick(&admins, &telemetry, &sink, epoch);
+                            export_tick(&admins, &telemetry, &sink, epoch, clock.now());
                         }))
                         .is_err()
                         {
@@ -263,7 +301,7 @@ impl Runtime {
                     // faults additionally appends the fault report as a
                     // JSONL line next to the snapshots.
                     let _ = catch_unwind(AssertUnwindSafe(|| {
-                        export_tick(&admins, &telemetry, &sink, epoch);
+                        export_tick(&admins, &telemetry, &sink, epoch, clock.now());
                         let faults = FaultReport::compute(&trace.snapshot());
                         if faults.any() {
                             let line =
@@ -284,6 +322,7 @@ impl Runtime {
             handles,
             gc_handle,
             export_handle,
+            journal_path: self.journal_path,
         }
     }
 
@@ -324,6 +363,7 @@ pub struct Running {
     handles: Vec<JoinHandle<Result<u64, String>>>,
     gc_handle: Option<JoinHandle<()>>,
     export_handle: Option<JoinHandle<()>>,
+    journal_path: Option<PathBuf>,
 }
 
 impl Running {
@@ -372,7 +412,17 @@ impl Running {
         // when no exporter was configured).
         for a in &self.admins {
             a.flush_trace();
-            a.publish_telemetry();
+            a.publish_telemetry(t_end);
+        }
+        // Clean-stop flight-recorder snapshot (after the flush/publish
+        // loop, so the journal holds the final occupancy records). IO
+        // errors are swallowed — persistence must not fail the stop.
+        if let Some(p) = &self.journal_path {
+            let _ = self.trace.telemetry().journal.write_snapshot_file(
+                p,
+                "threaded",
+                self.trace.epoch_unix_us(),
+            );
         }
         Ok(RunReport {
             trace: self.trace.snapshot(),
@@ -569,6 +619,89 @@ mod tests {
             "panic payload preserved, got: {}",
             err.payload
         );
+    }
+
+    #[test]
+    fn recovered_crash_is_journaled_and_snapshot_on_clean_stop() {
+        let dir = std::env::temp_dir().join(format!("aru-journal-recover-{}", std::process::id()));
+        let path = dir.join("run.journal.jsonl");
+        let mut b = RuntimeBuilder::new(AruConfig::aru_min(), GcMode::None)
+            .with_retry_policy(RetryPolicy::constant(3, Micros::from_millis(1)))
+            .with_journal(&path);
+        let t = b.thread("flaky");
+        let n = Arc::new(AtomicU32::new(0));
+        let n2 = Arc::clone(&n);
+        b.spawn(t, move |_| {
+            let i = n2.fetch_add(1, Ordering::SeqCst);
+            if i == 1 {
+                panic!("injected crash");
+            }
+            if i >= 5 {
+                return Ok(Step::Stop);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+            Ok(Step::Continue)
+        });
+        let running = b.build().unwrap().start();
+        wait_until(|| n.load(Ordering::SeqCst) > 5, "task to finish");
+        running.stop().expect("recovered run completes cleanly");
+        // Clean stop cut the snapshot; the crash → restart sequence must be
+        // on record, with the restart at or after the crash.
+        let j = aru_metrics::load_journal(&path).expect("clean-stop journal loads");
+        assert_eq!(j.source, "threaded");
+        assert_eq!(j.skipped, 0);
+        let recs = &j.snapshot.records;
+        let crash = recs
+            .iter()
+            .position(|r| matches!(r.kind, aru_metrics::JournalKind::Crash { attempt: 1 }))
+            .expect("crash journaled");
+        let restart = recs
+            .iter()
+            .position(|r| matches!(r.kind, aru_metrics::JournalKind::Restart { attempt: 1, .. }))
+            .expect("restart journaled");
+        assert!(recs[restart].t >= recs[crash].t, "restart after crash");
+        assert!(
+            !path.with_extension("crash.jsonl").exists(),
+            "no crash dump for a recovered run"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn escalation_writes_loadable_crash_dump() {
+        let dir = std::env::temp_dir().join(format!("aru-journal-escalate-{}", std::process::id()));
+        let path = dir.join("run.journal.jsonl");
+        let mut b = RuntimeBuilder::new(AruConfig::aru_min(), GcMode::None)
+            .with_retry_policy(RetryPolicy::none())
+            .with_journal(&path);
+        let bomb = b.thread("bomb");
+        b.spawn(bomb, move |_| {
+            std::thread::sleep(Duration::from_millis(5));
+            panic!("kaboom");
+        });
+        let running = b.build().unwrap().start();
+        wait_until(|| !running.is_running(), "escalation to shut the runtime down");
+        running.stop().expect_err("permanent failure is reported");
+        // The escalating supervisor dumped the journal *before* requesting
+        // shutdown — the evidence survives even though the run died.
+        let dump = path.with_extension("crash.jsonl");
+        let j = aru_metrics::load_journal(&dump).expect("crash dump loads");
+        assert_eq!(j.source, "threaded");
+        assert!(
+            j.snapshot
+                .records
+                .iter()
+                .any(|r| matches!(r.kind, aru_metrics::JournalKind::Crash { .. })),
+            "crash on record"
+        );
+        assert!(
+            j.snapshot
+                .records
+                .iter()
+                .any(|r| matches!(r.kind, aru_metrics::JournalKind::Escalate { .. })),
+            "escalation on record"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! per op and records nothing (see `aru_metrics::spans`).
 
 use aru_core::NodeId;
-use aru_metrics::{Counter, FeedbackHop, Gauge, Hist, Histogram, HopKind, SpanShard, Telemetry};
+use aru_metrics::journal::{law_code, HopLeg};
+use aru_metrics::{
+    Counter, FeedbackHop, Gauge, Hist, Histogram, HopKind, Journal, JournalKind, JournalShard,
+    SpanShard, Telemetry,
+};
 use std::time::Instant;
 use vtime::{Micros, SimTime};
 
@@ -53,6 +57,12 @@ pub(crate) struct BufTele {
     spans: SpanShard,
     last_deposit: Option<Micros>,
     last_return: Option<Micros>,
+    // Flight-recorder journal (DESIGN.md §16): hop records ride the same
+    // change gates as the spans; occupancy records are cut at publish
+    // cadence on length change or a watermark crossing.
+    journal: JournalShard,
+    journal_cfg: Journal,
+    last_occ: Option<(u64, bool)>,
 }
 
 impl BufTele {
@@ -77,6 +87,9 @@ impl BufTele {
             spans: tele.spans.shard(),
             last_deposit: None,
             last_return: None,
+            journal: tele.journal.shard(),
+            journal_cfg: tele.journal.clone(),
+            last_occ: None,
         }
     }
 
@@ -128,14 +141,24 @@ impl BufTele {
             return;
         }
         self.last_deposit = Some(value);
+        let t = now();
         self.spans.record(FeedbackHop {
-            t: now(),
+            t,
             kind: HopKind::Deposit,
             node: self.node,
             peer: consumer,
             value,
             extra: Micros::ZERO,
         });
+        self.journal.record(
+            t,
+            self.node,
+            JournalKind::Hop {
+                leg: HopLeg::Deposit,
+                peer: consumer,
+                value,
+            },
+        );
     }
 
     /// This buffer's summary-STP was handed back to a producer on `put`.
@@ -151,20 +174,31 @@ impl BufTele {
             return;
         }
         self.last_return = Some(value);
+        let t = now();
         self.spans.record(FeedbackHop {
-            t: now(),
+            t,
             kind: HopKind::Return,
             node: self.node,
             peer: producer,
             value,
             extra: Micros::ZERO,
         });
+        self.journal.record(
+            t,
+            self.node,
+            JournalKind::Hop {
+                leg: HopLeg::Return,
+                peer: producer,
+                value,
+            },
+        );
     }
 
     /// Drain accumulated deltas into the shared registry and refresh the
     /// point-in-time gauges. Called by the exporter tick and at shutdown —
-    /// never from a put/get.
-    pub(crate) fn publish(&mut self, len: usize, live_bytes: u64) {
+    /// never from a put/get. Journals an occupancy record when the length
+    /// changed since the last publish or crossed the configured watermark.
+    pub(crate) fn publish(&mut self, now: SimTime, len: usize, live_bytes: u64) {
         self.puts.add(std::mem::take(&mut self.d_puts));
         self.gets.add(std::mem::take(&mut self.d_gets));
         self.purged.add(std::mem::take(&mut self.d_purged));
@@ -172,6 +206,21 @@ impl BufTele {
         self.occupancy_hist.merge_plain(&mut self.occ);
         self.occupancy.set(len as f64);
         self.live_bytes.set(live_bytes as f64);
+        let len = len as u64;
+        let watermark = self.journal_cfg.occ_watermark();
+        let high = len >= watermark;
+        if self.last_occ != Some((len, high)) {
+            self.last_occ = Some((len, high));
+            self.journal.record(
+                now,
+                self.node,
+                JournalKind::Occupancy {
+                    len,
+                    watermark,
+                    high,
+                },
+            );
+        }
     }
 }
 
@@ -285,6 +334,11 @@ pub(crate) struct TaskTele {
     spans: SpanShard,
     last_fold: Option<Micros>,
     last_pace: Option<Micros>,
+    // Flight-recorder journal: pace decisions at the law-fired gate,
+    // staleness transitions, and fold hops.
+    journal: JournalShard,
+    law_code: u8,
+    was_stale: bool,
 }
 
 impl TaskTele {
@@ -316,6 +370,9 @@ impl TaskTele {
             spans: tele.spans.shard(),
             last_fold: None,
             last_pace: None,
+            journal: tele.journal.shard(),
+            law_code: law_code(law),
+            was_stale: false,
         }
     }
 
@@ -344,6 +401,18 @@ impl TaskTele {
         if outcome.stale {
             self.stale.inc();
         }
+        // Journal staleness fallback transitions (enter/leave), not every
+        // stale iteration — the storm detector wants edges, not area.
+        if outcome.stale != self.was_stale {
+            self.was_stale = outcome.stale;
+            self.journal.record(
+                t,
+                node,
+                JournalKind::Stale {
+                    entered: outcome.stale,
+                },
+            );
+        }
         if outcome.law_fired {
             self.law_fired.inc();
             if outcome.clamped {
@@ -354,6 +423,21 @@ impl TaskTele {
             }
             if let Some(tg) = outcome.pace_target {
                 self.pace_target_us.set(tg.as_micros() as f64);
+            }
+            // Same gate as the postmortem trace's PaceDecision event: the
+            // law took a decision and both targets exist.
+            if let (Some(raw), Some(target)) = (outcome.raw_target, outcome.pace_target) {
+                self.journal.record(
+                    t,
+                    node,
+                    JournalKind::Pace {
+                        law: self.law_code,
+                        raw: raw.period(),
+                        target: target.period(),
+                        sleep: outcome.sleep,
+                        clamped: outcome.clamped,
+                    },
+                );
             }
         }
         let busy = meter.total_busy();
@@ -404,6 +488,15 @@ impl TaskTele {
             value,
             extra: Micros::ZERO,
         });
+        self.journal.record(
+            t,
+            node,
+            JournalKind::Hop {
+                leg: HopLeg::Fold,
+                peer: from,
+                value,
+            },
+        );
     }
 
     /// Sample gate for endpoint op latency: `Some(start)` for 1 in

@@ -3,7 +3,8 @@
 //! feedback-loop span recorder attributes a source pacing decision to the
 //! full backward-propagation hop chain (Deposit → Return → Fold → Pace).
 
-use aru_metrics::{HopKind, Telemetry};
+use aru_metrics::journal::HopLeg;
+use aru_metrics::{HopKind, JournalKind, Telemetry};
 use stampede::prelude::*;
 use std::time::Duration;
 use vtime::{Micros, Timestamp};
@@ -163,5 +164,110 @@ fn pace_attributes_to_deposit_return_fold_chain() {
     assert!(
         spans.hops.iter().any(|h| h.kind == HopKind::Pace && h.extra > Micros::ZERO),
         "no pace hop carried a nonzero sleep"
+    );
+}
+
+/// Same pipeline as [`run_instrumented`], but the edge is a lock-free
+/// queue (`QueueBackend::LockFree`).
+fn run_instrumented_lockfree(
+    src_work_ms: u64,
+    sink_work_ms: u64,
+    run_ms: u64,
+) -> (Telemetry, aru_core::NodeId, aru_core::NodeId, RunReport) {
+    let mut b = RuntimeBuilder::new(AruConfig::aru_min(), GcMode::None)
+        .with_queue_backend(QueueBackend::lock_free());
+    let q = b.queue::<Vec<u8>>("frames");
+    let src = b.thread("src");
+    let snk = b.thread("sink");
+    let mut out = b.connect_queue_out(src, &q).unwrap();
+    let mut inp = b.connect_queue_in(&q, snk).unwrap();
+
+    let mut ts = Timestamp::ZERO;
+    b.spawn(src, move |ctx| {
+        std::thread::sleep(Duration::from_millis(src_work_ms));
+        out.put(ctx, ts, vec![0u8; 10_000])?;
+        ts = ts.next();
+        Ok(Step::Continue)
+    });
+    b.spawn(snk, move |ctx| {
+        let item = inp.get(ctx)?;
+        std::thread::sleep(Duration::from_millis(sink_work_ms));
+        ctx.emit_output(item.ts);
+        Ok(Step::Continue)
+    });
+
+    let telemetry = b.telemetry().clone();
+    let (src_node, snk_node) = (src.node(), snk.node());
+    let report = b
+        .build()
+        .unwrap()
+        .run_for(Micros::from_millis(run_ms))
+        .unwrap();
+    (telemetry, src_node, snk_node, report)
+}
+
+#[test]
+fn lockfree_backend_pace_attributes_through_the_same_chain() {
+    // The lock-free ring must not be lineage-blind: a pacing decision on
+    // the LF backend has the same Deposit → Return → Fold → Pace evidence
+    // as the mutex path, both in the span rings and in the persisted
+    // flight-recorder journal.
+    let mut picked = None;
+    for attempt in 0..3 {
+        let r = run_instrumented_lockfree(1, 10, 500 << (2 * attempt));
+        let has_pace = !r.0.spans.snapshot().paces().is_empty();
+        if r.3.outputs() > 3 && has_pace {
+            picked = Some(r);
+            break;
+        }
+        picked = Some(r);
+    }
+    let (telemetry, src_node, snk_node, report) = picked.expect("at least one attempt ran");
+    assert!(report.outputs() > 3);
+
+    let spans = telemetry.spans.snapshot();
+    let paces = spans.paces();
+    assert!(!paces.is_empty(), "LF source pacing recorded no Pace hops");
+    let full_chain = paces
+        .iter()
+        .map(|&p| spans.attribute_pace(p))
+        .find(|chain| chain.len() == 4)
+        .expect("no LF pace attributable to a full 4-hop chain");
+    let hops: Vec<_> = full_chain.iter().map(|&i| spans.hops[i]).collect();
+    assert_eq!(
+        hops.iter().map(|h| h.kind).collect::<Vec<_>>(),
+        [HopKind::Deposit, HopKind::Return, HopKind::Fold, HopKind::Pace],
+        "hops in propagation order"
+    );
+    let value = hops[3].value;
+    assert!(hops.iter().all(|h| h.value == value), "one value links the chain");
+    assert_eq!(hops[0].node, hops[1].node, "deposit and return at the queue");
+    assert_eq!(hops[0].peer, snk_node, "deposit credited to the sink");
+    assert_eq!(hops[1].peer, src_node, "return handed to the source");
+    assert_eq!(hops[2].node, src_node, "fold on the source thread");
+    assert_eq!(hops[3].node, src_node, "pace on the source thread");
+
+    // The journal — the durable mirror of the same chain — must carry all
+    // three hop legs plus the pace decision, with the same topology.
+    let snap = telemetry.journal.snapshot();
+    let hop = |leg: HopLeg| {
+        snap.records.iter().find_map(|r| match r.kind {
+            JournalKind::Hop { leg: l, peer, value } if l == leg => Some((r.node, peer, value)),
+            _ => None,
+        })
+    };
+    let (dep_node, dep_peer, _) = hop(HopLeg::Deposit).expect("deposit leg journaled");
+    assert_eq!(dep_peer, snk_node, "journal deposit credited to the sink");
+    let (ret_node, ret_peer, _) = hop(HopLeg::Return).expect("return leg journaled");
+    assert_eq!(ret_node, dep_node, "journal return at the same queue node");
+    assert_eq!(ret_peer, src_node, "journal return handed to the source");
+    let (fold_node, fold_peer, _) = hop(HopLeg::Fold).expect("fold leg journaled");
+    assert_eq!(fold_node, src_node, "journal fold on the source thread");
+    assert_eq!(fold_peer, dep_node, "journal fold names the queue");
+    assert!(
+        snap.records.iter().any(|r| {
+            r.node == src_node && matches!(r.kind, JournalKind::Pace { .. })
+        }),
+        "pace decision journaled on the source thread"
     );
 }

@@ -45,6 +45,9 @@ pub struct ThreadedTrackerParams {
     /// `Some((sink, interval))` enables the runtime's periodic telemetry
     /// exporter (Prometheus text + JSONL) for this run.
     pub export: Option<(aru_metrics::ExportSink, Micros)>,
+    /// `Some(path)` persists the flight-recorder journal (DESIGN.md §16)
+    /// there at clean stop, plus a `.crash.jsonl` sibling on escalation.
+    pub journal: Option<std::path::PathBuf>,
 }
 
 impl ThreadedTrackerParams {
@@ -57,6 +60,7 @@ impl ThreadedTrackerParams {
             delays: StageDelays::default(),
             distributed: None,
             export: None,
+            journal: None,
         }
     }
 
@@ -71,6 +75,13 @@ impl ThreadedTrackerParams {
     #[must_use]
     pub fn with_export(mut self, sink: aru_metrics::ExportSink, interval: Micros) -> Self {
         self.export = Some((sink, interval));
+        self
+    }
+
+    /// Persist the flight-recorder journal for `repro doctor`.
+    #[must_use]
+    pub fn with_journal(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.journal = Some(path.into());
         self
     }
 }
@@ -169,6 +180,9 @@ pub fn build_threaded(params: &ThreadedTrackerParams) -> Result<ThreadedTracker,
     let mut b = RuntimeBuilder::new(params.aru.clone(), params.gc);
     if let Some((sink, interval)) = params.export.clone() {
         b = b.with_export(sink, interval);
+    }
+    if let Some(path) = params.journal.clone() {
+        b = b.with_journal(path);
     }
     let network = params.distributed.map(|_| NetworkSim::start());
     let link = params.distributed;
